@@ -1,0 +1,186 @@
+"""Ablations of the design decisions called out in DESIGN.md Section 5.
+
+Not in the paper's evaluation, but each isolates one design choice the
+paper argues for:
+
+* **lazy utility updates** (Section 4.1) vs trusting stale insertion-time
+  utilities;
+* **stratified** per-cell sampling (Section 6) vs plain uniform sampling;
+* **anti-monotone pruning** (Section 4.1) on a ``sum() <`` query, on vs
+  off — same results, fewer explored windows;
+* the **benefit weight s** sweep (Section 4.2): high s finds results
+  sooner.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_scale,
+    fresh_database,
+    format_seconds,
+    get_synthetic,
+    get_table,
+    print_table,
+)
+from repro.core import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    SearchConfig,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    SWEngine,
+    SWQuery,
+    col,
+)
+from repro.workloads import synthetic_query
+
+
+def _engine(table, dataset, fraction, **kwargs):
+    db = fresh_database(table)
+    return SWEngine(db, dataset.name, sample_fraction=fraction, **kwargs)
+
+
+def test_ablation_lazy_updates(benchmark):
+    """Lazy re-checking should not hurt completion and helps online times."""
+    dataset = get_synthetic("high")
+    query = synthetic_query(dataset)
+    table = get_table(dataset, "cluster")
+    fraction = bench_scale().sample_fraction
+
+    def run():
+        out = {}
+        for lazy in (True, False):
+            run_ = _engine(table, dataset, fraction).execute(
+                query, SearchConfig(alpha=0.0, lazy_updates=lazy)
+            ).run
+            out[lazy] = run_
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            "lazy" if lazy else "stale",
+            format_seconds(r.all_results_time_s),
+            format_seconds(r.completion_time_s),
+            r.stats.lazy_reinserts,
+            r.num_results,
+        ]
+        for lazy, r in out.items()
+    ]
+    print_table(
+        "Ablation: lazy utility updates",
+        ["Mode", "All results", "Completion", "Re-inserts", "Results"],
+        rows,
+    )
+    assert out[True].num_results == out[False].num_results
+
+
+def test_ablation_stratified_vs_uniform_sampling(benchmark):
+    """Stratified sampling should give no-worse online discovery."""
+    dataset = get_synthetic("high")
+    query = synthetic_query(dataset)
+    table = get_table(dataset, "cluster")
+    fraction = bench_scale().sample_fraction
+
+    def run():
+        out = {}
+        for sampler in ("stratified", "uniform"):
+            run_ = _engine(table, dataset, fraction, sampler=sampler).execute(
+                query, SearchConfig(alpha=0.0)
+            ).run
+            out[sampler] = run_
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, format_seconds(r.all_results_time_s), format_seconds(r.completion_time_s), r.num_results]
+        for name, r in out.items()
+    ]
+    print_table(
+        "Ablation: stratified vs uniform sampling",
+        ["Sampler", "All results", "Completion", "Results"],
+        rows,
+    )
+    assert out["stratified"].num_results == out["uniform"].num_results
+
+
+def test_ablation_anti_monotone_pruning(benchmark):
+    """sum() < v pruning keeps results identical and explores fewer windows."""
+    dataset = get_synthetic("high")
+    grid = dataset.grid
+    # A sum-bounded query: non-negative counts -> safely anti-monotone.
+    card = ShapeObjective(ShapeKind.CARDINALITY)
+    total = ContentObjective.of("count")
+    query = SWQuery.build(
+        dimensions=("x", "y"),
+        area=[(grid.area[0].lo, grid.area[0].hi), (grid.area[1].lo, grid.area[1].hi)],
+        steps=grid.steps,
+        conditions=[
+            ShapeCondition(card, ComparisonOp.LE, 9),
+            ContentCondition(total, ComparisonOp.LT, 120.0),
+            ContentCondition(total, ComparisonOp.GT, 80.0),
+        ],
+    )
+    table = get_table(dataset, "cluster")
+    fraction = bench_scale().sample_fraction
+
+    def run():
+        out = {}
+        for pruning in (False, True):
+            run_ = _engine(table, dataset, fraction).execute(
+                query, SearchConfig(alpha=0.0, assume_nonnegative=pruning)
+            ).run
+            out[pruning] = run_
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            "pruning" if p else "no pruning",
+            r.stats.explored,
+            r.stats.pruned_extensions,
+            format_seconds(r.completion_time_s),
+            r.num_results,
+        ]
+        for p, r in out.items()
+    ]
+    print_table(
+        "Ablation: anti-monotone pruning on count() upper bound",
+        ["Mode", "Explored", "Pruned-at", "Completion", "Results"],
+        rows,
+    )
+    assert out[True].num_results == out[False].num_results
+    assert out[True].stats.explored <= out[False].stats.explored
+
+
+def test_ablation_benefit_weight(benchmark):
+    """Higher s (benefit-first) should find the result set sooner."""
+    dataset = get_synthetic("high")
+    query = synthetic_query(dataset)
+    table = get_table(dataset, "cluster")
+    fraction = bench_scale().sample_fraction
+
+    def run():
+        out = {}
+        for s in (0.2, 0.5, 0.8, 1.0):
+            run_ = _engine(table, dataset, fraction).execute(
+                query, SearchConfig(alpha=0.0, s=s)
+            ).run
+            out[s] = run_
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"s={s}", format_seconds(r.first_result_time_s), format_seconds(r.all_results_time_s), r.num_results]
+        for s, r in out.items()
+    ]
+    print_table(
+        "Ablation: benefit weight s",
+        ["Weight", "First result", "All results", "Results"],
+        rows,
+    )
+    counts = {r.num_results for r in out.values()}
+    assert len(counts) == 1, f"s changed the exact result set: {counts}"
+    assert out[0.8].all_results_time_s <= out[0.2].all_results_time_s * 1.5

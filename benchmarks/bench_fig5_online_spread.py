@@ -1,0 +1,67 @@
+"""Figure 5 — Online performance of the synthetic queries across spreads.
+
+Paper (Section 6.2): % of total results delivered vs time for the low /
+medium / high spread synthetic queries on the x-axis ordering, at
+aggressiveness 0.5 (top) and 2.0 (bottom).  "All queries behaved
+approximately the same ... For the case of a=2.0 the final result was
+found faster for the low spread query" (nearby clusters get swept up by
+large prefetches).
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_scale,
+    fresh_database,
+    format_seconds,
+    get_synthetic,
+    get_table,
+    online_series,
+    print_table,
+)
+from repro.core import SearchConfig, SWEngine
+from repro.workloads import SPREADS, synthetic_query
+
+FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _run_experiment() -> dict:
+    fraction = bench_scale().sample_fraction
+    curves: dict[tuple[str, float], list[tuple[float, float | None]]] = {}
+    finals: dict[tuple[str, float], float] = {}
+    for spread in SPREADS:
+        dataset = get_synthetic(spread)
+        query = synthetic_query(dataset)
+        table = get_table(dataset, "axis", axis_dim=0)
+        for alpha in (0.5, 2.0):
+            db = fresh_database(table)
+            engine = SWEngine(db, dataset.name, sample_fraction=fraction)
+            run = engine.execute(query, SearchConfig(alpha=alpha)).run
+            curves[(spread, alpha)] = online_series(run, FRACTIONS)
+            finals[(spread, alpha)] = run.completion_time_s
+    return {"curves": curves, "finals": finals}
+
+
+def test_fig5_online_performance_by_spread(benchmark):
+    out = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    for alpha in (0.5, 2.0):
+        rows = []
+        for spread in SPREADS:
+            series = out["curves"][(spread, alpha)]
+            rows.append(
+                [spread]
+                + [format_seconds(t) for _, t in series]
+                + [format_seconds(out["finals"][(spread, alpha)])]
+            )
+        print_table(
+            f"Figure 5: time (s) to reach a fraction of all results (Synth-x, a={alpha})",
+            ["Spread"] + [f"{int(f * 100)}%" for f in FRACTIONS] + ["Completion"],
+            rows,
+        )
+
+    # Shapes: every curve is monotone, and results arrive well before
+    # completion (the whole point of online processing).
+    for key, series in out["curves"].items():
+        times = [t for _, t in series if t is not None]
+        assert times == sorted(times), f"{key}: online curve not monotone"
+        assert times[0] < out["finals"][key] * 0.95, f"{key}: first results too late"

@@ -1,0 +1,78 @@
+"""Figure 6 — Online performance of the high-spread synthetic query.
+
+Paper (Section 6.2): time-to-fraction curves for aggressiveness
+0 / 0.5 / 1.0 / 2.0 on Synth-x (top) and Synth-clust (bottom).
+
+Expected shapes: on the dispersed -x ordering, larger aggressiveness gives
+*better* online performance throughout (prefetching pays for itself); on
+the beneficial clustered ordering, a=2.0 creates much longer delays while
+values up to 1.0 behave about the same — the online-vs-completion
+trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_scale,
+    fresh_database,
+    format_seconds,
+    get_synthetic,
+    get_table,
+    online_series,
+    print_table,
+)
+from repro.core import SearchConfig, SWEngine
+from repro.viz import render_timeline
+from repro.workloads import synthetic_query
+
+ALPHAS = (0.0, 0.5, 1.0, 2.0)
+FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _run_experiment() -> dict:
+    fraction = bench_scale().sample_fraction
+    dataset = get_synthetic("high")
+    query = synthetic_query(dataset)
+    out: dict[tuple[str, float], dict] = {}
+    for placement, label in (("axis", "Synth-x"), ("cluster", "Synth-clust")):
+        table = get_table(dataset, placement, axis_dim=0)
+        for alpha in ALPHAS:
+            db = fresh_database(table)
+            engine = SWEngine(db, dataset.name, sample_fraction=fraction)
+            run = engine.execute(query, SearchConfig(alpha=alpha)).run
+            out[(label, alpha)] = {
+                "series": online_series(run, FRACTIONS),
+                "completion": run.completion_time_s,
+                "sparkline": render_timeline(
+                    run.results, total_time=run.completion_time_s, width=50
+                ),
+            }
+    return out
+
+
+def test_fig6_online_performance_high_spread_synth(benchmark):
+    out = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    for label in ("Synth-x", "Synth-clust"):
+        rows = []
+        for alpha in ALPHAS:
+            entry = out[(label, alpha)]
+            rows.append(
+                [f"a={alpha}"]
+                + [format_seconds(t) for _, t in entry["series"]]
+                + [format_seconds(entry["completion"])]
+            )
+        print_table(
+            f"Figure 6: time (s) to reach a fraction of all results ({label})",
+            ["Aggr."] + [f"{int(f * 100)}%" for f in FRACTIONS] + ["Completion"],
+            rows,
+        )
+        for alpha in ALPHAS:
+            print(f"a={alpha}: {out[(label, alpha)]['sparkline']}")
+
+    # On the dispersed ordering prefetching helps completion dramatically.
+    assert out[("Synth-x", 2.0)]["completion"] < out[("Synth-x", 0.0)]["completion"] / 2
+    # On the clustered ordering a=2.0 delays the online tail vs no prefetch.
+    tail_zero = out[("Synth-clust", 0.0)]["series"][-1][1]
+    tail_two = out[("Synth-clust", 2.0)]["series"][-1][1]
+    assert tail_two is not None and tail_zero is not None
+    assert tail_two > tail_zero * 0.8, "clustered a=2.0 should not beat no-pref online tail by much"

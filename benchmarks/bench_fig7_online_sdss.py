@@ -1,0 +1,68 @@
+"""Figure 7 — Online performance of the high-spread SDSS query.
+
+Paper (Section 6.2): the same trade-off as Figure 6 on SDSS: on SDSS-dec
+(dispersed) larger aggressiveness is better online; on SDSS-clust a=2.0
+creates much longer delays.  "a=1.0 might be considered a 'safe' value on
+average."
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_scale,
+    fresh_database,
+    format_seconds,
+    get_sdss,
+    get_table,
+    online_series,
+    print_table,
+)
+from repro.core import SearchConfig, SWEngine
+from repro.workloads import sdss_query
+
+ALPHAS = (0.0, 0.5, 1.0, 2.0)
+FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _run_experiment() -> dict:
+    fraction = bench_scale().sample_fraction
+    dataset = get_sdss()
+    query = sdss_query(dataset, "high")
+    out: dict[tuple[str, float], dict] = {}
+    for placement, axis_dim, label in (("axis", 1, "SDSS-dec"), ("cluster", 0, "SDSS-clust")):
+        table = get_table(dataset, placement, axis_dim=axis_dim)
+        for alpha in ALPHAS:
+            db = fresh_database(table)
+            engine = SWEngine(db, dataset.name, sample_fraction=fraction)
+            run = engine.execute(query, SearchConfig(alpha=alpha)).run
+            out[(label, alpha)] = {
+                "series": online_series(run, FRACTIONS),
+                "completion": run.completion_time_s,
+                "results": run.num_results,
+            }
+    return out
+
+
+def test_fig7_online_performance_high_spread_sdss(benchmark):
+    out = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    for label in ("SDSS-dec", "SDSS-clust"):
+        rows = []
+        for alpha in ALPHAS:
+            entry = out[(label, alpha)]
+            rows.append(
+                [f"a={alpha}"]
+                + [format_seconds(t) for _, t in entry["series"]]
+                + [format_seconds(entry["completion"])]
+            )
+        print_table(
+            f"Figure 7: time (s) to reach a fraction of all results ({label})",
+            ["Aggr."] + [f"{int(f * 100)}%" for f in FRACTIONS] + ["Completion"],
+            rows,
+        )
+
+    counts = {entry["results"] for entry in out.values()}
+    assert len(counts) == 1, f"result counts varied across configs: {counts}"
+    # Dispersed ordering: prefetching pays off in completion time.
+    assert out[("SDSS-dec", 2.0)]["completion"] < out[("SDSS-dec", 0.0)]["completion"] / 2
+    # Clustered ordering is far better than dispersed without prefetch.
+    assert out[("SDSS-clust", 0.0)]["completion"] < out[("SDSS-dec", 0.0)]["completion"] / 2

@@ -1,0 +1,77 @@
+"""Figure 8 — Static vs dynamic (progress-driven) prefetching.
+
+Paper (Section 6.4): on SDSS-dec, for the low- and medium-spread queries,
+the *dynamic* strategy (prefetch size grows with consecutive false
+positives, resets on positives) beats the *static* strategy (constant
+default size) in both online and total performance at the same
+aggressiveness.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_scale,
+    fresh_database,
+    format_seconds,
+    get_sdss,
+    get_table,
+    online_series,
+    print_table,
+)
+from repro.core import PrefetchStrategy, SearchConfig, SWEngine
+from repro.workloads import sdss_query
+
+FRACTIONS = (0.25, 0.5, 0.75, 1.0)
+ALPHAS = (1.0, 2.0)
+SPREADS = ("low", "medium")
+
+
+def _run_experiment() -> dict:
+    fraction = bench_scale().sample_fraction
+    dataset = get_sdss()
+    table = get_table(dataset, "axis", axis_dim=1)  # SDSS-dec ordering
+    out: dict[tuple[str, float, str], dict] = {}
+    for spread in SPREADS:
+        query = sdss_query(dataset, spread)
+        for alpha in ALPHAS:
+            for strategy in (PrefetchStrategy.DYNAMIC, PrefetchStrategy.STATIC):
+                db = fresh_database(table)
+                engine = SWEngine(db, dataset.name, sample_fraction=fraction)
+                run = engine.execute(
+                    query, SearchConfig(alpha=alpha, prefetch=strategy)
+                ).run
+                out[(spread, alpha, strategy.value)] = {
+                    "series": online_series(run, FRACTIONS),
+                    "completion": run.completion_time_s,
+                    "all_results": run.all_results_time_s,
+                }
+    return out
+
+
+def test_fig8_static_vs_dynamic_prefetching(benchmark):
+    out = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    for spread in SPREADS:
+        rows = []
+        for alpha in ALPHAS:
+            for strategy in ("dynamic", "static"):
+                entry = out[(spread, alpha, strategy)]
+                rows.append(
+                    [f"a={alpha} {strategy}"]
+                    + [format_seconds(t) for _, t in entry["series"]]
+                    + [format_seconds(entry["completion"])]
+                )
+        print_table(
+            f"Figure 8: static vs dynamic prefetching (SDSS-dec, {spread}-spread)",
+            ["Strategy"] + [f"{int(f * 100)}%" for f in FRACTIONS] + ["Total time"],
+            rows,
+        )
+
+    # Dynamic should win (or tie) on total completion time per config.
+    wins = 0
+    for spread in SPREADS:
+        for alpha in ALPHAS:
+            dyn = out[(spread, alpha, "dynamic")]["completion"]
+            sta = out[(spread, alpha, "static")]["completion"]
+            if dyn <= sta * 1.05:
+                wins += 1
+    assert wins >= 3, "dynamic prefetching should beat static in most configurations"

@@ -1,0 +1,117 @@
+"""Table 1 — Query completion times for different aggressiveness values.
+
+Paper (Section 6.1): for the high-spread queries,
+
+    Dataset       No pref    a=0.5     a=1.0     a=2.0
+    Synth-x      28,206.84  13,521.55  8,602.45  6,957.33
+    Synth-clust   1,123.12     859.08    886.01    817.59
+    SDSS-dec     26,725.05   4,542.17  3,145.15  2,109.76
+    SDSS-clust    1,510.59   1,145.37  1,130      1,158.29
+
+plus the PostgreSQL baseline (synthetic: 1,457.84 s total / 677.94 s I/O;
+SDSS: 3,589.93 s total / 849.70 s I/O).
+
+Expected shapes: prefetching cuts the dispersed (-x / -dec) orderings by
+an order of magnitude and mildly improves the clustered ones; the SW
+framework beats the baseline's total time on clustered placements even
+without prefetching.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    bench_scale,
+    fresh_database,
+    format_seconds,
+    get_sdss,
+    get_synthetic,
+    get_table,
+    print_table,
+)
+from repro.core import SearchConfig, SWEngine
+from repro.dbms import run_sql_baseline
+from repro.workloads import sdss_query, synthetic_query
+
+ALPHAS = (0.0, 0.5, 1.0, 2.0)
+
+
+def _cases():
+    synth = get_synthetic("high")
+    sdss = get_sdss()
+    return [
+        ("Synth-x", synth, synthetic_query(synth), "axis", 0),
+        ("Synth-clust", synth, synthetic_query(synth), "cluster", 0),
+        ("SDSS-dec", sdss, sdss_query(sdss, "high"), "axis", 1),
+        ("SDSS-clust", sdss, sdss_query(sdss, "high"), "cluster", 1),
+    ]
+
+
+def _run_experiment() -> dict:
+    fraction = bench_scale().sample_fraction
+    completions: dict[str, list[float]] = {}
+    result_counts: dict[str, set[int]] = {}
+    for label, dataset, query, placement, axis_dim in _cases():
+        table = get_table(dataset, placement, axis_dim=axis_dim)
+        times = []
+        counts = set()
+        for alpha in ALPHAS:
+            db = fresh_database(table)
+            engine = SWEngine(db, dataset.name, sample_fraction=fraction)
+            report = engine.execute(query, SearchConfig(alpha=alpha))
+            times.append(report.run.completion_time_s)
+            counts.add(report.run.num_results)
+        completions[label] = times
+        result_counts[label] = counts
+
+    baselines = {}
+    for name, dataset, query in (
+        ("synthetic", get_synthetic("high"), synthetic_query(get_synthetic("high"))),
+        ("sdss", get_sdss(), sdss_query(get_sdss(), "high")),
+    ):
+        db = fresh_database(get_table(dataset, "cluster"))
+        base = run_sql_baseline(db, dataset.name, query)
+        baselines[name] = base
+    return {"completions": completions, "counts": result_counts, "baselines": baselines}
+
+
+def test_table1_completion_times(benchmark):
+    out = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    completions = out["completions"]
+
+    rows = [
+        [label] + [format_seconds(t) for t in times]
+        for label, times in completions.items()
+    ]
+    print_table(
+        "Table 1: query completion times (simulated s) vs prefetch aggressiveness",
+        ["Dataset", "No pref", "a=0.5", "a=1.0", "a=2.0"],
+        rows,
+    )
+    base_rows = [
+        [name, format_seconds(b.total_time_s), format_seconds(b.io_time_s),
+         format_seconds(b.cpu_time_s), b.num_results]
+        for name, b in out["baselines"].items()
+    ]
+    print_table(
+        "PostgreSQL-equivalent baseline (complex SQL, blocking)",
+        ["Dataset", "Total", "I/O", "CPU", "Results"],
+        base_rows,
+    )
+
+    # Result sets are exact: identical across prefetch settings.
+    for label, counts in out["counts"].items():
+        assert len(counts) == 1, f"{label}: result count varied across alphas: {counts}"
+
+    # Shape assertions from the paper.
+    synth_x = completions["Synth-x"]
+    synth_clust = completions["Synth-clust"]
+    sdss_dec = completions["SDSS-dec"]
+    sdss_clust = completions["SDSS-clust"]
+    # Prefetching slashes the dispersed orderings.
+    assert synth_x[0] > 3 * synth_x[3], "prefetch should cut Synth-x time sharply"
+    assert sdss_dec[0] > 3 * sdss_dec[3], "prefetch should cut SDSS-dec time sharply"
+    # Dispersed orderings are far slower than clustered without prefetch.
+    assert synth_x[0] > 3 * synth_clust[0]
+    assert sdss_dec[0] > 3 * sdss_clust[0]
+    # SW on clustered data beats the blocking baseline even without prefetch.
+    assert synth_clust[0] < out["baselines"]["synthetic"].total_time_s

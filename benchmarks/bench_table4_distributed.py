@@ -1,0 +1,108 @@
+"""Table 4 — Distributed execution of the synthetic high-spread query.
+
+Paper (Section 6.7), Synth-clust placement, a=1.0 (times in seconds):
+
+    Nodes, Overlap   First result  All results  Total time
+    1 node,  no           6            820         1820
+    2 nodes, no           6            470         1050
+    4 nodes, no           5            360          580
+    8 nodes, no           7            200          350
+    ... (full overlap consistently worse in total time)
+    8 nodes, part         7            300          540
+
+Expected shapes: sub-linear total-time scaling with node count; the
+full-overlap case does not consistently beat no-overlap (overlapped data
+is read multiple times); part-overlap lands between them; and the
+deliberately skewed split degrades total time (slowest worker dominates).
+"""
+
+from __future__ import annotations
+
+from repro.bench import bench_scale, format_seconds, get_synthetic, print_table
+from repro.core import SearchConfig
+from repro.distributed import DistributedConfig, run_distributed
+from repro.workloads import synthetic_query
+
+CASES = [
+    (1, "no_overlap"),
+    (2, "no_overlap"),
+    (4, "no_overlap"),
+    (8, "no_overlap"),
+    (1, "full_overlap"),
+    (2, "full_overlap"),
+    (4, "full_overlap"),
+    (8, "full_overlap"),
+    (8, "part_overlap"),
+]
+
+
+def _run_experiment() -> dict:
+    fraction = bench_scale().sample_fraction
+    dataset = get_synthetic("high")
+    query = synthetic_query(dataset)
+    out: dict = {"cases": {}, "skew": {}}
+    for nodes, overlap in CASES:
+        config = DistributedConfig(
+            num_workers=nodes,
+            overlap=overlap,
+            placement="cluster",
+            search=SearchConfig(alpha=1.0),
+            sample_fraction=fraction,
+        )
+        out["cases"][(nodes, overlap)] = run_distributed(dataset, query, config)
+    for skew in (0.0, 0.3, 0.6):
+        config = DistributedConfig(
+            num_workers=8,
+            overlap="no_overlap",
+            placement="cluster",
+            search=SearchConfig(alpha=1.0),
+            sample_fraction=fraction,
+            skew=skew,
+        )
+        out["skew"][skew] = run_distributed(dataset, query, config)
+    return out
+
+
+def test_table4_distributed(benchmark):
+    out = benchmark.pedantic(_run_experiment, rounds=1, iterations=1)
+    rows = []
+    for nodes, overlap in CASES:
+        rep = out["cases"][(nodes, overlap)]
+        rows.append(
+            [
+                f"{nodes} node(s), {overlap.split('_')[0]}",
+                format_seconds(rep.first_result_time_s),
+                format_seconds(rep.all_results_time_s),
+                format_seconds(rep.total_time_s),
+                rep.num_results,
+                rep.messages_sent,
+            ]
+        )
+    print_table(
+        "Table 4: distributed synthetic high-spread query (Synth-clust, a=1.0)",
+        ["Nodes, Overlap", "First result", "All results", "Total time", "Results", "Msgs"],
+        rows,
+    )
+    skew_rows = [
+        [f"skew={skew}", format_seconds(rep.total_time_s), format_seconds(max(rep.worker_times_s))]
+        for skew, rep in out["skew"].items()
+    ]
+    print_table(
+        "Partition-size skew (8 nodes, no overlap)",
+        ["Skew", "Total time", "Slowest worker"],
+        skew_rows,
+    )
+
+    cases = out["cases"]
+    counts = {rep.num_results for rep in cases.values()}
+    assert len(counts) == 1, f"distribution changed the result set: {counts}"
+    # Sub-linear but real scaling for the no-overlap case.
+    no = {n: cases[(n, "no_overlap")].total_time_s for n in (1, 2, 4, 8)}
+    assert no[2] < no[1] and no[4] < no[2] and no[8] < no[4]
+    assert no[8] > no[1] / 16, "scaling should be sub-linear"
+    # Full overlap is not better than no overlap at >= 4 nodes.
+    assert cases[(8, "full_overlap")].total_time_s >= no[8] * 0.95
+    # No remote traffic under full overlap.
+    assert cases[(8, "full_overlap")].messages_sent == 0
+    # Skew hurts total time.
+    assert out["skew"][0.6].total_time_s > out["skew"][0.0].total_time_s

@@ -1,0 +1,58 @@
+"""Distributed exploration: scale-out with partitioned search areas.
+
+Runs the synthetic high-spread query on 1, 2 and 4 simulated workers
+under the three data-overlap regimes of the paper's Section 6.7 and
+reports first-result / all-results / total times — the Table 4 metrics.
+
+Run:  python examples/distributed_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DistributedConfig,
+    SearchConfig,
+    run_distributed,
+    synthetic_dataset,
+    synthetic_query,
+)
+
+
+def main() -> None:
+    dataset = synthetic_dataset("high", scale=0.35, seed=23)
+    query = synthetic_query(dataset)
+    print(f"dataset: {dataset.num_rows:,} tuples on a {dataset.grid.shape} grid\n")
+
+    header = f"{'config':26s} {'first(s)':>9s} {'all(s)':>9s} {'total(s)':>9s} {'msgs':>6s}"
+    print(header)
+    print("-" * len(header))
+    reference = None
+    for workers in (1, 2, 4):
+        for overlap in ("no_overlap", "full_overlap"):
+            if workers == 1 and overlap != "no_overlap":
+                continue
+            config = DistributedConfig(
+                num_workers=workers,
+                overlap=overlap,
+                placement="cluster",
+                search=SearchConfig(alpha=1.0),
+                sample_fraction=0.15,
+            )
+            report = run_distributed(dataset, query, config)
+            if reference is None:
+                reference = {r.window for r in report.results}
+            else:
+                # Exactness holds regardless of partitioning.
+                assert {r.window for r in report.results} == reference
+            print(
+                f"{workers} worker(s), {overlap:13s} "
+                f"{report.first_result_time_s:9.3f} "
+                f"{report.all_results_time_s:9.3f} "
+                f"{report.total_time_s:9.3f} "
+                f"{report.messages_sent:6d}"
+            )
+    print("\nevery configuration returned the identical exact result set")
+
+
+if __name__ == "__main__":
+    main()

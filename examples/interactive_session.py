@@ -1,0 +1,71 @@
+"""An interactive exploration session with tracing and terminal plots.
+
+Ties the human-in-the-loop features together: run a query until a few
+results arrive, interrupt, render where they are, drill into the most
+interesting one at a finer grid, and inspect the execution trace.
+
+Run:  python examples/interactive_session.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExplorationSession,
+    SearchConfig,
+    SearchTrace,
+    SWEngine,
+    make_database,
+    render_results,
+    render_timeline,
+    synthetic_dataset,
+    synthetic_query,
+)
+
+
+def main() -> None:
+    dataset = synthetic_dataset("high", scale=0.3, seed=37)
+    database = make_database(dataset, placement="cluster")
+    session = ExplorationSession(
+        database, dataset.name, sample_fraction=0.15, config=SearchConfig(alpha=1.0)
+    )
+
+    # Step 1: start broad, stop after the first handful of results.
+    query = synthetic_query(dataset)
+    step = session.explore(query, limit=8)
+    print(
+        f"step 1: interrupted after {step.num_results} results "
+        f"({step.duration_s:.3f}s simulated)\n"
+    )
+    print("where they are:")
+    print(render_results(list(step.results), query.grid, max_width=40))
+
+    # Step 2: drill into the strongest result at 4x resolution.
+    best = max(step.results, key=lambda r: -abs(r.objective_values["avg(value)"] - 25))
+    fine_query = session.drill_down(best, refine=4)
+    fine_step = session.explore(fine_query)
+    print(
+        f"\nstep 2: drill-down over {best.bounds!r} found "
+        f"{fine_step.num_results} fine-grained windows"
+    )
+
+    # Step 3: a traced full run for the post-mortem.
+    trace = SearchTrace()
+    engine = SWEngine(database, dataset.name, sample_fraction=0.15)
+    report = engine.execute(query, SearchConfig(alpha=1.0), trace=trace)
+    summary = trace.summary()
+    print("\nfull-run trace summary:")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    print("\nresult arrivals:")
+    print(render_timeline(report.results, total_time=report.run.completion_time_s))
+
+    print("\nsession history:")
+    for i, past in enumerate(session.history, 1):
+        status = "interrupted" if past.interrupted else "complete"
+        print(
+            f"  #{i}: {past.num_results} results in {past.duration_s:.3f}s ({status})"
+        )
+
+
+if __name__ == "__main__":
+    main()

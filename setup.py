@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Offline environments without the ``wheel`` package cannot complete the
+PEP 517 editable install (``pip install -e .``); run
+``python setup.py develop`` there instead.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

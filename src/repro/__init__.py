@@ -1,0 +1,152 @@
+"""repro — Semantic Windows: interactive data exploration.
+
+A full reproduction of Kalinin, Cetintemel & Zdonik, *Interactive Data
+Exploration Using Semantic Windows* (SIGMOD 2014), as a Python library
+over a simulated PostgreSQL-like storage substrate.
+
+Quickstart::
+
+    from repro import (SWEngine, SearchConfig, make_database,
+                       synthetic_dataset, synthetic_query)
+
+    dataset = synthetic_dataset("high", scale=0.4)
+    database = make_database(dataset, placement="cluster")
+    engine = SWEngine(database, dataset.name)
+    for result in engine.execute_iter(synthetic_query(dataset),
+                                      SearchConfig(alpha=1.0)):
+        print(result.bounds, result.time)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from .clock import SimClock
+from .core import (
+    ComparisonOp,
+    Condition,
+    ConditionSet,
+    ContentCondition,
+    ContentObjective,
+    Diversification,
+    ExecutionReport,
+    Grid,
+    HeuristicSearch,
+    Interval,
+    PrefetchStrategy,
+    Rect,
+    ResultWindow,
+    SearchConfig,
+    SearchRun,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    SWEngine,
+    SWQuery,
+    Window,
+    col,
+    lit,
+)
+from .core.analytics import (
+    group_by_distance,
+    nearest_neighbors,
+    objective_similarity,
+    window_distance,
+)
+from .core.optimize import Incumbent, OptimizeResult, OptimizeSearch
+from .core.trace import EventKind, SearchTrace, TraceEvent
+from .costs import DEFAULT_COST_MODEL, CostModel
+from .dbms import BaselineReport, run_sql_baseline
+from .explorer import ExplorationSession, ExplorationStep
+from .io import load_dataset, results_to_rows, save_dataset, write_results_csv
+from .viz import render_grid, render_results, render_timeline
+from .distributed import DistributedConfig, DistributedReport, OverlapMode, run_distributed
+from .sampling import NoiseModel, StratifiedSampler
+from .sql import compile_sql, execute_sql, execute_sql_iter, parse_query
+from .storage import Database, HeapTable, Placement, TableSchema
+from .workloads import (
+    Dataset,
+    make_database,
+    make_table,
+    sdss_dataset,
+    sdss_query,
+    stock_dataset,
+    stock_query,
+    synthetic_dataset,
+    synthetic_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimClock",
+    "ComparisonOp",
+    "Condition",
+    "ConditionSet",
+    "ContentCondition",
+    "ContentObjective",
+    "Diversification",
+    "ExecutionReport",
+    "Grid",
+    "HeuristicSearch",
+    "Interval",
+    "PrefetchStrategy",
+    "Rect",
+    "ResultWindow",
+    "SearchConfig",
+    "SearchRun",
+    "ShapeCondition",
+    "ShapeKind",
+    "ShapeObjective",
+    "SWEngine",
+    "SWQuery",
+    "Window",
+    "col",
+    "lit",
+    "group_by_distance",
+    "nearest_neighbors",
+    "objective_similarity",
+    "window_distance",
+    "Incumbent",
+    "OptimizeResult",
+    "OptimizeSearch",
+    "ExplorationSession",
+    "ExplorationStep",
+    "EventKind",
+    "SearchTrace",
+    "TraceEvent",
+    "load_dataset",
+    "results_to_rows",
+    "save_dataset",
+    "write_results_csv",
+    "render_grid",
+    "render_results",
+    "render_timeline",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "BaselineReport",
+    "run_sql_baseline",
+    "DistributedConfig",
+    "DistributedReport",
+    "OverlapMode",
+    "run_distributed",
+    "NoiseModel",
+    "StratifiedSampler",
+    "compile_sql",
+    "execute_sql",
+    "execute_sql_iter",
+    "parse_query",
+    "Database",
+    "HeapTable",
+    "Placement",
+    "TableSchema",
+    "Dataset",
+    "make_database",
+    "make_table",
+    "sdss_dataset",
+    "sdss_query",
+    "stock_dataset",
+    "stock_query",
+    "synthetic_dataset",
+    "synthetic_query",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness: scales, cached fixtures, paper-style reporting."""
+
+from .configs import BenchScale, bench_scale
+from .reporting import format_seconds, format_table, online_series, print_table
+from .runner import fresh_database, get_sdss, get_stock, get_synthetic, get_table
+
+__all__ = [
+    "BenchScale",
+    "bench_scale",
+    "format_seconds",
+    "format_table",
+    "online_series",
+    "print_table",
+    "fresh_database",
+    "get_sdss",
+    "get_stock",
+    "get_synthetic",
+    "get_table",
+]

@@ -1,0 +1,42 @@
+"""Benchmark scale configuration.
+
+Benchmarks default to a mid-size scale that keeps every experiment under a
+couple of minutes of wall time while preserving the paper's comparative
+shapes.  Set ``REPRO_BENCH_SCALE=paper`` to run the paper's full grid
+sizes (100x100 synthetic, 232x52 SDSS), or ``REPRO_BENCH_SCALE=tiny`` for
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["BenchScale", "bench_scale"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Resolved size knobs for one benchmark session."""
+
+    name: str
+    synthetic_scale: float
+    sdss_scale: float
+    sample_fraction: float
+
+
+_SCALES = {
+    "tiny": BenchScale("tiny", synthetic_scale=0.2, sdss_scale=0.15, sample_fraction=0.2),
+    "small": BenchScale("small", synthetic_scale=0.4, sdss_scale=0.35, sample_fraction=0.1),
+    "paper": BenchScale("paper", synthetic_scale=1.0, sdss_scale=1.0, sample_fraction=0.05),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The scale selected via ``REPRO_BENCH_SCALE`` (default: small)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]

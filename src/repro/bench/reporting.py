@@ -1,0 +1,49 @@
+"""Plain-text reporting of benchmark outcomes in the paper's layouts."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..core.search import SearchRun
+
+__all__ = ["format_table", "print_table", "online_series", "format_seconds"]
+
+
+def format_seconds(value: float | None) -> str:
+    """Render a simulated-seconds value (or a dash for missing)."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{value:,.2f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Align a small table for terminal output."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a titled table with a banner (the bench harness's output)."""
+    banner = "=" * max(len(title), 8)
+    print(f"\n{banner}\n{title}\n{banner}")
+    print(format_table(headers, rows))
+
+
+def online_series(
+    run: SearchRun, fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+) -> list[tuple[float, float | None]]:
+    """(fraction, seconds-to-reach-it) pairs — the online-performance curves."""
+    return [(f, run.time_to_fraction(f)) for f in fractions]

@@ -1,0 +1,83 @@
+"""Shared benchmark plumbing: cached datasets/tables, fresh databases.
+
+Datasets and physically-ordered heap tables are deterministic and
+immutable, so they are cached per benchmark session (the R-tree ``index``
+placement in particular is expensive to build).  Databases — which carry
+mutable disk/buffer state — are always constructed fresh around a cached
+table.
+"""
+
+from __future__ import annotations
+
+from ..clock import SimClock
+from ..costs import DEFAULT_COST_MODEL, CostModel
+from ..storage.database import Database
+from ..storage.table import HeapTable
+from ..workloads.base import Dataset, make_table
+from ..workloads.sdss import sdss_dataset
+from ..workloads.synthetic import synthetic_dataset
+from ..workloads.timeseries import stock_dataset
+from .configs import bench_scale
+
+__all__ = [
+    "get_synthetic",
+    "get_sdss",
+    "get_stock",
+    "get_table",
+    "fresh_database",
+]
+
+_DATASETS: dict[tuple, Dataset] = {}
+_TABLES: dict[tuple, HeapTable] = {}
+
+
+def get_synthetic(spread: str = "high") -> Dataset:
+    """Cached synthetic dataset at the session's bench scale."""
+    scale = bench_scale()
+    key = ("synthetic", spread, scale.name)
+    if key not in _DATASETS:
+        _DATASETS[key] = synthetic_dataset(spread, scale=scale.synthetic_scale)
+    return _DATASETS[key]
+
+
+def get_sdss() -> Dataset:
+    """Cached SDSS-like dataset at the session's bench scale."""
+    scale = bench_scale()
+    key = ("sdss", scale.name)
+    if key not in _DATASETS:
+        _DATASETS[key] = sdss_dataset(scale=scale.sdss_scale)
+    return _DATASETS[key]
+
+
+def get_stock() -> Dataset:
+    """Cached stock time series."""
+    key = ("stock",)
+    if key not in _DATASETS:
+        _DATASETS[key] = stock_dataset()
+    return _DATASETS[key]
+
+
+def get_table(
+    dataset: Dataset,
+    placement: str,
+    axis_dim: int = 0,
+    tuples_per_block: int = 8,
+) -> HeapTable:
+    """Cached physically-ordered table for (dataset, placement)."""
+    key = (dataset.name, dataset.num_rows, placement, axis_dim, tuples_per_block)
+    if key not in _TABLES:
+        _TABLES[key] = make_table(
+            dataset, placement, tuples_per_block=tuples_per_block, axis_dim=axis_dim
+        )
+    return _TABLES[key]
+
+
+def fresh_database(
+    table: HeapTable,
+    buffer_fraction: float = 0.15,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Database:
+    """A brand-new database (clock, disk, buffer) around a cached table."""
+    db = Database(cost_model=cost_model, clock=SimClock(), buffer_fraction=buffer_fraction)
+    db.register(table)
+    return db

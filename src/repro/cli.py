@@ -1,0 +1,216 @@
+"""Command-line interface: run SW queries against the bundled workloads.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro run --workload synth-high --placement cluster --alpha 1.0
+    python -m repro sql --workload sdss "SELECT LB(ra), UB(ra), ... HAVING ..."
+    python -m repro optimize --workload synth-high "SELECT ... MAXIMIZE AVG(value)"
+    python -m repro baseline --workload synth-high
+    python -m repro info
+
+The CLI wires the bundled workload generators to the engine; it exists so
+a downstream user can reproduce any single experiment or poke at the
+system without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .core.engine import SWEngine
+from .core.query import SWQuery
+from .core.search import SearchConfig
+from .costs import DEFAULT_COST_MODEL
+from .dbms.baseline import run_sql_baseline
+from .sql import SqlError, execute_optimize, execute_sql
+from .storage.database import Database
+from .workloads import (
+    make_database,
+    sdss_dataset,
+    sdss_query,
+    stock_dataset,
+    stock_query,
+    synthetic_dataset,
+    synthetic_query,
+)
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = ("synth-low", "synth-medium", "synth-high", "sdss", "stocks")
+
+
+def _load_workload(name: str, scale: float, seed: int):
+    """Dataset plus its canonical query for a workload name."""
+    if name.startswith("synth-"):
+        spread = name.split("-", 1)[1]
+        dataset = synthetic_dataset(spread, scale=scale, seed=seed)
+        return dataset, synthetic_query(dataset)
+    if name == "sdss":
+        dataset = sdss_dataset(scale=scale, seed=seed)
+        return dataset, sdss_query(dataset, "high")
+    if name == "stocks":
+        dataset = stock_dataset(seed=seed)
+        return dataset, stock_query(dataset)
+    raise ValueError(f"unknown workload {name!r}; choose from {_WORKLOADS}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic Windows: interactive data exploration (SIGMOD 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", choices=_WORKLOADS, default="synth-high")
+        p.add_argument("--scale", type=float, default=0.3, help="dataset scale in (0, 1]")
+        p.add_argument("--seed", type=int, default=101)
+        p.add_argument(
+            "--placement",
+            choices=("axis", "index", "hilbert", "cluster", "str", "random"),
+            default="cluster",
+        )
+        p.add_argument("--axis-dim", type=int, default=0)
+        p.add_argument("--sample-fraction", type=float, default=0.1)
+
+    run = sub.add_parser("run", help="run a workload's canonical query online")
+    common(run)
+    run.add_argument("--alpha", type=float, default=1.0, help="prefetch aggressiveness")
+    run.add_argument("--s", type=float, default=0.8, help="benefit weight")
+    run.add_argument(
+        "--diversification",
+        choices=("none", "utility_jumps", "dist_jumps", "static"),
+        default="none",
+    )
+    run.add_argument("--limit", type=int, default=None, help="stop after N results")
+    run.add_argument(
+        "--heatmap", action="store_true", help="render a result-density heatmap at the end"
+    )
+    run.add_argument(
+        "--timeline", action="store_true", help="render a result-arrival sparkline at the end"
+    )
+
+    sql = sub.add_parser("sql", help="run an SW SQL query against a workload table")
+    common(sql)
+    sql.add_argument("query", help="the GRID BY SQL text")
+    sql.add_argument("--alpha", type=float, default=1.0)
+    sql.add_argument("--max-rows", type=int, default=20)
+
+    opt = sub.add_parser("optimize", help="run a MAXIMIZE/MINIMIZE statement")
+    common(opt)
+    opt.add_argument("query", help="the MAXIMIZE/MINIMIZE SQL text")
+
+    base = sub.add_parser("baseline", help="run the blocking complex-SQL baseline")
+    common(base)
+
+    sub.add_parser("info", help="print version and cost-model constants")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out: Callable[[str], None] = print) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except (ValueError, KeyError, SqlError) as exc:
+        out(f"error: {exc}")
+        return 2
+
+
+def _dispatch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if args.command == "info":
+        from . import __version__
+
+        out(f"repro {__version__} — Semantic Windows reproduction")
+        out(f"cost model: {DEFAULT_COST_MODEL}")
+        return 0
+
+    dataset, query = _load_workload(args.workload, args.scale, args.seed)
+    database = make_database(dataset, args.placement, axis_dim=args.axis_dim)
+    out(
+        f"workload {args.workload}: {dataset.num_rows:,} tuples, grid "
+        f"{dataset.grid.shape}, placement {args.placement}"
+    )
+
+    if args.command == "run":
+        return _cmd_run(args, database, dataset, query, out)
+    if args.command == "sql":
+        return _cmd_sql(args, database, out)
+    if args.command == "optimize":
+        return _cmd_optimize(args, database, out)
+    if args.command == "baseline":
+        return _cmd_baseline(args, database, dataset, query, out)
+    raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def _cmd_run(args, database: Database, dataset, query: SWQuery, out) -> int:
+    config = SearchConfig(alpha=args.alpha, s=args.s, diversification=args.diversification)
+    engine = SWEngine(database, dataset.name, sample_fraction=args.sample_fraction)
+    results = []
+    stopped = False
+    stream = engine.execute_iter(query, config)
+    for result in stream:
+        results.append(result)
+        values = ", ".join(f"{k}={v:.3f}" for k, v in result.objective_values.items())
+        out(f"t={result.time:8.3f}s  {result.bounds!r}  {values}")
+        if args.limit is not None and len(results) >= args.limit:
+            out(f"-- stopped after {len(results)} results (limit)")
+            stream.close()
+            stopped = True
+            break
+    if not stopped:
+        out(f"-- {len(results)} qualifying windows; query complete")
+    if args.heatmap and results:
+        from .viz import render_results
+
+        out("\nresult density over the search area:")
+        out(render_results(results, query.grid))
+    if args.timeline and results:
+        from .viz import render_timeline
+
+        out(render_timeline(results, total_time=max(r.time for r in results) or 1.0))
+    return 0
+
+
+def _cmd_sql(args, database: Database, out) -> int:
+    labels, rows = execute_sql(
+        database, args.query, SearchConfig(alpha=args.alpha), args.sample_fraction
+    )
+    out("  ".join(labels))
+    for row in rows[: args.max_rows]:
+        out("  ".join(f"{v:.4g}" for v in row))
+    if len(rows) > args.max_rows:
+        out(f"... {len(rows) - args.max_rows} more rows")
+    out(f"-- {len(rows)} rows")
+    return 0
+
+
+def _cmd_optimize(args, database: Database, out) -> int:
+    result = execute_optimize(database, args.query, args.sample_fraction)
+    for inc in result.trajectory:
+        out(f"t={inc.time:8.3f}s  value={inc.value:.4f}  window={inc.window!r}")
+    if result.best is None:
+        out("-- no qualifying window")
+        return 1
+    out(
+        f"-- optimum {result.best.value:.4f} proven after "
+        f"{result.windows_evaluated:,} windows ({result.completion_time_s:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_baseline(args, database: Database, dataset, query: SWQuery, out) -> int:
+    report = run_sql_baseline(database, dataset.name, query)
+    out(
+        f"baseline: {report.num_results} results at t={report.total_time_s:.2f}s "
+        f"(I/O {report.io_time_s:.2f}s + CPU {report.cpu_time_s:.2f}s, "
+        f"{report.windows_enumerated:,} windows enumerated)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

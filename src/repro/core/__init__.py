@@ -1,0 +1,80 @@
+"""Core Semantic Windows model and search engine.
+
+Exports the query object model (grids, windows, conditions, queries) and —
+once the engine modules are imported — the search machinery itself.
+"""
+
+from .aggregates import AGGREGATES, Aggregate, CellStats, get_aggregate
+from .conditions import (
+    ComparisonOp,
+    Condition,
+    ConditionSet,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+)
+from .clusters import ClusterTracker, cluster_discovery_times, final_clusters
+from .datamanager import DataManager
+from .diversify import Diversification
+from .engine import ExecutionReport, SWEngine
+from .expressions import BinaryOp, Column, Expr, Literal, UnaryFunc, col, lit
+from .geometry import Interval, Rect
+from .grid import Grid
+from .optimize import Incumbent, OptimizeResult, OptimizeSearch
+from .prefetch import PrefetchState, PrefetchStrategy, prefetch_extend
+from .pqueue import SpillableQueue
+from .query import ResultWindow, SWQuery
+from .search import HeuristicSearch, SearchConfig, SearchRun, SearchStats
+from .utility import UtilityModel
+from .window import Direction, Window, enumerate_windows
+
+__all__ = [
+    "Incumbent",
+    "OptimizeResult",
+    "OptimizeSearch",
+    "ClusterTracker",
+    "cluster_discovery_times",
+    "final_clusters",
+    "DataManager",
+    "Diversification",
+    "ExecutionReport",
+    "SWEngine",
+    "PrefetchState",
+    "PrefetchStrategy",
+    "prefetch_extend",
+    "SpillableQueue",
+    "HeuristicSearch",
+    "SearchConfig",
+    "SearchRun",
+    "SearchStats",
+    "UtilityModel",
+    "AGGREGATES",
+    "Aggregate",
+    "CellStats",
+    "get_aggregate",
+    "ComparisonOp",
+    "Condition",
+    "ConditionSet",
+    "ContentCondition",
+    "ContentObjective",
+    "ShapeCondition",
+    "ShapeKind",
+    "ShapeObjective",
+    "BinaryOp",
+    "Column",
+    "Expr",
+    "Literal",
+    "UnaryFunc",
+    "col",
+    "lit",
+    "Interval",
+    "Rect",
+    "Grid",
+    "ResultWindow",
+    "SWQuery",
+    "Direction",
+    "Window",
+    "enumerate_windows",
+]

@@ -1,0 +1,155 @@
+"""Distributive and algebraic aggregates over window contents.
+
+Section 2 restricts content-based objective functions to *distributive* and
+*algebraic* aggregates (in the data-cube sense of Gray et al.) so that the
+value of ``f(w)`` is computable from the per-cell values — this is what lets
+the Data Manager cache cell aggregates and combine them without re-reading
+tuples (Section 5, "DBMS Interaction and I/O").
+
+We factor every supported aggregate through a small mergeable summary,
+:class:`CellStats` = ``(count, sum, min, max)``:
+
+* distributive aggregates (``count``, ``sum``, ``min``, ``max``) read one
+  field directly;
+* the algebraic ``avg`` finalizes ``sum / count``.
+
+A :class:`Aggregate` bundles the finalizer with metadata the search engine
+needs (e.g. whether the aggregate is monotone in window size, which enables
+anti-monotone pruning per Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["CellStats", "Aggregate", "AGGREGATES", "get_aggregate"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellStats:
+    """Mergeable summary of a bag of values.
+
+    ``EMPTY`` is the identity element: merging it with any other summary
+    returns that summary, and aggregates over it are undefined (``nan``)
+    except ``count``/``sum`` which are 0.
+    """
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def empty(cls) -> "CellStats":
+        """Identity element for :meth:`merge`."""
+        return cls(0, 0.0, math.inf, -math.inf)
+
+    @classmethod
+    def of_values(cls, values: Iterable[float]) -> "CellStats":
+        """Summary of an iterable of values."""
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        if arr.size == 0:
+            return cls.empty()
+        return cls(int(arr.size), float(arr.sum()), float(arr.min()), float(arr.max()))
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no values were summarized."""
+        return self.count == 0
+
+    def merge(self, other: "CellStats") -> "CellStats":
+        """Combine two summaries (the distributive 'super-aggregate')."""
+        return CellStats(
+            self.count + other.count,
+            self.total + other.total,
+            min(self.minimum, other.minimum),
+            max(self.maximum, other.maximum),
+        )
+
+    @staticmethod
+    def merge_all(stats: Iterable["CellStats"]) -> "CellStats":
+        """Merge an iterable of summaries; empty input yields the identity."""
+        merged = CellStats.empty()
+        for s in stats:
+            merged = merged.merge(s)
+        return merged
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """A named aggregate with its finalizer over :class:`CellStats`.
+
+    Attributes
+    ----------
+    name:
+        SQL-facing lowercase name (``avg``, ``sum``, ...).
+    finalize:
+        Maps a merged :class:`CellStats` to the aggregate value.  Returns
+        ``nan`` for undefined results over empty windows (``avg``/``min``/
+        ``max`` of nothing).
+    monotone_nonneg:
+        True when the aggregate is non-decreasing in window size provided
+        the aggregated values are non-negative (``sum``, ``count``).  This
+        is the precondition for the anti-monotone pruning of Section 4.1.
+    needs_values:
+        True when the aggregate depends on the attribute expression (all but
+        ``count``).
+    """
+
+    name: str
+    finalize: Callable[[CellStats], float]
+    monotone_nonneg: bool
+    needs_values: bool
+
+    def over_values(self, values: Sequence[float]) -> float:
+        """Convenience: aggregate a raw value sequence."""
+        return self.finalize(CellStats.of_values(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Aggregate({self.name})"
+
+
+def _finalize_count(stats: CellStats) -> float:
+    return float(stats.count)
+
+
+def _finalize_sum(stats: CellStats) -> float:
+    return stats.total
+
+
+def _finalize_avg(stats: CellStats) -> float:
+    if stats.is_empty:
+        return math.nan
+    return stats.total / stats.count
+
+
+def _finalize_min(stats: CellStats) -> float:
+    return math.nan if stats.is_empty else stats.minimum
+
+
+def _finalize_max(stats: CellStats) -> float:
+    return math.nan if stats.is_empty else stats.maximum
+
+
+AGGREGATES: dict[str, Aggregate] = {
+    "count": Aggregate("count", _finalize_count, monotone_nonneg=True, needs_values=False),
+    "sum": Aggregate("sum", _finalize_sum, monotone_nonneg=True, needs_values=True),
+    "avg": Aggregate("avg", _finalize_avg, monotone_nonneg=False, needs_values=True),
+    "min": Aggregate("min", _finalize_min, monotone_nonneg=False, needs_values=True),
+    "max": Aggregate("max", _finalize_max, monotone_nonneg=False, needs_values=True),
+}
+
+
+def get_aggregate(name: str) -> Aggregate:
+    """Look up an aggregate by (case-insensitive) name.
+
+    Raises ``KeyError`` with the list of supported names on a miss.
+    """
+    key = name.lower()
+    if key not in AGGREGATES:
+        raise KeyError(f"unknown aggregate {name!r}; supported: {sorted(AGGREGATES)}")
+    return AGGREGATES[key]

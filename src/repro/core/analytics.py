@@ -1,0 +1,116 @@
+"""Multi-window result analytics (paper Section 8 future work).
+
+The paper's conclusions mention "the need to support functions involving
+multiple windows (e.g., distance, similarity), which would enable
+operations such as clustering".  Full multi-window *conditions* would
+change the search semantics; what downstream users need first — and what
+this module provides — is the post-processing layer over a result stream:
+
+* pairwise window distance and objective-space similarity,
+* nearest-neighbor joins between results,
+* agglomerative grouping by a distance threshold (a generalization of the
+  overlap-based clusters of Section 4.4).
+
+Everything here consumes :class:`~repro.core.query.ResultWindow` sequences
+and is pure computation — no I/O, no simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .grid import Grid
+from .query import ResultWindow
+
+__all__ = [
+    "window_distance",
+    "objective_similarity",
+    "nearest_neighbors",
+    "group_by_distance",
+]
+
+
+def window_distance(a: ResultWindow, b: ResultWindow) -> float:
+    """Minimum Euclidean distance between two result windows' rectangles."""
+    return a.bounds.min_distance(b.bounds)
+
+
+def objective_similarity(a: ResultWindow, b: ResultWindow) -> float:
+    """Similarity of two results in objective space, in (0, 1].
+
+    1 means identical objective values; decays with the relative L2
+    distance over the shared objective keys.  Results without shared keys
+    have similarity 0.
+    """
+    keys = set(a.objective_values) & set(b.objective_values)
+    if not keys:
+        return 0.0
+    total = 0.0
+    for key in keys:
+        va, vb = a.objective_values[key], b.objective_values[key]
+        scale = max(abs(va), abs(vb), 1e-12)
+        total += ((va - vb) / scale) ** 2
+    return 1.0 / (1.0 + math.sqrt(total))
+
+
+def nearest_neighbors(
+    results: Sequence[ResultWindow],
+    metric: Callable[[ResultWindow, ResultWindow], float] = window_distance,
+) -> list[tuple[int, int, float]]:
+    """For each result, its nearest other result under ``metric``.
+
+    Returns ``(index, neighbor_index, distance)`` triples; empty for fewer
+    than two results.
+    """
+    n = len(results)
+    if n < 2:
+        return []
+    out = []
+    for i in range(n):
+        best_j = -1
+        best_d = math.inf
+        for j in range(n):
+            if i == j:
+                continue
+            d = metric(results[i], results[j])
+            if d < best_d:
+                best_d = d
+                best_j = j
+        out.append((i, best_j, best_d))
+    return out
+
+
+def group_by_distance(
+    results: Sequence[ResultWindow],
+    threshold: float,
+    metric: Callable[[ResultWindow, ResultWindow], float] = window_distance,
+) -> list[list[ResultWindow]]:
+    """Single-linkage grouping: results closer than ``threshold`` merge.
+
+    With ``threshold == 0`` and the default metric this reduces to the
+    paper's overlap-connected clusters (touching rectangles have distance
+    zero).
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    n = len(results)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if metric(results[i], results[j]) <= threshold:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[rj] = ri
+    groups: dict[int, list[ResultWindow]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(results[i])
+    return list(groups.values())

@@ -1,0 +1,292 @@
+"""The Data Manager: cell cache, sample maintenance, and window reads.
+
+Mirrors the worker component of the same name in the paper's architecture
+(Section 5).  It owns, per query:
+
+* **Caching** — objective-function values for every cell read so far; a
+  window whose cells are all cached is processed without touching the
+  DBMS.
+* **Sample maintenance** — the stratified sample's per-cell summaries,
+  used to estimate objective values and object counts for unread cells;
+  estimates are *replaced by exact values* as reads happen ("we use a
+  precomputed sample for the initial estimations and update these
+  estimations during the execution as we read data", Section 4.2).
+* **DBMS interaction** — a window read is one range-aggregate query over
+  the bounding box of the window's unread cells.
+
+Implementation note: all per-cell state lives in grid-shaped numpy arrays,
+so window-level estimates are O(window) vectorized box reductions — this
+is what keeps a pure-Python search over 10^5-10^6 candidate windows
+tractable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..sampling.estimators import ObjectiveGrids, build_objective_grids
+from ..sampling.noise import NoiseModel
+from ..sampling.stratified import CellSample
+from ..storage.database import COUNT_KEY, Database
+from .aggregates import CellStats
+from .conditions import ContentObjective
+from .grid import Grid
+from .window import Window
+
+__all__ = ["DataManager"]
+
+
+class DataManager:
+    """Per-query cell cache and estimator over one table.
+
+    Parameters
+    ----------
+    database / table_name:
+        The simulated DBMS and the table to query.
+    grid:
+        The query grid; all cell state is shaped like it.
+    objectives:
+        Distinct content objectives of the query.
+    sample:
+        The precomputed stratified sample (its per-cell true counts are
+        exact because ratios are stored with it).
+    noise:
+        Optional estimation-error injection (Section 6.6); applied to
+        window estimates while the window still has unread cells.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        table_name: str,
+        grid: Grid,
+        objectives: Sequence[ContentObjective],
+        sample: CellSample,
+        noise: NoiseModel | None = None,
+        sample_table=None,
+    ) -> None:
+        self._db = database
+        self._table_name = table_name
+        self._table = database.table(table_name)
+        # The table the sample rows index into.  Distributed workers hold
+        # only their partition locally but share the global sample, whose
+        # row ids refer to the full table (Section 5: remote sample parts
+        # are fetched at query start, offline).
+        self._sample_table = sample_table if sample_table is not None else self._table
+        self.grid = grid
+        self.noise = noise
+        self._objectives = {obj.key: obj for obj in objectives}
+
+        shape = grid.shape
+        self.read_mask = np.zeros(shape, dtype=bool)
+        # Exact per-cell counts, known up front from the stored ratios.
+        self.true_count = sample.cell_true_counts.astype(float)
+        # Objects not yet read from disk, per cell (drives the cost term).
+        self.unread_count = self.true_count.copy()
+
+        self._grids: dict[str, ObjectiveGrids] = {}
+        self.eff_sum: dict[str, np.ndarray] = {}
+        self.eff_min: dict[str, np.ndarray] = {}
+        self.eff_max: dict[str, np.ndarray] = {}
+        for key, obj in self._objectives.items():
+            grids = build_objective_grids(self._sample_table, grid, sample, obj)
+            self._grids[key] = grids
+            self.eff_sum[key] = grids.scaled_sum.copy()
+            self.eff_min[key] = grids.sample_min.copy()
+            self.eff_max[key] = grids.sample_max.copy()
+
+        self.version = 0
+        self.reads = 0
+        self.cells_read = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def clock(self):
+        """The shared simulation clock."""
+        return self._db.clock
+
+    @property
+    def database(self) -> Database:
+        """The backing simulated DBMS."""
+        return self._db
+
+    @property
+    def table_name(self) -> str:
+        """Name of the queried table."""
+        return self._table_name
+
+    @property
+    def total_objects(self) -> float:
+        """``n``: the number of objects in the search area."""
+        return float(self.true_count.sum())
+
+    def objective(self, key: str) -> ContentObjective:
+        """Objective registered under ``key``."""
+        return self._objectives[key]
+
+    def objective_grids(self, key: str) -> ObjectiveGrids:
+        """The (initial) sample grids for an objective — used for eps."""
+        return self._grids[key]
+
+    def box(self, window: Window) -> tuple[slice, ...]:
+        """Numpy slice tuple covering the window's cells."""
+        return tuple(slice(l, u) for l, u in zip(window.lo, window.hi))
+
+    def is_read(self, window: Window) -> bool:
+        """Whether every cell of the window is cached."""
+        return bool(self.read_mask[self.box(window)].all())
+
+    # -- counts and cost inputs -----------------------------------------------------
+
+    def window_count(self, window: Window) -> float:
+        """Exact number of objects in the window."""
+        return float(self.true_count[self.box(window)].sum())
+
+    def unread_objects(self, window: Window) -> float:
+        """``|w|_nc``: objects in the window's non-cached cells."""
+        return float(self.unread_count[self.box(window)].sum())
+
+    # -- estimation --------------------------------------------------------------------
+
+    def estimate(self, objective: ContentObjective, window: Window) -> float:
+        """Estimated objective value for the window.
+
+        Exact per-cell values are used where cells are cached; sample
+        summaries elsewhere.  Fully-read windows return the exact value
+        (and are never noise-perturbed).
+        """
+        value = self._reduce(objective, window)
+        if self.noise is not None and not self.is_read(window):
+            value = self.noise.perturb(window, value)
+        return value
+
+    def exact_value(self, objective: ContentObjective, window: Window) -> float:
+        """Exact objective value; requires the window to be fully read."""
+        if not self.is_read(window):
+            raise ValueError(f"window {window!r} has unread cells; read it first")
+        return self._reduce(objective, window)
+
+    def _reduce(self, objective: ContentObjective, window: Window) -> float:
+        box = self.box(window)
+        agg = objective.aggregate.name
+        if agg == "count":
+            return float(self.true_count[box].sum())
+        key = objective.key
+        if agg == "sum":
+            return float(self.eff_sum[key][box].sum())
+        if agg == "avg":
+            count = self.true_count[box].sum()
+            if count <= 0:
+                return math.nan
+            return float(self.eff_sum[key][box].sum() / count)
+        if agg == "min":
+            value = float(self.eff_min[key][box].min())
+            return value if math.isfinite(value) else math.nan
+        if agg == "max":
+            value = float(self.eff_max[key][box].max())
+            return value if math.isfinite(value) else math.nan
+        raise ValueError(f"unsupported aggregate {agg!r}")  # pragma: no cover
+
+    # -- reads -------------------------------------------------------------------------
+
+    def unread_box(self, window: Window) -> Window | None:
+        """Bounding window of the unread cells inside ``window``.
+
+        ``None`` when everything is cached.  This is the single range the
+        DBMS is asked for ("objective function values for non-cached cells
+        belonging to the window in a single query").
+        """
+        box = self.box(window)
+        unread = ~self.read_mask[box]
+        if not unread.any():
+            return None
+        coords = np.nonzero(unread)
+        lo = tuple(int(c.min()) + window.lo[d] for d, c in enumerate(coords))
+        hi = tuple(int(c.max()) + 1 + window.lo[d] for d, c in enumerate(coords))
+        return Window(lo, hi)
+
+    def read_window(self, window: Window):
+        """Read the window's unread region from the DBMS.
+
+        Updates the cache: every cell in the queried box becomes exact
+        (empty cells included), and ``unread_count`` drops to zero there.
+        Returns the :class:`~repro.storage.database.CellScan`, or ``None``
+        when the window was fully cached (no DBMS call).
+        """
+        target = self.unread_box(window)
+        if target is None:
+            return None
+        rect = target.rect(self.grid)
+        scan = self._db.range_cell_aggregates(
+            self._table_name, self.grid, rect.lower, rect.upper, list(self._objectives.values())
+        )
+        self._apply_scan(target, scan.cells)
+        self.version += 1
+        self.reads += 1
+        self.cells_read += target.cardinality
+        return scan
+
+    def _apply_scan(self, target: Window, cells: Mapping[int, Mapping[str, CellStats]]) -> None:
+        box = self.box(target)
+        # Default every cell in the box to "read and empty" ...
+        self.read_mask[box] = True
+        self.unread_count[box] = 0.0
+        for key in self._objectives:
+            self.eff_sum[key][box] = 0.0
+            self.eff_min[key][box] = np.inf
+            self.eff_max[key][box] = -np.inf
+        # ... then overlay the cells that actually contained tuples.
+        for flat_id, stats in cells.items():
+            idx = self.grid.index_of_flat(flat_id)
+            if not target.contains_cell(idx):
+                continue
+            for key in self._objectives:
+                if key in stats:
+                    st = stats[key]
+                    self.eff_sum[key][idx] = st.total
+                    self.eff_min[key][idx] = st.minimum
+                    self.eff_max[key][idx] = st.maximum
+
+    # -- distributed support -------------------------------------------------------------
+
+    def is_cell_read(self, index: Sequence[int]) -> bool:
+        """Whether a single cell is cached (used for remote requests)."""
+        return bool(self.read_mask[tuple(index)])
+
+    def cell_payload(self, index: Sequence[int]) -> dict[str, CellStats]:
+        """Exact summaries of one cached cell, for shipping to a peer."""
+        idx = tuple(index)
+        if not self.read_mask[idx]:
+            raise ValueError(f"cell {idx} is not cached yet")
+        payload: dict[str, CellStats] = {
+            COUNT_KEY: CellStats(int(self.true_count[idx]), float(self.true_count[idx]), 1.0, 1.0)
+        }
+        for key in self._objectives:
+            payload[key] = CellStats(
+                int(self.true_count[idx]),
+                float(self.eff_sum[key][idx]),
+                float(self.eff_min[key][idx]),
+                float(self.eff_max[key][idx]),
+            )
+        return payload
+
+    def install_cell(self, index: Sequence[int], payload: Mapping[str, CellStats]) -> None:
+        """Install a peer-provided exact cell into the cache."""
+        idx = tuple(index)
+        self.read_mask[idx] = True
+        self.unread_count[idx] = 0.0
+        for key in self._objectives:
+            st = payload.get(key)
+            if st is None:
+                self.eff_sum[key][idx] = 0.0
+                self.eff_min[key][idx] = np.inf
+                self.eff_max[key][idx] = -np.inf
+            else:
+                self.eff_sum[key][idx] = st.total
+                self.eff_min[key][idx] = st.minimum
+                self.eff_max[key][idx] = st.maximum
+        self.version += 1

@@ -1,0 +1,190 @@
+"""The public engine facade: execute SW queries against a database.
+
+:class:`SWEngine` wires together the substrate pieces for one table —
+stratified sample construction (offline, no simulated time), the Data
+Manager, the utility model and the heuristic search — and reports both the
+online results and the storage-level statistics of the execution.
+
+Typical use::
+
+    engine = SWEngine(database, "sdss", sample_fraction=0.1)
+    report = engine.execute(query, SearchConfig(alpha=1.0))
+    for result in report.run.results:
+        print(result.bounds, result.time)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..costs import CostModel
+from ..sampling.noise import NoiseModel
+from ..sampling.stratified import CellSample, StratifiedSampler
+from ..storage.database import Database
+from .datamanager import DataManager
+from .query import ResultWindow, SWQuery
+from .search import HeuristicSearch, SearchConfig, SearchRun
+
+__all__ = ["ExecutionReport", "SWEngine"]
+
+
+@dataclass
+class ExecutionReport:
+    """One query execution: the search run plus storage-level deltas."""
+
+    run: SearchRun
+    disk_stats: dict[str, float] = field(default_factory=dict)
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+    @property
+    def results(self) -> list[ResultWindow]:
+        """Shortcut to the qualifying windows."""
+        return self.run.results
+
+
+class SWEngine:
+    """Executes Semantic Window queries over one registered table."""
+
+    def __init__(
+        self,
+        database: Database,
+        table_name: str,
+        sample_fraction: float = 0.1,
+        sample_seed: int = 17,
+        noise: NoiseModel | None = None,
+        sampler: str = "stratified",
+    ) -> None:
+        if sampler not in ("stratified", "uniform"):
+            raise ValueError(f"sampler must be 'stratified' or 'uniform', got {sampler!r}")
+        self.database = database
+        self.table_name = table_name
+        self.sample_fraction = sample_fraction
+        self.sample_seed = sample_seed
+        self.noise = noise
+        self.sampler = sampler
+        self._sample_cache: dict[tuple, CellSample] = {}
+        self._data_cache: dict[tuple, DataManager] = {}
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The database's simulated cost model."""
+        return self.database.cost_model
+
+    # -- sample management -------------------------------------------------------
+
+    def sample_for(self, query: SWQuery) -> CellSample:
+        """The precomputed stratified sample for this query's grid.
+
+        Samples are built offline in the paper's protocol, so this charges
+        no simulated time; they are cached per grid geometry.
+        """
+        key = (
+            query.grid.area.lower,
+            query.grid.area.upper,
+            query.grid.steps,
+            self.sample_fraction,
+            self.sample_seed,
+        )
+        if key not in self._sample_cache:
+            table = self.database.table(self.table_name)
+            if self.sampler == "uniform":
+                from ..sampling.stratified import uniform_sample
+
+                self._sample_cache[key] = uniform_sample(
+                    table, query.grid, self.sample_fraction, seed=self.sample_seed
+                )
+            else:
+                sampler = StratifiedSampler(self.sample_fraction, seed=self.sample_seed)
+                self._sample_cache[key] = sampler.sample(table, query.grid)
+        return self._sample_cache[key]
+
+    # -- execution -----------------------------------------------------------------
+
+    def prepare(
+        self,
+        query: SWQuery,
+        config: SearchConfig | None = None,
+        trace=None,
+        reuse_cache: bool = False,
+    ) -> HeuristicSearch:
+        """Build the search machinery for a query without running it.
+
+        With ``reuse_cache=True`` the per-cell exact cache (Data Manager)
+        is kept across queries over the same grid and objectives, so a
+        follow-up query — a refined threshold in an exploration session,
+        say — re-reads nothing that was already fetched.  This is sound:
+        cached cell values are exact, and the cost model already treats
+        cached cells as free.
+        """
+        objectives = query.conditions.content_objectives()
+        key = (
+            query.grid.area.lower,
+            query.grid.area.upper,
+            query.grid.steps,
+            tuple(sorted(f"{o.aggregate.name}:{o.key}" for o in objectives)),
+        )
+        if reuse_cache and self.noise is None and key in self._data_cache:
+            data = self._data_cache[key]
+        else:
+            data = DataManager(
+                self.database,
+                self.table_name,
+                query.grid,
+                objectives,
+                self.sample_for(query),
+                noise=self.noise,
+            )
+            if reuse_cache and self.noise is None:
+                self._data_cache[key] = data
+        return HeuristicSearch(
+            query, data, config, cost_model=self.cost_model, trace=trace
+        )
+
+    def execute(
+        self,
+        query: SWQuery,
+        config: SearchConfig | None = None,
+        on_result: Callable[[ResultWindow], None] | None = None,
+        trace=None,
+        reuse_cache: bool = False,
+    ) -> ExecutionReport:
+        """Run a query to completion and return results plus I/O deltas.
+
+        Pass a :class:`~repro.core.trace.SearchTrace` as ``trace`` to
+        record the execution timeline; ``reuse_cache=True`` keeps the
+        exact cell cache warm across queries on the same grid.
+        """
+        search = self.prepare(query, config, trace=trace, reuse_cache=reuse_cache)
+        disk = self.database.disk(self.table_name)
+        buffer = self.database.buffer(self.table_name)
+        before = disk.stats()
+        hits0, misses0 = buffer.hits, buffer.misses
+
+        run = search.run(on_result=on_result)
+
+        after = disk.stats()
+        additive = ("total_time_s", "blocks_read", "blocks_reread", "requests", "seeks")
+        delta = {k: after[k] - before[k] for k in additive}
+        # Per-block mean is a ratio, not additive — recompute from deltas.
+        if delta["blocks_read"] > 0:
+            delta["mean_read_ms"] = delta["total_time_s"] * 1e3 / delta["blocks_read"]
+            p = min(1.0, delta["seeks"] / delta["blocks_read"])
+            delta["dev_read_ms"] = (p * (1 - p)) ** 0.5 * self.cost_model.seek_ms
+        else:
+            delta["mean_read_ms"] = 0.0
+            delta["dev_read_ms"] = 0.0
+        return ExecutionReport(
+            run=run,
+            disk_stats=delta,
+            buffer_hits=buffer.hits - hits0,
+            buffer_misses=buffer.misses - misses0,
+        )
+
+    def execute_iter(
+        self, query: SWQuery, config: SearchConfig | None = None
+    ) -> Iterator[ResultWindow]:
+        """Stream results online (human-in-the-loop form of :meth:`execute`)."""
+        search = self.prepare(query, config)
+        yield from search.iter_results()

@@ -1,0 +1,194 @@
+"""Tiny vectorized expression language over tuple attributes.
+
+Content-based objective functions aggregate an expression of the data
+attributes — e.g. the paper's SDSS queries use
+``avg(sqrt(rowv^2 + colv^2))`` (Section 6).  This module provides a small
+immutable expression AST that:
+
+* evaluates vectorized over a mapping of column name -> numpy array, so the
+  storage and sampling layers can compute per-cell summaries in bulk;
+* knows which columns it references (for validation against a schema);
+* renders back to a SQL-ish string (used in error messages and ``repr``).
+
+Expressions are built either programmatically (``col("rowv") ** 2``) or by
+the SQL parser in :mod:`repro.sql`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = ["Expr", "Column", "Literal", "BinaryOp", "UnaryFunc", "col", "lit"]
+
+ColumnData = Mapping[str, np.ndarray]
+
+_BINARY_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "^": np.power,
+}
+
+_UNARY_FUNCS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "log": np.log,
+    "exp": np.exp,
+    "-": np.negative,
+}
+
+
+class Expr:
+    """Base class for expression nodes; subclasses are immutable."""
+
+    def evaluate(self, columns: ColumnData) -> np.ndarray:
+        """Evaluate over column arrays; result has the common row count."""
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """Names of all attributes referenced by the expression."""
+        raise NotImplementedError
+
+    # Operator sugar so workload code can write `col("a") + 1`.
+
+    def __add__(self, other: "Expr | float") -> "Expr":
+        return BinaryOp("+", self, _wrap(other))
+
+    def __radd__(self, other: float) -> "Expr":
+        return BinaryOp("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expr | float") -> "Expr":
+        return BinaryOp("-", self, _wrap(other))
+
+    def __rsub__(self, other: float) -> "Expr":
+        return BinaryOp("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expr | float") -> "Expr":
+        return BinaryOp("*", self, _wrap(other))
+
+    def __rmul__(self, other: float) -> "Expr":
+        return BinaryOp("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expr | float") -> "Expr":
+        return BinaryOp("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: float) -> "Expr":
+        return BinaryOp("/", _wrap(other), self)
+
+    def __pow__(self, other: "Expr | float") -> "Expr":
+        return BinaryOp("^", self, _wrap(other))
+
+    def __neg__(self) -> "Expr":
+        return UnaryFunc("-", self)
+
+    def sqrt(self) -> "Expr":
+        """Square root of this expression."""
+        return UnaryFunc("sqrt", self)
+
+
+def _wrap(value: "Expr | float") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Literal(float(value))
+    raise TypeError(f"cannot use {type(value).__name__} in an expression")
+
+
+@dataclass(frozen=True, slots=True)
+class Column(Expr):
+    """Reference to a tuple attribute by name."""
+
+    name: str
+
+    def evaluate(self, columns: ColumnData) -> np.ndarray:
+        try:
+            return np.asarray(columns[self.name], dtype=float)
+        except KeyError:
+            raise KeyError(
+                f"expression references unknown column {self.name!r}; "
+                f"available: {sorted(columns)}"
+            ) from None
+
+    def columns(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Expr):
+    """A numeric constant."""
+
+    value: float
+
+    def evaluate(self, columns: ColumnData) -> np.ndarray:
+        return np.asarray(self.value, dtype=float)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        if self.value == int(self.value) and math.isfinite(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Expr):
+    """Arithmetic between two sub-expressions (`+ - * / ^`)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def evaluate(self, columns: ColumnData) -> np.ndarray:
+        return _BINARY_OPS[self.op](self.left.evaluate(columns), self.right.evaluate(columns))
+
+    def columns(self) -> frozenset[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryFunc(Expr):
+    """A one-argument function (`sqrt`, `abs`, `log`, `exp`, unary minus)."""
+
+    func: str
+    arg: Expr
+
+    def __post_init__(self) -> None:
+        if self.func not in _UNARY_FUNCS:
+            raise ValueError(f"unknown function {self.func!r}")
+
+    def evaluate(self, columns: ColumnData) -> np.ndarray:
+        return _UNARY_FUNCS[self.func](self.arg.evaluate(columns))
+
+    def columns(self) -> frozenset[str]:
+        return self.arg.columns()
+
+    def __repr__(self) -> str:
+        if self.func == "-":
+            return f"(-{self.arg!r})"
+        return f"{self.func}({self.arg!r})"
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor for a column reference."""
+    return Column(name)
+
+
+def lit(value: float) -> Literal:
+    """Shorthand constructor for a numeric literal."""
+    return Literal(float(value))

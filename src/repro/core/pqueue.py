@@ -1,0 +1,155 @@
+"""The search priority queue, with an optional spill-to-buckets tail.
+
+Section 4.1 notes that the number of candidate windows can exceed memory:
+"It is possible to spill the tail of the queue into disk and keep only its
+head in memory ... the tail can be separated into several buckets of
+different utility ranges where windows inside a bucket have an arbitrary
+ordering."
+
+:class:`SpillableQueue` implements that design: a bounded in-memory
+max-heap *head*, plus fixed utility-range *buckets* holding the tail in
+arbitrary order.  Pushes below the spill threshold go straight to a
+bucket; when the head drains, the highest non-empty bucket is promoted
+(heapified) back into memory.  With a large ``head_capacity`` it behaves
+as a plain heap — the default for the in-memory experiments.
+
+Entries are ``(priority, window, version)`` where ``version`` is the Data
+Manager version at estimation time (drives the lazy-update check).
+Priorities are ``(utility, benefit)`` pairs compared lexicographically:
+utility orders the exploration as in the paper, and benefit breaks exact
+utility ties in favour of more promising windows (with heavily skewed
+data, utilities of empty and promising windows can tie exactly — see
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterator
+
+from .window import Window
+
+__all__ = ["Priority", "QueueEntry", "SpillableQueue"]
+
+Priority = tuple[float, float]
+QueueEntry = tuple[Priority, Window, int]
+
+_MIN_PRIORITY: Priority = (-math.inf, -math.inf)
+
+
+class SpillableQueue:
+    """Max-priority queue over windows with bucketed spilling."""
+
+    def __init__(self, head_capacity: int = 1_000_000, num_buckets: int = 16) -> None:
+        if head_capacity < 2:
+            raise ValueError(f"head capacity must be >= 2, got {head_capacity}")
+        if num_buckets < 1:
+            raise ValueError(f"need at least one bucket, got {num_buckets}")
+        self._capacity = head_capacity
+        self._num_buckets = num_buckets
+        self._heap: list[tuple[float, float, int, Window, int]] = []
+        self._buckets: list[list[QueueEntry]] = [[] for _ in range(num_buckets)]
+        self._spilled = 0
+        self._threshold = _MIN_PRIORITY  # priorities below this go to buckets
+        self._seq = itertools.count()
+        self._spill_events = 0
+        self._promote_events = 0
+
+    def __len__(self) -> int:
+        return len(self._heap) + self._spilled
+
+    @property
+    def spilled(self) -> int:
+        """Entries currently living in the bucketed tail."""
+        return self._spilled
+
+    @property
+    def spill_events(self) -> int:
+        """Times the head overflowed into the tail."""
+        return self._spill_events
+
+    @property
+    def promote_events(self) -> int:
+        """Times a bucket was promoted back into the head."""
+        return self._promote_events
+
+    def push(self, priority: Priority, window: Window, version: int) -> None:
+        """Insert a window with its ``(utility, benefit)`` priority."""
+        if priority < self._threshold:
+            self._buckets[self._bucket_of(priority)].append((priority, window, version))
+            self._spilled += 1
+            return
+        heapq.heappush(
+            self._heap, (-priority[0], -priority[1], next(self._seq), window, version)
+        )
+        if len(self._heap) > self._capacity:
+            self._spill()
+
+    def pop(self) -> QueueEntry | None:
+        """Remove and return the highest-priority entry, or ``None``."""
+        if not self._heap:
+            self._promote()
+        if not self._heap:
+            return None
+        neg_u, neg_b, _, window, version = heapq.heappop(self._heap)
+        return ((-neg_u, -neg_b), window, version)
+
+    def peek_priority(self) -> Priority | None:
+        """Priority of the best entry without removing it."""
+        if not self._heap:
+            self._promote()
+        if not self._heap:
+            return None
+        return (-self._heap[0][0], -self._heap[0][1])
+
+    def drain(self) -> Iterator[QueueEntry]:
+        """Remove and yield every entry (used by the periodic refresh)."""
+        heap, self._heap = self._heap, []
+        for neg_u, neg_b, _, window, version in heap:
+            yield ((-neg_u, -neg_b), window, version)
+        for bucket in self._buckets:
+            yield from bucket
+            bucket.clear()
+        self._spilled = 0
+        self._threshold = _MIN_PRIORITY
+
+    # -- internals ---------------------------------------------------------
+
+    def _bucket_of(self, priority: Priority) -> int:
+        clamped = min(max(priority[0], 0.0), 1.0)
+        return min(self._num_buckets - 1, int(clamped * self._num_buckets))
+
+    def _spill(self) -> None:
+        """Move the lower half of the head into the tail buckets."""
+        entries = sorted(self._heap)  # ascending neg-priority = descending priority
+        keep = len(entries) // 2
+        kept, spilled = entries[:keep], entries[keep:]
+        self._heap = kept
+        heapq.heapify(self._heap)
+        for neg_u, neg_b, _, window, version in spilled:
+            priority = (-neg_u, -neg_b)
+            self._buckets[self._bucket_of(priority)].append((priority, window, version))
+        self._spilled += len(spilled)
+        self._threshold = (-kept[-1][0], -kept[-1][1]) if kept else _MIN_PRIORITY
+        self._spill_events += 1
+
+    def _promote(self) -> None:
+        """Load the best non-empty bucket into the (empty) head."""
+        for idx in range(self._num_buckets - 1, -1, -1):
+            bucket = self._buckets[idx]
+            if not bucket:
+                continue
+            for priority, window, version in bucket:
+                heapq.heappush(
+                    self._heap,
+                    (-priority[0], -priority[1], next(self._seq), window, version),
+                )
+            self._spilled -= len(bucket)
+            bucket.clear()
+            self._threshold = (idx / self._num_buckets, -math.inf)
+            if idx == 0:
+                self._threshold = _MIN_PRIORITY
+            self._promote_events += 1
+            return

@@ -1,0 +1,129 @@
+"""The Semantic Window query object ``Q_SW = {S, G_S, C}`` (Section 2).
+
+A query names its dimensions (which must be coordinate attributes of the
+underlying table), fixes the search area + grid, and carries a
+:class:`~repro.core.conditions.ConditionSet`.  The result of a query is the
+set of all windows of the grid for which every condition is true:
+
+    ``RES_Q = { w in W_S | forall c in C : w_c = true }``
+
+The engine streams :class:`ResultWindow` rows — window boundaries per
+dimension (``LB``/``UB``) plus the values of the objective functions used
+in the conditions, mirroring what the SQL extension's ``SELECT`` clause may
+output (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .conditions import Condition, ConditionSet
+from .geometry import Rect
+from .grid import Grid
+from .window import Window
+
+__all__ = ["SWQuery", "ResultWindow"]
+
+
+@dataclass(frozen=True)
+class SWQuery:
+    """A Semantic Window query.
+
+    Parameters
+    ----------
+    dimensions:
+        Names of the coordinate attributes, in grid-dimension order (e.g.
+        ``("ra", "dec")``).
+    grid:
+        The search area and grid (``S`` and ``G_S``).
+    conditions:
+        The condition set ``C``.
+    """
+
+    dimensions: tuple[str, ...]
+    grid: Grid
+    conditions: ConditionSet
+
+    def __post_init__(self) -> None:
+        if len(self.dimensions) != self.grid.ndim:
+            raise ValueError(
+                f"query names {len(self.dimensions)} dimensions but the grid "
+                f"has {self.grid.ndim}"
+            )
+        if len(set(self.dimensions)) != len(self.dimensions):
+            raise ValueError(f"duplicate dimension names: {self.dimensions}")
+        if self.conditions.ndim != self.grid.ndim:
+            raise ValueError("condition set dimensionality does not match the grid")
+
+    @classmethod
+    def build(
+        cls,
+        dimensions: Sequence[str],
+        area: Sequence[tuple[float, float]],
+        steps: Sequence[float],
+        conditions: Iterable[Condition],
+    ) -> "SWQuery":
+        """Convenience constructor from plain Python values.
+
+        ``area`` is a list of ``(lo, hi)`` bounds per dimension; ``steps``
+        the grid step per dimension.
+        """
+        grid = Grid(Rect.from_bounds(area), tuple(float(s) for s in steps))
+        cond_set = ConditionSet.of(conditions, grid.ndim)
+        return cls(tuple(dimensions), grid, cond_set)
+
+    @property
+    def ndim(self) -> int:
+        """Number of query dimensions."""
+        return self.grid.ndim
+
+    def dim_index(self, name: str) -> int:
+        """Position of a dimension name; raises ``ValueError`` on a miss."""
+        try:
+            return self.dimensions.index(name)
+        except ValueError:
+            raise ValueError(
+                f"unknown dimension {name!r}; query dimensions: {self.dimensions}"
+            ) from None
+
+    def attribute_columns(self) -> frozenset[str]:
+        """All non-coordinate attributes referenced by content conditions."""
+        referenced: set[str] = set()
+        for objective in self.conditions.content_objectives():
+            referenced |= objective.columns()
+        return frozenset(referenced)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SWQuery(dims={self.dimensions}, grid={self.grid.shape}, "
+            f"conditions={list(self.conditions)})"
+        )
+
+
+@dataclass(frozen=True)
+class ResultWindow:
+    """One qualifying window, as streamed to the user.
+
+    Attributes
+    ----------
+    window:
+        The qualifying window (cell-index box).
+    bounds:
+        The coordinate rectangle (``LB``/``UB`` per dimension).
+    objective_values:
+        Exact values of each content objective, keyed by its ``repr`` (e.g.
+        ``"avg(brightness)"``).
+    time:
+        Simulated seconds from query start at which the result was emitted
+        (drives all online-performance experiments).
+    """
+
+    window: Window
+    bounds: Rect
+    objective_values: Mapping[str, float] = field(default_factory=dict)
+    time: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        objs = ", ".join(f"{k}={v:.4g}" for k, v in self.objective_values.items())
+        return f"ResultWindow({self.bounds!r}, {objs}, t={self.time:.2f}s)"

@@ -1,0 +1,437 @@
+"""The heuristic online search (paper Section 4.1, Algorithm 1).
+
+The search space of all windows is traversed best-first by *utility*
+(Section 4.2), with:
+
+* **start-window pruning** — minimum-length shape conditions determine the
+  smallest window shape generated, skipping the lower layers of the search
+  graph;
+* **neighbor pruning** — maximum-length / maximum-cardinality shape
+  conditions stop extension generation (always safe: shape functions are
+  data-independent and monotone in window size);
+* **lazy utility updates** — entries carry the Data Manager version at
+  estimation time; a popped stale entry is re-estimated and only explored
+  if it still beats the queue's best, otherwise it is re-inserted;
+* **periodic queue refresh** — every N disk reads the queue entries whose
+  estimates are stale are recomputed wholesale;
+* **progress-driven prefetching** (Section 4.3) — reads are extended by
+  Algorithm 2 under the current prefetch size;
+* **diversification hooks** (Section 4.4) — jump policies may swap the
+  window about to be explored; the static strategy swaps the queue layout;
+* optional **anti-monotone content pruning** for non-negative ``sum`` /
+  ``count`` upper-bound conditions (Section 4.1).
+
+Every explored window is validated on *exact* data — results are never
+approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import itertools
+
+from ..costs import CostModel, DEFAULT_COST_MODEL
+from .clusters import ClusterTracker
+from .conditions import ContentCondition
+from .datamanager import DataManager
+from .diversify import (
+    Diversification,
+    DistJumpPolicy,
+    JumpPolicy,
+    SubAreaQueues,
+    UtilityJumpPolicy,
+)
+from .prefetch import PrefetchState, PrefetchStrategy, prefetch_extend
+from .pqueue import SpillableQueue
+from .query import ResultWindow, SWQuery
+from .trace import EventKind, SearchTrace
+from .utility import UtilityModel
+from .window import Window
+
+__all__ = ["SearchConfig", "SearchStats", "SearchRun", "HeuristicSearch"]
+
+
+@dataclass
+class SearchConfig:
+    """Tunable knobs of one search execution.
+
+    ``alpha`` is the prefetch aggressiveness; ``prefetch`` picks the
+    dynamic/static/none sizing strategy; ``diversification`` selects the
+    Section 4.4 strategy.  ``refresh_reads`` > 0 enables the periodic
+    whole-queue refresh every that many disk reads.  ``lazy_updates=False``
+    is an ablation that trusts insertion-time utilities unconditionally.
+    ``assume_nonnegative`` activates anti-monotone pruning for eligible
+    content conditions (caller asserts values are non-negative).
+
+    The default benefit weight follows the paper's guidance that "it is
+    better to first explore windows with high benefits and use the cost as
+    a tie-breaker": s = 0.8.
+    """
+
+    s: float = 0.8
+    alpha: float = 0.0
+    prefetch: PrefetchStrategy | str = PrefetchStrategy.DYNAMIC
+    diversification: Diversification | str = Diversification.NONE
+    dist_jump_k: int = 8
+    jump_scan_limit: int = 64
+    static_subareas: int = 4
+    refresh_reads: int = 0
+    lazy_updates: bool = True
+    assume_nonnegative: bool = False
+    head_capacity: int = 1_000_000
+    time_limit_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.prefetch, str):
+            self.prefetch = PrefetchStrategy(self.prefetch)
+        if isinstance(self.diversification, str):
+            self.diversification = Diversification(self.diversification)
+        if not 0 <= self.s <= 1:
+            raise ValueError(f"benefit weight s must be in [0, 1], got {self.s}")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.refresh_reads < 0:
+            raise ValueError(f"refresh_reads must be >= 0, got {self.refresh_reads}")
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated by one search run."""
+
+    explored: int = 0
+    generated: int = 0
+    reads: int = 0
+    cells_read: int = 0
+    prefetched_cells: int = 0
+    jumps: int = 0
+    lazy_reinserts: int = 0
+    refreshes: int = 0
+    pruned_extensions: int = 0
+
+
+@dataclass
+class SearchRun:
+    """Outcome of one search: results with relative emission times + stats.
+
+    ``completion_time_s`` is the full duration until the search space was
+    exhausted; ``all_results_time_s`` the duration until the last result
+    was found (the paper's "100 %" mark, which precedes completion because
+    remaining data must still be read to *confirm* there is nothing else).
+    """
+
+    results: list[ResultWindow] = field(default_factory=list)
+    completion_time_s: float = 0.0
+    stats: SearchStats = field(default_factory=SearchStats)
+    interrupted: bool = False
+
+    @property
+    def num_results(self) -> int:
+        """Number of qualifying windows found."""
+        return len(self.results)
+
+    @property
+    def first_result_time_s(self) -> float | None:
+        """Seconds until the first result, or ``None`` if none."""
+        return self.results[0].time if self.results else None
+
+    @property
+    def all_results_time_s(self) -> float | None:
+        """Seconds until the last result, or ``None`` if none."""
+        return self.results[-1].time if self.results else None
+
+    def time_to_fraction(self, fraction: float) -> float | None:
+        """Seconds until ``fraction`` of all results had been emitted."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not self.results:
+            return None
+        import math
+
+        needed = max(1, math.ceil(fraction * len(self.results)))
+        return self.results[needed - 1].time
+
+
+class HeuristicSearch:
+    """Algorithm 1 over one Data Manager."""
+
+    def __init__(
+        self,
+        query: SWQuery,
+        data: DataManager,
+        config: SearchConfig | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        trace: SearchTrace | None = None,
+    ) -> None:
+        self.query = query
+        self.data = data
+        self.config = config or SearchConfig()
+        self.cost_model = cost_model
+        self.trace = trace
+        self.grid = query.grid
+
+        self.utility_model = UtilityModel(query.conditions, data, s=self.config.s)
+        self.tracker = ClusterTracker(self.grid)
+        self.prefetch_state = PrefetchState(
+            alpha=self.config.alpha, strategy=self.config.prefetch
+        )
+        self.policy = self._make_policy()
+        self.queue = self._make_queue()
+        self.stats = SearchStats()
+
+        shape = self.grid.shape
+        self._min_lengths = query.conditions.min_lengths(shape)
+        self._max_lengths = query.conditions.max_lengths(shape)
+        self._max_card = query.conditions.max_cardinality(shape)
+        self._prune_conditions = self._anti_monotone_conditions()
+        self._generated: set[Window] = set()
+        self._last_read_region: Window | None = None
+        self._results: list[ResultWindow] = []
+        self._start_time = 0.0
+
+    # -- setup ----------------------------------------------------------------
+
+    def _make_policy(self) -> JumpPolicy:
+        div = self.config.diversification
+        if div is Diversification.UTILITY_JUMPS:
+            return UtilityJumpPolicy(self.tracker, scan_limit=self.config.jump_scan_limit)
+        if div is Diversification.DIST_JUMPS:
+            return DistJumpPolicy(self.tracker, k=self.config.dist_jump_k)
+        return JumpPolicy(self.tracker)
+
+    def _make_queue(self):
+        if self.config.diversification is Diversification.STATIC:
+            return SubAreaQueues(
+                self.config.static_subareas, self.grid.shape, self.config.head_capacity
+            )
+        return SpillableQueue(self.config.head_capacity)
+
+    def _anti_monotone_conditions(self) -> tuple[ContentCondition, ...]:
+        if not self.config.assume_nonnegative:
+            return ()
+        return tuple(c for c in self.query.conditions.content_conditions if c.anti_monotone)
+
+    # -- utility with diversification ---------------------------------------------
+
+    def _utility(self, window: Window) -> tuple[float, float]:
+        """(utility, benefit) queue priority — benefit breaks exact ties."""
+        benefit = self.utility_model.benefit(window)
+        benefit = self.policy.modified_benefit(window, benefit)
+        return (self.utility_model.utility_with_benefit(window, benefit), benefit)
+
+    # -- the main loop ----------------------------------------------------------------
+
+    def run(self, on_result: Callable[[ResultWindow], None] | None = None) -> SearchRun:
+        """Execute the search to completion; returns the run record."""
+        run = SearchRun(results=self._results, stats=self.stats)
+        for _ in self.iter_results(run):
+            if on_result is not None:
+                on_result(self._results[-1])
+        run.completion_time_s = self.data.clock.now - self._start_time
+        return run
+
+    def iter_results(self, run: SearchRun | None = None) -> Iterator[ResultWindow]:
+        """Generator form: yields results online as they are discovered."""
+        clock = self.data.clock
+        self._start_time = clock.now
+        self._seed_start_windows()
+
+        use_jumps = self.config.diversification in (
+            Diversification.UTILITY_JUMPS,
+            Diversification.DIST_JUMPS,
+        )
+        limit = self.config.time_limit_s
+
+        while True:
+            if limit is not None and clock.now - self._start_time > limit:
+                if run is not None:
+                    run.interrupted = True
+                break
+            popped = self.queue.pop()
+            if popped is None:
+                break
+            priority, window, version = popped
+
+            if self.config.lazy_updates and version < self.data.version:
+                utility = self._utility(window)
+                top = self.queue.peek_priority()
+                if top is not None and utility < top:
+                    self.queue.push(utility, window, self.data.version)
+                    self.stats.lazy_reinserts += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            EventKind.REINSERT, clock.now - self._start_time, window
+                        )
+                    continue
+
+            jumped = False
+            if use_jumps:
+                original = window
+                window, jumped = self.policy.select(
+                    window, self._utility, self.queue, self.data.version
+                )
+                if jumped:
+                    self.stats.jumps += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            EventKind.JUMP,
+                            clock.now - self._start_time,
+                            window,
+                            source=original,
+                        )
+
+            result = self._explore(window, jumped)
+            if result is not None:
+                yield result
+
+        if run is not None:
+            run.completion_time_s = clock.now - self._start_time
+
+    def progress(self) -> dict[str, float]:
+        """A snapshot of how far the search has come.
+
+        ``data_read_fraction`` is the share of objects already fetched —
+        the paper's caveat that "users can be sure the result is final
+        only when the query finishes" corresponds to this reaching 1.0.
+        """
+        total = self.data.total_objects
+        unread = float(self.data.unread_count.sum())
+        return {
+            "explored": self.stats.explored,
+            "generated": self.stats.generated,
+            "frontier": len(self.queue),
+            "results": len(self._results),
+            "reads": self.stats.reads,
+            "data_read_fraction": 1.0 - (unread / total if total > 0 else 0.0),
+        }
+
+    # -- pieces of the loop ---------------------------------------------------------------
+
+    def _seed_start_windows(self) -> None:
+        """StartWindows(): all placements of the minimal qualifying shape."""
+        shape = self.grid.shape
+        mins = self._min_lengths
+        spans = [range(shape[d] - mins[d] + 1) for d in range(self.grid.ndim)]
+        for position in itertools.product(*spans):
+            window = Window(
+                tuple(position), tuple(p + l for p, l in zip(position, mins))
+            )
+            self._push_window(window)
+
+    def _push_window(self, window: Window) -> None:
+        if window in self._generated:
+            return
+        self._generated.add(window)
+        self.queue.push(self._utility(window), window, self.data.version)
+        self.stats.generated += 1
+
+    def _explore(self, window: Window, jumped: bool) -> ResultWindow | None:
+        clock = self.data.clock
+        clock.advance(self.cost_model.sw_window_s())
+        self.stats.explored += 1
+
+        did_read = False
+        read_region: Window | None = None
+        if not self.data.is_read(window):
+            region = prefetch_extend(
+                window, self.prefetch_state.size(), self.grid, self.utility_model.cost
+            )
+            scan = self.data.read_window(region)
+            self.stats.prefetched_cells += region.cardinality - window.cardinality
+            # A request that touched no heap pages (empty region under a
+            # tight placement) is not a disk read for prefetch purposes.
+            if scan is not None and scan.blocks_touched > 0:
+                self.stats.reads += 1
+                did_read = True
+                read_region = region
+
+        result = self._check_window(window)
+        if result is not None:
+            self._results.append(result)
+            self.tracker.add(window)
+            if self.trace is not None:
+                self.trace.record(EventKind.RESULT, result.time, window)
+            if not did_read and self._last_read_region is not None:
+                # A cached window qualifying out of the last read's cells
+                # makes that read positive retroactively (Section 4.3).
+                if window.overlaps(self._last_read_region):
+                    self.prefetch_state.fp_reads = 0
+
+        if did_read:
+            positive = result is not None
+            self.prefetch_state.record_read(positive)
+            self.policy.on_read(window, positive, jumped)
+            self._last_read_region = read_region
+            if self.trace is not None:
+                self.trace.record(
+                    EventKind.READ,
+                    clock.now - self._start_time,
+                    read_region,
+                    positive=positive,
+                    prefetched=read_region.cardinality - window.cardinality,  # type: ignore[union-attr]
+                )
+            self._maybe_refresh()
+
+        self._generate_neighbors(window)
+        return result
+
+    def _check_window(self, window: Window) -> ResultWindow | None:
+        """UpdateResult(): exact validation of every condition."""
+        if not self.query.conditions.shape_satisfied(window):
+            return None
+        objective_values: dict[str, float] = {}
+        for cond in self.query.conditions.content_conditions:
+            value = self.data.exact_value(cond.objective, window)
+            objective_values[repr(cond.objective)] = value
+            if not cond.evaluate_value(value):
+                return None
+        return ResultWindow(
+            window=window,
+            bounds=window.rect(self.grid),
+            objective_values=objective_values,
+            time=self.data.clock.now - self._start_time,
+        )
+
+    def _generate_neighbors(self, window: Window) -> None:
+        """GetNeighbors() with max-shape and anti-monotone pruning."""
+        if self._prune_conditions and self._violates_anti_monotone(window):
+            self.stats.pruned_extensions += 1
+            return
+        max_card = self._max_card
+        for neighbor in window.neighbors(self.grid):
+            grew_dim = next(
+                d for d in range(window.ndim) if neighbor.length(d) != window.length(d)
+            )
+            if neighbor.length(grew_dim) > self._max_lengths[grew_dim]:
+                continue
+            if max_card is not None and neighbor.cardinality > max_card:
+                continue
+            self._push_window(neighbor)
+
+    def _violates_anti_monotone(self, window: Window) -> bool:
+        if not self.data.is_read(window):
+            return False
+        for cond in self._prune_conditions:
+            value = self.data.exact_value(cond.objective, window)
+            if not cond.evaluate_value(value):
+                return True
+        return False
+
+    def _maybe_refresh(self) -> None:
+        interval = self.config.refresh_reads
+        if interval <= 0 or self.stats.reads % interval != 0:
+            return
+        version = self.data.version
+        entries = list(self.queue.drain())
+        for priority, window, entry_version in entries:
+            if entry_version < version:
+                priority = self._utility(window)
+            self.queue.push(priority, window, version)
+        self.stats.refreshes += 1
+        if self.trace is not None:
+            self.trace.record(
+                EventKind.REFRESH,
+                self.data.clock.now - self._start_time,
+                entries=len(entries),
+            )

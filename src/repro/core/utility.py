@@ -1,0 +1,120 @@
+"""Window utilities: benefit, cost, and their combination (Section 4.2).
+
+* **Cost** ``C_w = |w|_nc * m / n`` — objects in the window's non-cached
+  cells, normalized by the mean cell density, so that (absent skew) cost
+  ~= number of unread cells.
+* **Benefit** per condition: 1 when the estimated value satisfies the
+  predicate, otherwise ``max(0, 1 - |f_w - val| / eps)``; the window's
+  total benefit is the *minimum* over conditions (a result must satisfy
+  all of them).
+* **Utility** ``U_w = s*B_w + (1-s) * (1 - min(C_w / k, 1))`` where ``k``
+  is the maximum cardinality inferable from shape conditions (``m`` when
+  unconstrained) and ``s`` weighs benefit against cost.
+
+Shape conditions take part in the benefit too; their values are exact and
+their natural precision is the grid extent in the relevant dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sampling.estimators import default_eps
+from .conditions import (
+    ConditionSet,
+    ContentCondition,
+    ShapeCondition,
+    ShapeKind,
+)
+from .datamanager import DataManager
+from .window import Window
+
+__all__ = ["UtilityModel"]
+
+
+@dataclass(frozen=True)
+class _ContentEntry:
+    condition: ContentCondition
+    eps: float
+
+
+class UtilityModel:
+    """Computes benefits, costs and utilities against a Data Manager."""
+
+    def __init__(self, conditions: ConditionSet, data: DataManager, s: float = 0.5) -> None:
+        if not 0 <= s <= 1:
+            raise ValueError(f"benefit weight s must be in [0, 1], got {s}")
+        self.conditions = conditions
+        self.data = data
+        self.s = s
+
+        grid = data.grid
+        self._m = grid.num_cells
+        self._n = max(1.0, data.total_objects)
+        k = conditions.max_cardinality(grid.shape)
+        self._k = float(k) if k is not None else float(self._m)
+
+        self._content: list[_ContentEntry] = []
+        for cond in conditions.content_conditions:
+            eps = cond.eps
+            if eps is None:
+                eps = default_eps(cond, data.objective_grids(cond.objective.key), self._n)
+            if eps <= 0:
+                raise ValueError(f"eps for condition {cond!r} must be positive, got {eps}")
+            self._content.append(_ContentEntry(cond, eps))
+        self._shape = conditions.shape_conditions
+
+    @property
+    def k(self) -> float:
+        """The cost normalizer (max cardinality or total cell count)."""
+        return self._k
+
+    # -- components -----------------------------------------------------------
+
+    def cost(self, window: Window) -> float:
+        """``C_w``: unread objects normalized by mean cell density."""
+        return self.data.unread_objects(window) * self._m / self._n
+
+    def benefit(self, window: Window) -> float:
+        """``B_w``: minimum per-condition benefit, in [0, 1]."""
+        benefit = 1.0
+        for cond in self._shape:
+            benefit = min(benefit, self._shape_benefit(cond, window))
+            if benefit == 0.0:
+                return 0.0
+        for entry in self._content:
+            benefit = min(benefit, self._content_benefit(entry, window))
+            if benefit == 0.0:
+                return 0.0
+        return benefit
+
+    def utility(self, window: Window) -> float:
+        """``U_w = s*B + (1-s)*(1 - min(C/k, 1))``."""
+        cost_term = 1.0 - min(self.cost(window) / self._k, 1.0)
+        return self.s * self.benefit(window) + (1.0 - self.s) * cost_term
+
+    def utility_with_benefit(self, window: Window, benefit: float) -> float:
+        """Utility using an externally modified benefit (diversification)."""
+        cost_term = 1.0 - min(self.cost(window) / self._k, 1.0)
+        return self.s * benefit + (1.0 - self.s) * cost_term
+
+    # -- per-condition benefits -------------------------------------------------
+
+    def _shape_benefit(self, cond: ShapeCondition, window: Window) -> float:
+        value = cond.objective_value(window)
+        if cond.op.apply(value, cond.value):
+            return 1.0
+        if cond.objective.kind is ShapeKind.LENGTH:
+            eps = float(self.data.grid.shape[cond.objective.dim])  # type: ignore[index]
+        else:
+            eps = float(self._m)
+        return max(0.0, 1.0 - abs(value - cond.value) / eps)
+
+    def _content_benefit(self, entry: _ContentEntry, window: Window) -> float:
+        estimate = self.data.estimate(entry.condition.objective, window)
+        if math.isnan(estimate):
+            return 0.0
+        if entry.condition.evaluate_value(estimate):
+            return 1.0
+        return max(0.0, 1.0 - abs(estimate - entry.condition.value) / entry.eps)

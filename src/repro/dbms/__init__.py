@@ -1,0 +1,12 @@
+"""The traditional-DBMS baseline (complex SQL over a full scan)."""
+
+from .baseline import BaselineReport, run_sql_baseline
+from .executor import CellGrids, enumerate_windows_filtered, materialize_cells
+
+__all__ = [
+    "BaselineReport",
+    "run_sql_baseline",
+    "CellGrids",
+    "enumerate_windows_filtered",
+    "materialize_cells",
+]

@@ -1,0 +1,19 @@
+"""Distributed SW execution: coordinator, workers, partitioning, network."""
+
+from .coordinator import DistributedConfig, DistributedReport, run_distributed
+from .messages import CellRequest, CellResponse, Network
+from .partitioning import OverlapMode, PartitionPlan, plan_partitions
+from .worker import Worker
+
+__all__ = [
+    "DistributedConfig",
+    "DistributedReport",
+    "run_distributed",
+    "CellRequest",
+    "CellResponse",
+    "Network",
+    "OverlapMode",
+    "PartitionPlan",
+    "plan_partitions",
+    "Worker",
+]

@@ -1,0 +1,85 @@
+"""Message types and the latency-modelled network for distributed SW.
+
+Workers interact "between themselves and with the DBMS via TCP/IP"
+(Section 5).  We model the network as per-recipient inboxes with a
+delivery latency from the cost model; messages carry either a cell-data
+request or the cell summaries answering one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.aggregates import CellStats
+from ..costs import CostModel
+
+__all__ = ["CellRequest", "CellResponse", "Network"]
+
+Cell = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CellRequest:
+    """Ask the owner for exact summaries of the listed cells."""
+
+    requester: int
+    cells: tuple[Cell, ...]
+
+
+@dataclass(frozen=True)
+class CellResponse:
+    """Exact summaries for previously requested cells."""
+
+    responder: int
+    payloads: Mapping[Cell, Mapping[str, CellStats]]
+
+
+@dataclass(order=True)
+class _Envelope:
+    arrival: float
+    seq: int
+    message: object = field(compare=False)
+
+
+class Network:
+    """Per-worker inboxes with cost-model latency."""
+
+    def __init__(self, num_workers: int, cost_model: CostModel) -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        self._cost = cost_model
+        self._inboxes: list[list[_Envelope]] = [[] for _ in range(num_workers)]
+        self._seq = itertools.count()
+        self.messages_sent = 0
+        self.cells_shipped = 0
+
+    def send(self, to: int, message: CellRequest | CellResponse, sent_at: float) -> None:
+        """Deliver a message after the modelled latency."""
+        if isinstance(message, CellRequest):
+            cells = len(message.cells)
+        else:
+            cells = len(message.payloads)
+            self.cells_shipped += cells
+        arrival = sent_at + self._cost.network_s(cells)
+        heapq.heappush(self._inboxes[to], _Envelope(arrival, next(self._seq), message))
+        self.messages_sent += 1
+
+    def earliest_arrival(self, worker: int) -> float | None:
+        """Arrival time of the next message for a worker, or ``None``."""
+        inbox = self._inboxes[worker]
+        return inbox[0].arrival if inbox else None
+
+    def receive(self, worker: int, now: float) -> list[CellRequest | CellResponse]:
+        """Pop every message that has arrived by ``now``."""
+        inbox = self._inboxes[worker]
+        out: list[CellRequest | CellResponse] = []
+        while inbox and inbox[0].arrival <= now:
+            out.append(heapq.heappop(inbox).message)  # type: ignore[arg-type]
+        return out
+
+    def pending(self, worker: int) -> int:
+        """Messages still in flight toward a worker."""
+        return len(self._inboxes[worker])

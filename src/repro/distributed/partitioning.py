@@ -1,0 +1,153 @@
+"""Search-area and data partitioning for distributed execution (Section 5).
+
+The search area is split among workers into contiguous slabs along the
+first dimension, aligned with grid cells ("partitions must be aligned with
+cells", Section 6.7).  A window belongs to the worker whose slab contains
+its **anchor** (leftmost point); a grid cell belongs to the worker whose
+slab contains it.
+
+Data placement relative to that area partitioning follows the paper's
+three cases (Section 6.7):
+
+* ``no_overlap``   — each worker stores exactly its slab's tuples; windows
+  crossing a boundary trigger remote cell requests;
+* ``full_overlap`` — each worker additionally stores every cell its
+  anchored windows can reach (slab extended right by ``max_len - 1``
+  cells, derivable only because shape conditions bound window length);
+  no remote requests are ever needed;
+* ``part_overlap`` — the extension covers half that reach; boundary
+  windows need fewer, but still some, remote requests.
+
+Slab boundaries are placed to balance tuple counts (estimated from the
+sample in a real deployment; we use the exact histogram, optionally skewed
+on purpose for the imbalance experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..core.grid import Grid
+
+__all__ = ["OverlapMode", "PartitionPlan", "plan_partitions"]
+
+
+class OverlapMode(Enum):
+    """Data-vs-area partitioning overlap cases from Section 6.7."""
+
+    NONE = "no_overlap"
+    FULL = "full_overlap"
+    PART = "part_overlap"
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Slab boundaries plus the data extension per worker.
+
+    ``boundaries`` has ``num_workers + 1`` entries of dim-0 cell indices;
+    worker ``i`` owns anchor cells ``[boundaries[i], boundaries[i+1])``.
+    ``data_extension`` is how many cells beyond its right boundary each
+    worker's *local data* covers.
+    """
+
+    boundaries: tuple[int, ...]
+    data_extension: int
+    overlap: OverlapMode
+
+    @property
+    def num_workers(self) -> int:
+        """Number of workers in the plan."""
+        return len(self.boundaries) - 1
+
+    def owner_of_cell(self, dim0_index: int) -> int:
+        """Worker owning a cell (by its first-dimension index)."""
+        for worker in range(self.num_workers):
+            if dim0_index < self.boundaries[worker + 1]:
+                return worker
+        raise ValueError(f"cell index {dim0_index} beyond grid ({self.boundaries[-1]})")
+
+    def anchor_slab(self, worker: int) -> tuple[int, int]:
+        """Anchor cell range ``[lo, hi)`` owned by a worker."""
+        self._check_worker(worker)
+        return self.boundaries[worker], self.boundaries[worker + 1]
+
+    def data_range(self, worker: int) -> tuple[int, int]:
+        """Dim-0 cell range of the worker's *local data* (with overlap)."""
+        lo, hi = self.anchor_slab(worker)
+        return lo, min(hi + self.data_extension, self.boundaries[-1])
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self.num_workers:
+            raise ValueError(f"worker {worker} out of range [0, {self.num_workers})")
+
+
+def plan_partitions(
+    grid: Grid,
+    num_workers: int,
+    overlap: OverlapMode | str = OverlapMode.NONE,
+    max_window_length_dim0: int | None = None,
+    cell_weights: np.ndarray | None = None,
+    skew: float = 0.0,
+) -> PartitionPlan:
+    """Choose slab boundaries and the data extension.
+
+    ``cell_weights`` (shape = grid.shape, e.g. per-cell tuple counts from
+    the sample) balances the slabs by data volume; by default slabs are
+    equal in cells.  ``skew`` in [0, 1) deliberately imbalances the split:
+    worker 0's share is scaled by ``1 + skew`` (the Section 6.7 imbalance
+    experiment).
+
+    ``max_window_length_dim0`` is required for the overlap modes — the
+    paper notes full overlap "is possible only if shape-based conditions
+    are known in advance".
+    """
+    overlap = OverlapMode(overlap) if not isinstance(overlap, OverlapMode) else overlap
+    size0 = grid.shape[0]
+    if num_workers < 1:
+        raise ValueError(f"need at least one worker, got {num_workers}")
+    if num_workers > size0:
+        raise ValueError(
+            f"cannot split {size0} cell columns among {num_workers} workers"
+        )
+    if not 0 <= skew < 1:
+        raise ValueError(f"skew must be in [0, 1), got {skew}")
+
+    if overlap is OverlapMode.NONE:
+        extension = 0
+    else:
+        if max_window_length_dim0 is None:
+            raise ValueError(
+                f"{overlap.value} requires max_window_length_dim0 (shape "
+                f"conditions must bound window length in advance)"
+            )
+        reach = max(0, max_window_length_dim0 - 1)
+        extension = reach if overlap is OverlapMode.FULL else max(1, reach // 2)
+
+    if cell_weights is None:
+        weights = np.ones(size0, dtype=float)
+    else:
+        weights = np.asarray(cell_weights, dtype=float)
+        if weights.shape != grid.shape:
+            raise ValueError(
+                f"cell_weights shape {weights.shape} does not match grid {grid.shape}"
+            )
+        axes = tuple(range(1, grid.ndim))
+        weights = weights.sum(axis=axes) if axes else weights
+
+    shares = np.ones(num_workers, dtype=float)
+    if skew > 0 and num_workers > 1:
+        shares[0] = 1.0 + skew * num_workers
+    targets = np.cumsum(shares / shares.sum()) * weights.sum()
+
+    cumulative = np.cumsum(weights)
+    boundaries = [0]
+    for worker in range(num_workers - 1):
+        cut = int(np.searchsorted(cumulative, targets[worker], side="left")) + 1
+        cut = max(cut, boundaries[-1] + 1)
+        cut = min(cut, size0 - (num_workers - 1 - worker))
+        boundaries.append(cut)
+    boundaries.append(size0)
+    return PartitionPlan(tuple(boundaries), extension, overlap)

@@ -1,0 +1,351 @@
+"""A distributed SW worker (paper Section 5).
+
+Each worker runs the heuristic search over the windows **anchored in its
+slab** of the search area, against its own PostgreSQL stand-in (its own
+simulated disk, buffer pool and clock).  Windows spanning the partition
+boundary need cells owned by the next worker; those are fetched with
+:class:`~repro.distributed.messages.CellRequest` messages:
+
+* if the owner has already read the cells, it responds immediately;
+* otherwise it "delays the request until the data becomes available" —
+  after every local disk read it checks whether pending requests can now
+  be answered;
+* the requester parks the window and keeps exploring; when the response
+  arrives, the window is re-inserted into the queue.
+
+Completeness: every window is reachable from the single-cell (or minimal
+shape) window at its own anchor through extensions that keep the anchor
+fixed or move it within the slab, so seeding each worker with the anchors
+it owns partitions the search space exactly.
+
+Workers honour the core :class:`~repro.core.search.SearchConfig` knobs for
+utility weighting and prefetching; the diversification strategies and the
+periodic queue refresh are single-node concerns (the paper evaluates them
+on one node only) and are not applied here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..core.datamanager import DataManager
+from ..core.prefetch import PrefetchState, prefetch_extend
+from ..core.pqueue import SpillableQueue
+from ..core.query import ResultWindow, SWQuery
+from ..core.search import SearchConfig, SearchStats
+from ..core.utility import UtilityModel
+from ..core.window import Window
+from ..costs import CostModel
+from .messages import Cell, CellRequest, CellResponse, Network
+from .partitioning import PartitionPlan
+
+__all__ = ["Worker"]
+
+
+@dataclass
+class _PendingRequest:
+    """An inbound request we cannot fully answer yet."""
+
+    requester: int
+    remaining: set[Cell] = field(default_factory=set)
+
+
+class Worker:
+    """One search worker over a slab of the search area."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        plan: PartitionPlan,
+        query: SWQuery,
+        data: DataManager,
+        network: Network,
+        config: SearchConfig | None = None,
+        cost_model: CostModel | None = None,
+        on_result: Callable[[int, ResultWindow], None] | None = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.plan = plan
+        self.query = query
+        self.data = data
+        self.network = network
+        self.config = config or SearchConfig()
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.grid = query.grid
+
+        self.anchor_lo, self.anchor_hi = plan.anchor_slab(worker_id)
+        self.data_lo, self.data_hi = plan.data_range(worker_id)
+
+        self.utility_model = UtilityModel(query.conditions, data, s=self.config.s)
+        self.prefetch_state = PrefetchState(
+            alpha=self.config.alpha, strategy=self.config.prefetch
+        )
+        self.queue = SpillableQueue(self.config.head_capacity)
+        self.stats = SearchStats()
+        self.results: list[ResultWindow] = []
+        self._on_result = on_result
+
+        shape = self.grid.shape
+        self._min_lengths = query.conditions.min_lengths(shape)
+        self._max_lengths = query.conditions.max_lengths(shape)
+        self._max_card = query.conditions.max_cardinality(shape)
+        self._generated: set[Window] = set()
+        self._last_read_region: Window | None = None
+
+        # Remote-cell machinery.
+        self._waiting: dict[Window, set[Cell]] = {}
+        self._requested: set[Cell] = set()
+        self._pending: list[_PendingRequest] = []
+        self._seed()
+
+    # -- scheduling interface ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Worker-local simulated time."""
+        return self.data.clock.now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Fast-forward an idle worker's clock (waiting on the network)."""
+        self.data.clock.advance_to(timestamp)
+
+    def next_time(self) -> float | None:
+        """Earliest time this worker can act, or ``None`` if quiescent."""
+        arrival = self.network.earliest_arrival(self.worker_id)
+        if arrival is not None and arrival <= self.now:
+            return self.now
+        if len(self.queue) > 0 or self._pending:
+            return self.now
+        if arrival is not None:
+            return arrival
+        return None
+
+    def is_done(self) -> bool:
+        """No queue work, parked windows, pending requests, or in-flight mail."""
+        return (
+            len(self.queue) == 0
+            and not self._waiting
+            and not self._pending
+            and self.network.pending(self.worker_id) == 0
+        )
+
+    # -- the step ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process arrived messages, then explore at most one window."""
+        self._process_inbox()
+        popped = self.queue.pop()
+        if popped is None:
+            # Out of search work but peers still wait on our cells: read
+            # them directly ("eventually it is going to read all its local
+            # data and, thus, will be able to answer all requests").  This
+            # also covers slabs too narrow to anchor any window.
+            if self._pending:
+                self._read_for_pending()
+            return
+        priority, window, version = popped
+        if self.config.lazy_updates and version < self.data.version:
+            utility = self._utility(window)
+            top = self.queue.peek_priority()
+            if top is not None and utility < top:
+                self.queue.push(utility, window, self.data.version)
+                self.stats.lazy_reinserts += 1
+                return
+        self._explore(window)
+
+    # -- message handling --------------------------------------------------------------
+
+    def _process_inbox(self) -> None:
+        for message in self.network.receive(self.worker_id, self.now):
+            if isinstance(message, CellRequest):
+                self._handle_request(message)
+            elif isinstance(message, CellResponse):
+                self._handle_response(message)
+            else:  # pragma: no cover - no other message kinds exist
+                raise TypeError(f"unexpected message {message!r}")
+
+    def _handle_request(self, request: CellRequest) -> None:
+        ready = [c for c in request.cells if self.data.is_cell_read(c)]
+        waiting = {c for c in request.cells if not self.data.is_cell_read(c)}
+        if ready:
+            self._respond(request.requester, ready)
+        if waiting:
+            self._pending.append(_PendingRequest(request.requester, waiting))
+
+    def _handle_response(self, response: CellResponse) -> None:
+        for cell, payload in response.payloads.items():
+            if not self.data.is_cell_read(cell):
+                self.data.install_cell(cell, payload)
+        freed = []
+        for window, missing in self._waiting.items():
+            missing -= set(response.payloads)
+            if not missing:
+                freed.append(window)
+        for window in freed:
+            del self._waiting[window]
+            self.queue.push(self._utility(window), window, self.data.version)
+
+    def _respond(self, requester: int, cells: Iterable[Cell]) -> None:
+        payloads = {tuple(c): self.data.cell_payload(c) for c in cells}
+        if payloads:
+            self.network.send(requester, CellResponse(self.worker_id, payloads), self.now)
+
+    def _read_for_pending(self) -> None:
+        """Read the locally-owned cells that pending requests still need."""
+        needed = sorted(
+            {cell for pending in self._pending for cell in pending.remaining}
+        )
+        for cell in needed:
+            if not self.data.is_cell_read(cell):
+                self.data.read_window(Window(cell, tuple(c + 1 for c in cell)))
+        self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        """After a local read, answer whatever pending requests we now can."""
+        still_pending: list[_PendingRequest] = []
+        for pending in self._pending:
+            ready = [c for c in pending.remaining if self.data.is_cell_read(c)]
+            if ready:
+                self._respond(pending.requester, ready)
+                pending.remaining -= set(ready)
+            if pending.remaining:
+                still_pending.append(pending)
+        self._pending = still_pending
+
+    # -- search mechanics ------------------------------------------------------------------
+
+    def _utility(self, window: Window) -> tuple[float, float]:
+        benefit = self.utility_model.benefit(window)
+        return (self.utility_model.utility_with_benefit(window, benefit), benefit)
+
+    def _seed(self) -> None:
+        shape = self.grid.shape
+        mins = self._min_lengths
+        hi0 = min(self.anchor_hi, shape[0] - mins[0] + 1)
+        for a0 in range(self.anchor_lo, hi0):
+            spans = [range(a0, a0 + 1)] + [
+                range(shape[d] - mins[d] + 1) for d in range(1, self.grid.ndim)
+            ]
+            self._seed_spans(spans, mins)
+
+    def _seed_spans(self, spans, mins) -> None:
+        import itertools
+
+        for position in itertools.product(*spans):
+            window = Window(
+                tuple(position), tuple(p + l for p, l in zip(position, mins))
+            )
+            self._push(window)
+
+    def _push(self, window: Window) -> None:
+        if window in self._generated:
+            return
+        self._generated.add(window)
+        self.queue.push(self._utility(window), window, self.data.version)
+        self.stats.generated += 1
+
+    def _local_part(self, window: Window) -> Window | None:
+        """The sub-window whose cells live in this worker's local data."""
+        lo0 = max(window.lo[0], self.data_lo)
+        hi0 = min(window.hi[0], self.data_hi)
+        if lo0 >= hi0:
+            return None
+        return Window((lo0,) + window.lo[1:], (hi0,) + window.hi[1:])
+
+    def _remote_cells(self, window: Window) -> list[Cell]:
+        """Unread cells of the window outside the local data range."""
+        cells = []
+        for cell in window.iter_cells():
+            if cell[0] >= self.data_hi or cell[0] < self.data_lo:
+                if not self.data.is_cell_read(cell):
+                    cells.append(cell)
+        return cells
+
+    def _explore(self, window: Window) -> None:
+        self.data.clock.advance(self.cost_model.sw_window_s())
+        self.stats.explored += 1
+
+        local = self._local_part(window)
+        did_read = False
+        read_region: Window | None = None
+        if local is not None and not self.data.is_read(local):
+            region = prefetch_extend(
+                local, self.prefetch_state.size(), self.grid, self.utility_model.cost
+            )
+            region = self._clip_to_data(region)
+            scan = self.data.read_window(region)
+            self.stats.prefetched_cells += region.cardinality - local.cardinality
+            if scan is not None and scan.blocks_touched > 0:
+                self.stats.reads += 1
+                did_read = True
+                read_region = region
+            self._flush_pending()
+
+        remote = self._remote_cells(window)
+        if remote:
+            self._waiting[window] = set(remote)
+            new_requests = [c for c in remote if c not in self._requested]
+            if new_requests:
+                self._requested.update(new_requests)
+                by_owner: dict[int, list[Cell]] = {}
+                for cell in new_requests:
+                    by_owner.setdefault(self.plan.owner_of_cell(cell[0]), []).append(cell)
+                for owner, cells in by_owner.items():
+                    self.network.send(
+                        owner, CellRequest(self.worker_id, tuple(cells)), self.now
+                    )
+            if did_read:
+                self.prefetch_state.record_read(False)
+                self._last_read_region = read_region
+            # Neighbors are generated now — waiting only defers validation.
+            self._neighbors(window)
+            return
+
+        result = self._validate(window)
+        if result is not None:
+            self.results.append(result)
+            if self._on_result is not None:
+                self._on_result(self.worker_id, result)
+            if not did_read and self._last_read_region is not None:
+                if window.overlaps(self._last_read_region):
+                    self.prefetch_state.fp_reads = 0
+        if did_read:
+            self.prefetch_state.record_read(result is not None)
+            self._last_read_region = read_region
+        self._neighbors(window)
+
+    def _clip_to_data(self, window: Window) -> Window:
+        lo0 = max(window.lo[0], self.data_lo)
+        hi0 = min(window.hi[0], self.data_hi)
+        return Window((lo0,) + window.lo[1:], (hi0,) + window.hi[1:])
+
+    def _validate(self, window: Window) -> ResultWindow | None:
+        if not self.query.conditions.shape_satisfied(window):
+            return None
+        objective_values: dict[str, float] = {}
+        for cond in self.query.conditions.content_conditions:
+            value = self.data.exact_value(cond.objective, window)
+            objective_values[repr(cond.objective)] = value
+            if not cond.evaluate_value(value):
+                return None
+        return ResultWindow(
+            window=window,
+            bounds=window.rect(self.grid),
+            objective_values=objective_values,
+            time=self.now,
+        )
+
+    def _neighbors(self, window: Window) -> None:
+        max_card = self._max_card
+        for neighbor in window.neighbors(self.grid):
+            if not (self.anchor_lo <= neighbor.lo[0] < self.anchor_hi):
+                continue  # anchored in another worker's slab
+            grew_dim = next(
+                d for d in range(window.ndim) if neighbor.length(d) != window.length(d)
+            )
+            if neighbor.length(grew_dim) > self._max_lengths[grew_dim]:
+                continue
+            if max_card is not None and neighbor.cardinality > max_card:
+                continue
+            self._push(neighbor)

@@ -1,0 +1,177 @@
+"""Interactive exploration sessions (the paper's Section 1 usage model).
+
+The paper frames SW as a human-in-the-loop workflow: "After getting some
+results, the user might decide to stop the current query and move to the
+next one.  Or she might want to study some of the results more closely by
+making any of them the new search area and asking for more details."
+
+:class:`ExplorationSession` packages that loop over one table:
+
+* ``explore(...)`` runs a query (Python object or SW SQL text) and can
+  stop early after a result budget — the "interrupt and move on" action;
+* ``drill_down(result, refine=4)`` derives a new query whose search area
+  is a previous result's window with a ``refine``-times finer grid;
+* a session history records every step for later review.
+
+Everything is built on the public engine API; the session only adds the
+state a human (or notebook) would otherwise juggle by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .core.conditions import Condition
+from .core.engine import SWEngine
+from .core.query import ResultWindow, SWQuery
+from .core.search import SearchConfig
+from .sql.compiler import compile_query
+from .sql.parser import parse_query
+from .storage.database import Database
+
+__all__ = ["ExplorationStep", "ExplorationSession"]
+
+
+@dataclass(frozen=True)
+class ExplorationStep:
+    """One executed query in a session's history."""
+
+    query: SWQuery
+    results: tuple[ResultWindow, ...]
+    duration_s: float
+    interrupted: bool
+
+    @property
+    def num_results(self) -> int:
+        """Number of results obtained before the step ended."""
+        return len(self.results)
+
+
+class ExplorationSession:
+    """Stateful, interruptible exploration over one table."""
+
+    def __init__(
+        self,
+        database: Database,
+        table_name: str,
+        sample_fraction: float = 0.1,
+        config: SearchConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.table_name = table_name
+        self.engine = SWEngine(database, table_name, sample_fraction=sample_fraction)
+        self.default_config = config or SearchConfig(alpha=1.0)
+        self._history: list[ExplorationStep] = []
+
+    @property
+    def history(self) -> tuple[ExplorationStep, ...]:
+        """All executed steps, oldest first."""
+        return tuple(self._history)
+
+    @property
+    def last_results(self) -> tuple[ResultWindow, ...]:
+        """Results of the most recent step (empty before any step)."""
+        return self._history[-1].results if self._history else ()
+
+    # -- running queries ------------------------------------------------------
+
+    def explore(
+        self,
+        query: SWQuery | str,
+        config: SearchConfig | None = None,
+        limit: int | None = None,
+    ) -> ExplorationStep:
+        """Run a query; optionally stop after ``limit`` results.
+
+        ``query`` may be an :class:`SWQuery` or SW SQL text.  Stopping at
+        a limit models the user interrupting the query once satisfied —
+        the search simply is not driven further.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if isinstance(query, str):
+            query = self._compile(query)
+
+        start = self.database.clock.now
+        results: list[ResultWindow] = []
+        interrupted = False
+        stream = self.engine.execute_iter(query, config or self.default_config)
+        for result in stream:
+            results.append(result)
+            if limit is not None and len(results) >= limit:
+                interrupted = True
+                stream.close()
+                break
+        step = ExplorationStep(
+            query=query,
+            results=tuple(results),
+            duration_s=self.database.clock.now - start,
+            interrupted=interrupted,
+        )
+        self._history.append(step)
+        return step
+
+    # -- deriving follow-up queries ----------------------------------------------
+
+    def drill_down(
+        self,
+        result: ResultWindow,
+        base_query: SWQuery | None = None,
+        refine: int = 4,
+        conditions: Iterable[Condition] | None = None,
+    ) -> SWQuery:
+        """A new query over ``result``'s window at a finer grid.
+
+        ``refine`` divides each grid step; ``conditions`` replaces the
+        condition set (defaults to the base query's conditions, whose
+        shape bounds now apply at the finer granularity).  The base query
+        defaults to the most recent step's.
+        """
+        if refine < 2:
+            raise ValueError(f"refine must be >= 2, got {refine}")
+        if base_query is None:
+            if not self._history:
+                raise ValueError("no previous step; pass base_query explicitly")
+            base_query = self._history[-1].query
+        bounds = result.bounds
+        new_conditions = (
+            tuple(conditions)
+            if conditions is not None
+            else base_query.conditions.conditions
+        )
+        return SWQuery.build(
+            dimensions=base_query.dimensions,
+            area=[(iv.lo, iv.hi) for iv in bounds.intervals],
+            steps=[s / refine for s in base_query.grid.steps],
+            conditions=new_conditions,
+        )
+
+    def zoom_out(self, base_query: SWQuery, widen: float = 2.0) -> SWQuery:
+        """A new query over a ``widen``-times larger area around the base.
+
+        Clipping is the caller's concern — exploration areas beyond the
+        data simply contain empty cells.
+        """
+        if widen <= 1.0:
+            raise ValueError(f"widen must be > 1, got {widen}")
+        area = []
+        for iv in base_query.grid.area.intervals:
+            pad = iv.length * (widen - 1.0) / 2.0
+            area.append((iv.lo - pad, iv.hi + pad))
+        return SWQuery.build(
+            dimensions=base_query.dimensions,
+            area=area,
+            steps=base_query.grid.steps,
+            conditions=base_query.conditions.conditions,
+        )
+
+    def _compile(self, sql: str) -> SWQuery:
+        parsed = parse_query(sql)
+        if parsed.table != self.table_name:
+            raise ValueError(
+                f"session is bound to table {self.table_name!r}, query "
+                f"targets {parsed.table!r}"
+            )
+        table = self.database.table(self.table_name)
+        return compile_query(parsed, table.schema).query

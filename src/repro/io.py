@@ -1,0 +1,128 @@
+"""Persistence: save/load datasets and export result sets.
+
+Dataset generation is deterministic, but the larger bench-scale builds
+(especially the insertion R-tree placement) are worth caching across
+sessions; and downstream users need results in a portable form.  This
+module provides:
+
+* :func:`save_dataset` / :func:`load_dataset` — one ``.npz`` file holding
+  columns, schema, grid geometry and cluster ground truth;
+* :func:`results_to_rows` / :func:`write_results_csv` — flatten result
+  windows (bounds per dimension, objective values, emission time) for
+  spreadsheets and notebooks.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .core.geometry import Rect
+from .core.grid import Grid
+from .core.query import ResultWindow
+from .core.window import Window
+from .storage.table import TableSchema
+from .workloads.base import Dataset
+
+__all__ = ["save_dataset", "load_dataset", "results_to_rows", "write_results_csv"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write a dataset to a ``.npz`` file; returns the resolved path."""
+    path = Path(path)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "columns": list(dataset.schema.columns),
+        "coordinates": list(dataset.schema.coordinate_columns),
+        "area_lower": list(dataset.grid.area.lower),
+        "area_upper": list(dataset.grid.area.upper),
+        "steps": list(dataset.grid.steps),
+        "clusters": [[list(w.lo), list(w.hi)] for w in dataset.clusters],
+        "meta": _jsonable(dataset.meta),
+    }
+    arrays = {f"col_{name}": values for name, values in dataset.columns.items()}
+    np.savez_compressed(path, __meta__=np.array(json.dumps(meta)), **arrays)
+    return path.with_suffix(".npz") if path.suffix != ".npz" else path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta = json.loads(str(archive["__meta__"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format {meta.get('format_version')!r} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        columns = {
+            name: archive[f"col_{name}"] for name in meta["columns"]
+        }
+    schema = TableSchema(meta["columns"], meta["coordinates"])
+    grid = Grid(
+        Rect.from_bounds(list(zip(meta["area_lower"], meta["area_upper"]))),
+        tuple(meta["steps"]),
+    )
+    clusters = [Window(tuple(lo), tuple(hi)) for lo, hi in meta["clusters"]]
+    return Dataset(
+        name=meta["name"],
+        columns=columns,
+        schema=schema,
+        grid=grid,
+        clusters=clusters,
+        meta=meta["meta"],
+    )
+
+
+def results_to_rows(
+    results: Sequence[ResultWindow], dimensions: Sequence[str]
+) -> tuple[list[str], list[list[float]]]:
+    """Flatten results to (header, rows): LB/UB per dim, objectives, time."""
+    objective_keys = sorted({k for r in results for k in r.objective_values})
+    header = (
+        [f"lb_{d}" for d in dimensions]
+        + [f"ub_{d}" for d in dimensions]
+        + objective_keys
+        + ["time_s"]
+    )
+    rows = []
+    for r in results:
+        row = list(r.bounds.lower) + list(r.bounds.upper)
+        row += [r.objective_values.get(k, float("nan")) for k in objective_keys]
+        row.append(r.time)
+        rows.append(row)
+    return header, rows
+
+
+def write_results_csv(
+    results: Sequence[ResultWindow], dimensions: Sequence[str], path: str | Path
+) -> Path:
+    """Export results to CSV; returns the path written."""
+    path = Path(path)
+    header, rows = results_to_rows(results, dimensions)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

@@ -1,0 +1,16 @@
+"""Stratified sampling, sample-based estimation, and noise injection."""
+
+from .estimators import ObjectiveGrids, build_objective_grids, default_eps
+from .noise import NoiseModel
+from .stratified import CellSample, StratifiedSampler, allocate_budget, uniform_sample
+
+__all__ = [
+    "ObjectiveGrids",
+    "build_objective_grids",
+    "default_eps",
+    "NoiseModel",
+    "CellSample",
+    "StratifiedSampler",
+    "allocate_budget",
+    "uniform_sample",
+]

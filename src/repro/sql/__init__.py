@@ -1,0 +1,119 @@
+"""The SW SQL extension: GRID BY queries compiled to SWQuery objects.
+
+High-level entry point::
+
+    from repro.sql import execute_sql
+    rows = execute_sql(database, "SELECT LB(x), UB(x), AVG(v) FROM t "
+                                 "GRID BY x BETWEEN 0 AND 100 STEP 10 "
+                                 "HAVING AVG(v) > 5 AND LEN(x) = 2")
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.engine import SWEngine
+from ..core.search import SearchConfig
+from ..storage.database import Database
+from .ast import ParsedQuery
+from .compiler import (
+    CompiledOptimizeQuery,
+    CompiledQuery,
+    compile_optimize_query,
+    compile_query,
+    compile_sql,
+)
+from .errors import CompileError, LexError, ParseError, SqlError
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_query
+
+__all__ = [
+    "ParsedQuery",
+    "CompiledQuery",
+    "CompiledOptimizeQuery",
+    "compile_query",
+    "compile_optimize_query",
+    "compile_sql",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "SqlError",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_query",
+    "execute_sql",
+    "execute_sql_iter",
+    "execute_optimize",
+]
+
+
+def execute_sql(
+    database: Database,
+    sql: str,
+    config: SearchConfig | None = None,
+    sample_fraction: float = 0.1,
+) -> tuple[tuple[str, ...], list[tuple[float, ...]]]:
+    """Run an SW SQL query to completion; returns (column labels, rows)."""
+    compiled, engine = _prepare(database, sql, sample_fraction)
+    report = engine.execute(compiled.query, config)
+    return compiled.column_labels, [compiled.project(r) for r in report.results]
+
+
+def execute_sql_iter(
+    database: Database,
+    sql: str,
+    config: SearchConfig | None = None,
+    sample_fraction: float = 0.1,
+) -> Iterator[tuple[float, ...]]:
+    """Stream SELECT rows online as qualifying windows are discovered."""
+    compiled, engine = _prepare(database, sql, sample_fraction)
+    for result in engine.execute_iter(compiled.query, config):
+        yield compiled.project(result)
+
+
+def execute_optimize(
+    database: Database,
+    sql: str,
+    sample_fraction: float = 0.1,
+):
+    """Run a MAXIMIZE/MINIMIZE statement (paper Section 8 extension).
+
+    Returns the :class:`~repro.core.optimize.OptimizeResult`, whose
+    trajectory records each online incumbent improvement.
+    """
+    from ..core.datamanager import DataManager
+    from ..core.optimize import OptimizeSearch
+    from ..sampling.stratified import StratifiedSampler
+
+    parsed = parse_query(sql)
+    table = database.table(parsed.table)
+    compiled = compile_optimize_query(parsed, table.schema)
+    sample = StratifiedSampler(sample_fraction).sample(table, compiled.query.grid)
+    data = DataManager(
+        database,
+        parsed.table,
+        compiled.query.grid,
+        (compiled.objective,),
+        sample,
+    )
+    search = OptimizeSearch(
+        compiled.objective,
+        compiled.query.conditions,
+        data,
+        maximize=compiled.maximize,
+        cost_model=database.cost_model,
+    )
+    return search.run()
+
+
+def _prepare(database: Database, sql: str, sample_fraction: float):
+    parsed = parse_query(sql)
+    if parsed.optimize is not None:
+        raise CompileError(
+            "MAXIMIZE/MINIMIZE statements must be run with execute_optimize"
+        )
+    table = database.table(parsed.table)
+    compiled = compile_query(parsed, table.schema)
+    engine = SWEngine(database, parsed.table, sample_fraction=sample_fraction)
+    return compiled, engine

@@ -1,0 +1,96 @@
+"""Abstract syntax of a parsed SW query (before semantic compilation).
+
+The grammar (paper Section 3, Figure 2):
+
+.. code-block:: text
+
+    query      := SELECT select_list FROM ident GRID BY grid_list [HAVING having]
+    select_list:= select_item ("," select_item)*
+    select_item:= func_call [AS ident]
+    grid_list  := grid_dim ("," grid_dim)*
+    grid_dim   := ident BETWEEN number AND number STEP number
+    having     := comparison (AND comparison)*
+    comparison := func_call op number | number op func_call
+    func_call  := NAME "(" [expr] ")"
+    expr       := arithmetic over idents, numbers, func calls (SQRT, ABS, ...)
+
+``GRID BY`` replaces ``GROUP BY`` (both at once is an error), and ``HAVING``
+keeps its usual filtering role — over windows instead of groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.expressions import Expr
+
+__all__ = ["FuncCall", "SelectItem", "GridDim", "Comparison", "OptimizeClause", "ParsedQuery"]
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A window-describing function call: LB/UB/LEN over a dimension,
+    CARD over nothing, or an aggregate over an attribute expression."""
+
+    name: str
+    dim: str | None = None
+    expr: Expr | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.dim is not None:
+            return f"{self.name.upper()}({self.dim})"
+        if self.expr is not None:
+            return f"{self.name.upper()}({self.expr!r})"
+        return f"{self.name.upper()}()"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: a function call with an optional alias."""
+
+    call: FuncCall
+    alias: str | None = None
+
+    @property
+    def label(self) -> str:
+        """Output column label (alias or the rendered call)."""
+        return self.alias if self.alias is not None else repr(self.call)
+
+
+@dataclass(frozen=True)
+class GridDim:
+    """One ``dim BETWEEN lo AND hi STEP s`` clause."""
+
+    name: str
+    lo: float
+    hi: float
+    step: float
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A ``func op literal`` predicate from HAVING (already normalized so
+    the function is on the left)."""
+
+    call: FuncCall
+    op: str
+    value: float
+
+
+@dataclass(frozen=True)
+class OptimizeClause:
+    """A ``MAXIMIZE f`` / ``MINIMIZE f`` clause (the Section 8 extension)."""
+
+    maximize: bool
+    call: FuncCall
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """The full parse result, ready for semantic compilation."""
+
+    select: tuple[SelectItem, ...]
+    table: str
+    grid: tuple[GridDim, ...]
+    having: tuple[Comparison, ...] = field(default_factory=tuple)
+    optimize: OptimizeClause | None = None

@@ -1,0 +1,238 @@
+"""Semantic compilation: parsed SW SQL -> :class:`~repro.core.query.SWQuery`.
+
+The compiler validates the parse against a table schema (dimension names
+must be coordinate columns, aggregate expressions must reference existing
+attributes) and enforces the paper's SELECT restriction: "only functions
+describing a window can be used there: the ones describing the shape and
+the ones that were used for defining conditions".
+
+It also produces the output-row projection — given a result window, the
+row of values the SELECT list asks for (LB/UB/LEN/CARD plus the condition
+aggregates, whose exact values the engine computed during validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.conditions import (
+    ComparisonOp,
+    Condition,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+)
+from ..core.query import ResultWindow, SWQuery
+from ..storage.table import TableSchema
+from .ast import Comparison, FuncCall, ParsedQuery, SelectItem
+from .errors import CompileError
+from .parser import parse_query
+
+__all__ = [
+    "CompiledQuery",
+    "CompiledOptimizeQuery",
+    "compile_query",
+    "compile_optimize_query",
+    "compile_sql",
+]
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """A ready-to-run query plus its output projection."""
+
+    table: str
+    query: SWQuery
+    column_labels: tuple[str, ...]
+    _projectors: tuple[Callable[[ResultWindow], float], ...]
+
+    def project(self, result: ResultWindow) -> tuple[float, ...]:
+        """The SELECT-list row for one result window."""
+        return tuple(fn(result) for fn in self._projectors)
+
+
+@dataclass(frozen=True)
+class CompiledOptimizeQuery:
+    """A MAXIMIZE/MINIMIZE query: shape-bounded optimization (Section 8)."""
+
+    table: str
+    query: SWQuery  # shape conditions only
+    objective: ContentObjective
+    maximize: bool
+
+
+def compile_sql(sql: str, schema: TableSchema) -> CompiledQuery:
+    """Parse and compile one SW SQL statement against a schema.
+
+    Optimization statements must go through
+    :func:`compile_optimize_query`; this helper rejects them.
+    """
+    parsed = parse_query(sql)
+    if parsed.optimize is not None:
+        raise CompileError(
+            "MAXIMIZE/MINIMIZE statements are optimization queries; use "
+            "compile_optimize_query / execute_optimize"
+        )
+    return compile_query(parsed, schema)
+
+
+def compile_optimize_query(parsed: ParsedQuery, schema: TableSchema) -> CompiledOptimizeQuery:
+    """Compile a MAXIMIZE/MINIMIZE statement against a schema."""
+    if parsed.optimize is None:
+        raise CompileError("statement has no MAXIMIZE/MINIMIZE clause")
+    dims = tuple(g.name for g in parsed.grid)
+    base = compile_query(
+        ParsedQuery(select=parsed.select, table=parsed.table, grid=parsed.grid, having=parsed.having),
+        schema,
+        _allow_any_select=True,
+    )
+    if base.query.conditions.content_conditions:
+        raise CompileError(
+            "optimization queries take shape conditions only in HAVING; "
+            "content predicates belong to ordinary SW queries"
+        )
+    call = parsed.optimize.call
+    if call.name in ("lb", "ub", "len", "card"):
+        raise CompileError(
+            f"cannot optimize the window-describing function "
+            f"{call.name.upper()}; use an aggregate (AVG, SUM, ...)"
+        )
+    _check_expr_columns(call, schema)
+    return CompiledOptimizeQuery(
+        table=parsed.table,
+        query=base.query,
+        objective=ContentObjective.of(call.name, call.expr),
+        maximize=parsed.optimize.maximize,
+    )
+
+
+def compile_query(
+    parsed: ParsedQuery, schema: TableSchema, _allow_any_select: bool = False
+) -> CompiledQuery:
+    """Compile a parsed query against a schema."""
+    dims = tuple(g.name for g in parsed.grid)
+    if len(set(dims)) != len(dims):
+        raise CompileError(f"duplicate GRID BY dimension in {dims}")
+    for g in parsed.grid:
+        if g.name not in schema.coordinate_columns:
+            raise CompileError(
+                f"GRID BY dimension {g.name!r} is not a coordinate column "
+                f"of the table (coordinates: {schema.coordinate_columns})"
+            )
+        if g.step <= 0:
+            raise CompileError(f"STEP for dimension {g.name!r} must be positive, got {g.step}")
+        if g.hi <= g.lo:
+            raise CompileError(
+                f"BETWEEN bounds for dimension {g.name!r} are empty: [{g.lo}, {g.hi})"
+            )
+
+    conditions = [_compile_condition(c, dims, schema) for c in parsed.having]
+    query = SWQuery.build(
+        dimensions=dims,
+        area=[(g.lo, g.hi) for g in parsed.grid],
+        steps=[g.step for g in parsed.grid],
+        conditions=conditions,
+    )
+
+    condition_objectives = {
+        repr(c.objective) for c in query.conditions.content_conditions
+    }
+    if _allow_any_select:
+        # Optimization queries project the optimized aggregate instead of
+        # a condition aggregate; admit any well-formed aggregate here.
+        for item in parsed.select:
+            if item.call.name not in ("lb", "ub", "len", "card"):
+                condition_objectives.add(
+                    repr(ContentObjective.of(item.call.name, item.call.expr))
+                )
+    labels: list[str] = []
+    projectors: list[Callable[[ResultWindow], float]] = []
+    for item in parsed.select:
+        labels.append(item.label)
+        projectors.append(_compile_projector(item, dims, schema, condition_objectives))
+
+    return CompiledQuery(
+        table=parsed.table,
+        query=query,
+        column_labels=tuple(labels),
+        _projectors=tuple(projectors),
+    )
+
+
+def _compile_condition(
+    comparison: Comparison, dims: Sequence[str], schema: TableSchema
+) -> Condition:
+    call = comparison.call
+    op = ComparisonOp.parse(comparison.op)
+    if call.name == "len":
+        return ShapeCondition(
+            ShapeObjective(ShapeKind.LENGTH, _dim_index(call, dims)), op, comparison.value
+        )
+    if call.name == "card":
+        return ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), op, comparison.value)
+    if call.name in ("lb", "ub"):
+        raise CompileError(
+            f"{call.name.upper()} describes a window boundary and cannot be "
+            f"used in HAVING; constrain the search area via GRID BY instead"
+        )
+    # Content aggregate.
+    _check_expr_columns(call, schema)
+    return ContentCondition(
+        ContentObjective.of(call.name, call.expr), op, comparison.value
+    )
+
+
+def _compile_projector(
+    item: SelectItem,
+    dims: Sequence[str],
+    schema: TableSchema,
+    condition_objectives: frozenset[str] | set[str],
+) -> Callable[[ResultWindow], float]:
+    call = item.call
+    if call.name == "lb":
+        dim = _dim_index(call, dims)
+        return lambda res: res.bounds[dim].lo
+    if call.name == "ub":
+        dim = _dim_index(call, dims)
+        return lambda res: res.bounds[dim].hi
+    if call.name == "len":
+        dim = _dim_index(call, dims)
+        return lambda res: float(res.window.length(dim))
+    if call.name == "card":
+        return lambda res: float(res.window.cardinality)
+    # Aggregates in SELECT must also appear in a condition (the engine only
+    # has exact values for those) — the same restriction the paper imposes.
+    _check_expr_columns(call, schema)
+    key = repr(ContentObjective.of(call.name, call.expr))
+    if key not in condition_objectives:
+        raise CompileError(
+            f"SELECT aggregate {key} must also be used in a HAVING condition "
+            f"(only window-describing functions may be selected)"
+        )
+    return lambda res: res.objective_values[key]
+
+
+def _dim_index(call: FuncCall, dims: Sequence[str]) -> int:
+    if call.dim is None:
+        raise CompileError(f"{call.name.upper()} requires a dimension argument")
+    try:
+        return dims.index(call.dim)
+    except ValueError:
+        raise CompileError(
+            f"{call.name.upper()}({call.dim}) references a dimension that is "
+            f"not in GRID BY (dimensions: {tuple(dims)})"
+        ) from None
+
+
+def _check_expr_columns(call: FuncCall, schema: TableSchema) -> None:
+    if call.expr is None:
+        return
+    unknown = sorted(call.expr.columns() - set(schema.columns))
+    if unknown:
+        raise CompileError(
+            f"aggregate {call.name.upper()} references unknown column(s) "
+            f"{unknown}; table columns: {schema.columns}"
+        )

@@ -1,0 +1,31 @@
+"""Errors raised by the SW SQL extension front-end."""
+
+from __future__ import annotations
+
+__all__ = ["SqlError", "LexError", "ParseError", "CompileError"]
+
+
+class SqlError(Exception):
+    """Base class for all SQL front-end errors.
+
+    Carries the character position (0-based) of the offending input when
+    known, so callers can point at the problem.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class LexError(SqlError):
+    """An unrecognized character sequence in the input."""
+
+
+class ParseError(SqlError):
+    """The token stream does not form a valid SW query."""
+
+
+class CompileError(SqlError):
+    """The parsed query is semantically invalid (unknown column, etc.)."""

@@ -1,0 +1,122 @@
+"""Tokenizer for the SW SQL extension (paper Section 3).
+
+The surface language is standard SQL ``SELECT`` plus the new ``GRID BY``
+clause (``dim BETWEEN lo AND hi STEP s``) and the window functions ``LB``,
+``UB``, ``LEN`` and ``CARD``.  The lexer is a simple hand-rolled scanner:
+keywords are case-insensitive; identifiers keep their original spelling
+lower-cased (the catalogs in this project are all lower-case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .errors import LexError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(Enum):
+    """Kinds of tokens produced by :func:`tokenize`."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "select",
+        "from",
+        "grid",
+        "group",
+        "by",
+        "between",
+        "and",
+        "or",
+        "not",
+        "step",
+        "having",
+        "as",
+        "where",
+        "maximize",
+        "minimize",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "==", "<", ">", "=", "(", ")", ",", "+", "-", "*", "/", "^")
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.type.value}:{self.value}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            # SQL line comment.
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j].lower()
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,262 @@
+"""Recursive-descent parser for the SW SQL extension.
+
+Produces a :class:`~repro.sql.ast.ParsedQuery`; all semantic checks
+(column existence, dimension/aggregate validity) happen in the compiler.
+The parser enforces the paper's structural rules: ``GRID BY`` replaces
+``GROUP BY`` (using the latter is rejected with a pointer to the former),
+and ``HAVING`` only accepts a conjunction of comparisons between a window
+function and a literal.
+"""
+
+from __future__ import annotations
+
+from ..core.expressions import BinaryOp, Column, Expr, Literal, UnaryFunc
+from .ast import Comparison, FuncCall, GridDim, OptimizeClause, ParsedQuery, SelectItem
+from .errors import ParseError
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_query"]
+
+_DIMENSION_FUNCS = frozenset({"lb", "ub", "len"})
+_AGGREGATE_FUNCS = frozenset({"avg", "sum", "min", "max", "count"})
+_SCALAR_FUNCS = frozenset({"sqrt", "abs", "log", "exp"})
+_COMPARISON_OPS = frozenset({"<", "<=", ">", ">=", "=", "==", "<>", "!="})
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "==": "==", "<>": "<>", "!=": "!="}
+
+
+def parse_query(sql: str) -> ParsedQuery:
+    """Parse one SW SELECT statement."""
+    return _Parser(tokenize(sql)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word.upper()}, found {token.value!r}", token.position)
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.SYMBOL or token.value != symbol:
+            raise ParseError(f"expected {symbol!r}, found {token.value!r}", token.position)
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(f"expected an identifier, found {token.value!r}", token.position)
+        return token
+
+    def _expect_number(self) -> float:
+        negative = False
+        token = self._peek()
+        if token.type is TokenType.SYMBOL and token.value == "-":
+            self._advance()
+            negative = True
+            token = self._peek()
+        token = self._advance()
+        if token.type is not TokenType.NUMBER:
+            raise ParseError(f"expected a number, found {token.value!r}", token.position)
+        value = float(token.value)
+        return -value if negative else value
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        select = self._parse_select_list()
+        self._expect_keyword("from")
+        table = self._expect_ident().value
+
+        token = self._peek()
+        if token.is_keyword("group"):
+            raise ParseError(
+                "GROUP BY cannot be used in an SW query; use GRID BY instead",
+                token.position,
+            )
+        self._expect_keyword("grid")
+        self._expect_keyword("by")
+        grid = self._parse_grid_list()
+
+        having: tuple[Comparison, ...] = ()
+        if self._peek().is_keyword("having"):
+            self._advance()
+            having = self._parse_having()
+
+        optimize: OptimizeClause | None = None
+        token = self._peek()
+        if token.is_keyword("maximize") or token.is_keyword("minimize"):
+            self._advance()
+            optimize = OptimizeClause(
+                maximize=token.value == "maximize", call=self._parse_func_call()
+            )
+
+        tail = self._peek()
+        if tail.type is not TokenType.EOF:
+            raise ParseError(f"unexpected trailing input {tail.value!r}", tail.position)
+        return ParsedQuery(
+            select=select, table=table, grid=grid, having=having, optimize=optimize
+        )
+
+    def _parse_select_list(self) -> tuple[SelectItem, ...]:
+        items = [self._parse_select_item()]
+        while self._peek().type is TokenType.SYMBOL and self._peek().value == ",":
+            self._advance()
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        call = self._parse_func_call()
+        alias = None
+        if self._peek().is_keyword("as"):
+            self._advance()
+            alias = self._expect_ident().value
+        return SelectItem(call=call, alias=alias)
+
+    def _parse_grid_list(self) -> tuple[GridDim, ...]:
+        dims = [self._parse_grid_dim()]
+        while self._peek().type is TokenType.SYMBOL and self._peek().value == ",":
+            self._advance()
+            dims.append(self._parse_grid_dim())
+        return tuple(dims)
+
+    def _parse_grid_dim(self) -> GridDim:
+        name = self._expect_ident().value
+        self._expect_keyword("between")
+        lo = self._expect_number()
+        self._expect_keyword("and")
+        hi = self._expect_number()
+        self._expect_keyword("step")
+        step = self._expect_number()
+        return GridDim(name=name, lo=lo, hi=hi, step=step)
+
+    def _parse_having(self) -> tuple[Comparison, ...]:
+        comparisons = [self._parse_comparison()]
+        while True:
+            token = self._peek()
+            if token.is_keyword("and"):
+                self._advance()
+                comparisons.append(self._parse_comparison())
+                continue
+            if token.is_keyword("or"):
+                raise ParseError(
+                    "HAVING supports only conjunctions (AND) of conditions",
+                    token.position,
+                )
+            return tuple(comparisons)
+
+    def _parse_comparison(self) -> Comparison:
+        token = self._peek()
+        if token.type is TokenType.NUMBER or (
+            token.type is TokenType.SYMBOL and token.value == "-"
+        ):
+            # literal op func — normalize to func op literal.
+            value = self._expect_number()
+            op = self._expect_comparison_op()
+            call = self._parse_func_call()
+            return Comparison(call=call, op=_FLIPPED[op], value=value)
+        call = self._parse_func_call()
+        op = self._expect_comparison_op()
+        value = self._expect_number()
+        return Comparison(call=call, op=op, value=value)
+
+    def _expect_comparison_op(self) -> str:
+        token = self._advance()
+        if token.type is not TokenType.SYMBOL or token.value not in _COMPARISON_OPS:
+            raise ParseError(
+                f"expected a comparison operator, found {token.value!r}", token.position
+            )
+        return token.value
+
+    def _parse_func_call(self) -> FuncCall:
+        token = self._expect_ident()
+        name = token.value
+        self._expect_symbol("(")
+        if name in _DIMENSION_FUNCS:
+            dim = self._expect_ident().value
+            self._expect_symbol(")")
+            return FuncCall(name=name, dim=dim)
+        if name == "card":
+            self._expect_symbol(")")
+            return FuncCall(name=name)
+        if name in _AGGREGATE_FUNCS:
+            if name == "count" and self._peek().value in (")", "*"):
+                if self._peek().value == "*":
+                    self._advance()
+                self._expect_symbol(")")
+                return FuncCall(name=name)
+            expr = self._parse_expr()
+            self._expect_symbol(")")
+            return FuncCall(name=name, expr=expr)
+        raise ParseError(
+            f"unknown window function {name!r}; expected LB, UB, LEN, CARD "
+            f"or an aggregate (AVG, SUM, MIN, MAX, COUNT)",
+            token.position,
+        )
+
+    # -- arithmetic expressions (inside aggregates) -------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().type is TokenType.SYMBOL and self._peek().value in ("+", "-"):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().type is TokenType.SYMBOL and self._peek().value in ("*", "/", "^"):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.SYMBOL and token.value == "-":
+            self._advance()
+            return UnaryFunc("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._advance()
+        if token.type is TokenType.NUMBER:
+            return Literal(float(token.value))
+        if token.type is TokenType.SYMBOL and token.value == "(":
+            inner = self._parse_expr()
+            self._expect_symbol(")")
+            return inner
+        if token.type is TokenType.IDENT:
+            if token.value in _SCALAR_FUNCS:
+                self._expect_symbol("(")
+                arg = self._parse_expr()
+                self._expect_symbol(")")
+                return UnaryFunc(token.value, arg)
+            nxt = self._peek()
+            if nxt.type is TokenType.SYMBOL and nxt.value == "(":
+                raise ParseError(
+                    f"unknown function {token.value!r} in expression", token.position
+                )
+            return Column(token.value)
+        raise ParseError(f"unexpected token {token.value!r} in expression", token.position)

@@ -1,0 +1,46 @@
+"""Simulated storage substrate: disk, buffer pool, heap tables, placements.
+
+This package is the PostgreSQL stand-in described in DESIGN.md — it
+reproduces the *block access behaviour* of the paper's backend (bitmap
+index scans, LRU buffering, seek-dominated dispersed reads, re-read
+thrashing) under a deterministic simulated clock.
+"""
+
+from .buffer import BufferPool
+from .database import CellScan, Database, COUNT_KEY
+from .disk import SimulatedDisk
+from .hilbert import hilbert_d, hilbert_xy, morton_code
+from .placement import (
+    Placement,
+    axis_order,
+    cell_flat_ids,
+    cluster_order,
+    hilbert_order,
+    index_order,
+    order_rows,
+    random_order,
+)
+from .rtree import RTree
+from .table import HeapTable, TableSchema
+
+__all__ = [
+    "BufferPool",
+    "CellScan",
+    "Database",
+    "COUNT_KEY",
+    "SimulatedDisk",
+    "hilbert_d",
+    "hilbert_xy",
+    "morton_code",
+    "Placement",
+    "axis_order",
+    "cell_flat_ids",
+    "cluster_order",
+    "hilbert_order",
+    "index_order",
+    "order_rows",
+    "random_order",
+    "RTree",
+    "HeapTable",
+    "TableSchema",
+]

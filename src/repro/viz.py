@@ -1,0 +1,136 @@
+"""Terminal visualization of grids, results, and exploration progress.
+
+Interactive exploration needs to *show* the user where results are; for a
+terminal-first library that means text renderings:
+
+* :func:`render_grid` — an ASCII heatmap of any grid-shaped array (cell
+  counts, objective averages, read masks);
+* :func:`render_results` — result-window density over the search area,
+  with the paper's Figure 1 "highlighted windows" look;
+* :func:`render_timeline` — a sparkline of result arrival times (online
+  performance at a glance).
+
+2-D grids render as-is (first dimension -> columns, second -> rows, origin
+at the bottom-left like the paper's figures); 1-D grids render as a single
+row.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .core.grid import Grid
+from .core.query import ResultWindow
+
+__all__ = ["render_grid", "render_results", "render_timeline"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_grid(
+    values: np.ndarray,
+    max_width: int = 60,
+    legend: bool = True,
+) -> str:
+    """ASCII heatmap of a 1-D or 2-D array (NaNs render as spaces).
+
+    Arrays wider than ``max_width`` are block-averaged down; values are
+    normalized over the finite range.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    if values.ndim != 2:
+        raise ValueError(f"can only render 1-D or 2-D grids, got {values.ndim}-D")
+
+    values = _downsample(values, max_width)
+    finite = values[np.isfinite(values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 0.0
+    span = hi - lo
+
+    lines = []
+    # Second dimension is the vertical axis, drawn top row = max index.
+    for row in range(values.shape[1] - 1, -1, -1):
+        chars = []
+        for col in range(values.shape[0]):
+            v = values[col, row]
+            if not math.isfinite(v):
+                chars.append(" ")
+            elif span == 0:
+                chars.append(_SHADES[-1] if finite.size else " ")
+            else:
+                idx = int((v - lo) / span * (len(_SHADES) - 1))
+                chars.append(_SHADES[idx])
+        lines.append("|" + "".join(chars) + "|")
+    out = "\n".join(lines)
+    if legend:
+        out += f"\nscale: ' '={lo:.3g} .. '@'={hi:.3g}"
+    return out
+
+
+def render_results(
+    results: Sequence[ResultWindow],
+    grid: Grid,
+    max_width: int = 60,
+) -> str:
+    """Result-window density over the search area as an ASCII heatmap.
+
+    Each cell's intensity is the number of result windows covering it —
+    the terminal version of the paper's Figure 1 highlights.
+    """
+    density = np.zeros(grid.shape, dtype=float)
+    for result in results:
+        box = tuple(slice(l, u) for l, u in zip(result.window.lo, result.window.hi))
+        density[box] += 1.0
+    return render_grid(density, max_width=max_width)
+
+
+def render_timeline(
+    results: Sequence[ResultWindow],
+    total_time: float,
+    width: int = 60,
+) -> str:
+    """A sparkline of result arrivals over the query duration.
+
+    Bucketizes result times into ``width`` slots; taller glyphs mean more
+    results in that slice — dense-early output is the online-performance
+    signature.
+    """
+    if total_time <= 0:
+        raise ValueError(f"total_time must be positive, got {total_time}")
+    counts = np.zeros(width, dtype=int)
+    for result in results:
+        slot = min(width - 1, int(result.time / total_time * width))
+        counts[slot] += 1
+    top = counts.max() if counts.size else 0
+    if top == 0:
+        return "|" + " " * width + f"| 0 results over {total_time:.2f}s"
+    glyphs = " ▁▂▃▄▅▆▇█"
+    bar = "".join(glyphs[int(c / top * (len(glyphs) - 1))] for c in counts)
+    return f"|{bar}| {len(results)} results over {total_time:.2f}s"
+
+
+def _downsample(values: np.ndarray, max_width: int) -> np.ndarray:
+    """Block-average each axis down to at most ``max_width``."""
+    out = values
+    for axis in range(2):
+        size = out.shape[axis]
+        if size <= max_width:
+            continue
+        factor = math.ceil(size / max_width)
+        pad = (-size) % factor
+        if pad:
+            pad_shape = list(out.shape)
+            pad_shape[axis] = pad
+            out = np.concatenate([out, np.full(pad_shape, np.nan)], axis=axis)
+        new_size = out.shape[axis] // factor
+        shape = list(out.shape)
+        shape[axis] = new_size
+        shape.insert(axis + 1, factor)
+        with np.errstate(invalid="ignore"):
+            out = np.nanmean(out.reshape(shape), axis=axis + 1)
+    return out

@@ -1,0 +1,24 @@
+"""Workload generators: synthetic 8-cluster, SDSS-like sky, stock series."""
+
+from .base import Dataset, make_database, make_table
+from .sdss import (SDSS_QUERIES, SDSS_SPREADS, SdssQuerySpec, example1_query, sdss_dataset, sdss_query)
+from .synthetic import SPREADS, synthetic_dataset, synthetic_query
+from .timeseries import DAYS_PER_YEAR, stock_dataset, stock_query
+
+__all__ = [
+    "Dataset",
+    "make_database",
+    "make_table",
+    "SDSS_QUERIES",
+    "SDSS_SPREADS",
+    "SdssQuerySpec",
+    "example1_query",
+    "sdss_dataset",
+    "sdss_query",
+    "SPREADS",
+    "synthetic_dataset",
+    "synthetic_query",
+    "DAYS_PER_YEAR",
+    "stock_dataset",
+    "stock_query",
+]

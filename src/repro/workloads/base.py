@@ -1,0 +1,110 @@
+"""Shared workload plumbing: datasets, table building, database assembly.
+
+A :class:`Dataset` bundles generated columns with the grid geometry and
+ground-truth annotations (e.g. planted cluster footprints) that the
+benchmark harness validates against.  :func:`make_database` applies a
+physical placement and registers the resulting heap table with a fresh
+simulated database — the step the paper performs by loading/clustering the
+PostgreSQL table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..clock import SimClock
+from ..core.geometry import Rect
+from ..core.grid import Grid
+from ..core.window import Window
+from ..costs import CostModel, DEFAULT_COST_MODEL
+from ..storage.database import Database
+from ..storage.placement import Placement, order_rows
+from ..storage.table import HeapTable, TableSchema
+
+__all__ = ["Dataset", "make_table", "make_database"]
+
+
+@dataclass
+class Dataset:
+    """Generated tuples plus the grid they are meant to be explored under.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (becomes the table name).
+    columns:
+        Column name -> value array, all the same length, in generation
+        order (no physical placement applied yet).
+    schema:
+        Table schema (identifies the coordinate columns).
+    grid:
+        The default exploration grid (queries may use others).
+    clusters:
+        Ground truth: planted cluster footprints as windows of ``grid``
+        (empty for workloads without planted structure).
+    meta:
+        Free-form extras (per-cluster value levels, target flags, ...).
+    """
+
+    name: str
+    columns: dict[str, np.ndarray]
+    schema: TableSchema
+    grid: Grid
+    clusters: list[Window] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of generated tuples."""
+        return int(len(next(iter(self.columns.values()))))
+
+    def coordinates(self) -> np.ndarray:
+        """``(n, ndim)`` coordinate matrix in generation order."""
+        return np.column_stack([self.columns[c] for c in self.schema.coordinate_columns])
+
+
+def make_table(
+    dataset: Dataset,
+    placement: Placement | str = Placement.CLUSTER,
+    tuples_per_block: int = 8,
+    axis_dim: int = 0,
+    seed: int = 7,
+) -> HeapTable:
+    """Apply a physical placement and build the heap table."""
+    perm = order_rows(
+        placement,
+        dataset.coordinates(),
+        grid=dataset.grid,
+        axis_dim=axis_dim,
+        seed=seed,
+    )
+    ordered = {name: values[perm] for name, values in dataset.columns.items()}
+    return HeapTable(dataset.name, dataset.schema, ordered, tuples_per_block=tuples_per_block)
+
+
+def make_database(
+    dataset: Dataset,
+    placement: Placement | str = Placement.CLUSTER,
+    tuples_per_block: int = 8,
+    axis_dim: int = 0,
+    buffer_fraction: float = 0.15,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    seed: int = 7,
+) -> Database:
+    """A fresh simulated database holding the dataset under one placement."""
+    db = Database(
+        cost_model=cost_model, clock=SimClock(), buffer_fraction=buffer_fraction
+    )
+    db.register(
+        make_table(
+            dataset,
+            placement,
+            tuples_per_block=tuples_per_block,
+            axis_dim=axis_dim,
+            seed=seed,
+        )
+    )
+    return db

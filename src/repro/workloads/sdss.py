@@ -1,0 +1,317 @@
+"""An SDSS-like sky-survey workload (paper Section 6, "Data Sets").
+
+The paper's real-data experiments run over SDSS with the search area
+``S = [113, 229) x [8, 34)`` in (ra, dec), a 0.5-degree grid, and three
+queries of (approximately) equal selectivity but different result
+*spread*:
+
+    ``card() in (10,20) / (5,10) / (15,20)`` and
+    ``avg(sqrt(rowv^2 + colv^2)) in (95,96) / (100,101) / (181,182)``
+
+for high / medium / low spread respectively (``rowv``/``colv`` are
+velocity attributes).
+
+SDSS itself is a multi-terabyte download — a data gate — so we generate a
+*synthetic sky catalog* with the structure those queries measure: a sparse
+background of slow stars everywhere, plus co-moving star clusters whose
+speeds sit exactly at each query's target interval.  The three queries'
+target clusters are placed with high / medium / low spread.  Everything
+else (the expression-valued objective, tight intervals that stress
+estimation, clustered spatial skew) matches the paper's setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.conditions import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+)
+from ..core.expressions import col
+from ..core.geometry import Rect
+from ..core.grid import Grid
+from ..core.query import SWQuery
+from ..core.window import Window
+from ..storage.table import TableSchema
+from .base import Dataset
+
+__all__ = ["SDSS_SPREADS", "SdssQuerySpec", "SDSS_QUERIES", "sdss_dataset", "sdss_query", "example1_query"]
+
+SDSS_SPREADS = ("high", "medium", "low")
+
+_RA_RANGE = (113.0, 229.0)
+_DEC_RANGE = (8.0, 34.0)
+
+
+@dataclass(frozen=True)
+class SdssQuerySpec:
+    """One of the paper's three SDSS queries."""
+
+    spread: str
+    card_lo: int
+    card_hi: int
+    speed_lo: float
+    speed_hi: float
+    footprint: tuple[int, int]
+
+    @property
+    def target_speed(self) -> float:
+        """Cluster speed planted for this query (interval midpoint)."""
+        return (self.speed_lo + self.speed_hi) / 2.0
+
+
+SDSS_QUERIES: dict[str, SdssQuerySpec] = {
+    "high": SdssQuerySpec("high", 10, 20, 95.0, 96.0, footprint=(5, 4)),
+    "medium": SdssQuerySpec("medium", 5, 10, 100.0, 101.0, footprint=(4, 3)),
+    "low": SdssQuerySpec("low", 15, 20, 181.0, 182.0, footprint=(6, 4)),
+}
+
+# Cluster anchors as grid fractions, per spread class.
+_CLUSTER_ANCHORS = {
+    "high": [(0.05, 0.08), (0.85, 0.12), (0.10, 0.80), (0.88, 0.78)],
+    "medium": [(0.30, 0.30), (0.60, 0.25), (0.33, 0.62), (0.64, 0.66)],
+    "low": [(0.44, 0.42), (0.52, 0.44), (0.45, 0.55), (0.55, 0.53)],
+}
+
+# Decoy clusters: plausible but outside every query interval, and far
+# enough from each target speed that no cell-aligned mixture of a decoy
+# with background can land inside a query interval under the card bounds.
+_DECOYS = [((0.20, 0.45), 60.0), ((0.72, 0.45), 250.0), ((0.45, 0.15), 20.0)]
+
+# Bright 3-degree-by-2-degree sky regions for the paper's Example 1
+# ("identify 3x2-degree windows whose average brightness exceeds 0.8"),
+# as (ra, dec) fractions of the search area.
+_BRIGHT_REGIONS = [(0.12, 0.30), (0.58, 0.70), (0.82, 0.20)]
+_BRIGHT_SIZE_DEG = (3.0, 2.0)
+
+
+def sdss_dataset(
+    scale: float = 1.0,
+    background_per_cell: float = 5.0,
+    cluster_per_cell: float = 100.0,
+    seed: int = 301,
+) -> Dataset:
+    """Generate the synthetic sky catalog (serves all three queries)."""
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    # Floors keep the 15 planted footprints placeable without collisions.
+    cells_ra = max(56, int(round(232 * scale)))
+    cells_dec = max(22, int(round(52 * scale)))
+    grid = Grid(
+        Rect.from_bounds([_RA_RANGE, _DEC_RANGE]),
+        ((_RA_RANGE[1] - _RA_RANGE[0]) / cells_ra, (_DEC_RANGE[1] - _DEC_RANGE[0]) / cells_dec),
+    )
+    rng = np.random.default_rng(seed)
+
+    counts = rng.poisson(background_per_cell, grid.shape).astype(np.int64)
+    counts = np.maximum(counts, 1)
+    speed_mean = np.full(grid.shape, 0.0)  # 0 => background velocity model
+
+    clusters: list[Window] = []
+    cluster_speeds: list[float] = []
+    cluster_class: list[str] = []
+    for spread in SDSS_SPREADS:
+        spec = SDSS_QUERIES[spread]
+        for fx, fy in _CLUSTER_ANCHORS[spread]:
+            window = _place(fx, fy, spec.footprint, grid, clusters)
+            clusters.append(window)
+            cluster_speeds.append(spec.target_speed)
+            cluster_class.append(spread)
+            _paint(counts, speed_mean, window, cluster_per_cell, spec.target_speed, rng)
+    for (fx, fy), speed in _DECOYS:
+        window = _place(fx, fy, (4, 3), grid, clusters)
+        clusters.append(window)
+        cluster_speeds.append(speed)
+        cluster_class.append("decoy")
+        _paint(counts, speed_mean, window, cluster_per_cell, speed, rng)
+
+    ra, dec, rowv, colv = _emit(grid, counts, speed_mean, rng)
+    brightness = _brightness(ra, dec, rng)
+    schema = TableSchema(["ra", "dec", "rowv", "colv", "brightness"], ["ra", "dec"])
+    return Dataset(
+        name="sdss",
+        columns={
+            "ra": ra,
+            "dec": dec,
+            "rowv": rowv,
+            "colv": colv,
+            "brightness": brightness,
+        },
+        schema=schema,
+        grid=grid,
+        clusters=clusters,
+        meta={
+            "cluster_speeds": cluster_speeds,
+            "cluster_class": cluster_class,
+            "scale": scale,
+            "bright_regions": [
+                _bright_rect(fx, fy) for fx, fy in _BRIGHT_REGIONS
+            ],
+        },
+    )
+
+
+def sdss_query(dataset: Dataset, spread: str = "high") -> SWQuery:
+    """One of the paper's three SDSS queries against the dataset's grid."""
+    if spread not in SDSS_QUERIES:
+        raise ValueError(f"spread must be one of {SDSS_SPREADS}, got {spread!r}")
+    spec = SDSS_QUERIES[spread]
+    grid = dataset.grid
+    speed = ContentObjective.of("avg", ((col("rowv") ** 2) + (col("colv") ** 2)).sqrt())
+    card = ShapeObjective(ShapeKind.CARDINALITY)
+    conditions = [
+        ShapeCondition(card, ComparisonOp.GT, spec.card_lo),
+        ShapeCondition(card, ComparisonOp.LT, spec.card_hi),
+        ContentCondition(speed, ComparisonOp.GT, spec.speed_lo),
+        ContentCondition(speed, ComparisonOp.LT, spec.speed_hi),
+    ]
+    return SWQuery.build(
+        dimensions=("ra", "dec"),
+        area=[(grid.area[0].lo, grid.area[0].hi), (grid.area[1].lo, grid.area[1].hi)],
+        steps=grid.steps,
+        conditions=conditions,
+    )
+
+
+def example1_query(dataset: Dataset) -> SWQuery:
+    """The paper's Example 1 / Figure 2 query, verbatim semantics.
+
+    3-by-2-degree windows (1-degree grid) with average brightness above
+    0.8, over the dataset's (ra, dec) area.
+    """
+    area = [
+        (dataset.grid.area[0].lo, dataset.grid.area[0].hi),
+        (dataset.grid.area[1].lo, dataset.grid.area[1].hi),
+    ]
+    ra_len = ShapeObjective(ShapeKind.LENGTH, 0)
+    dec_len = ShapeObjective(ShapeKind.LENGTH, 1)
+    brightness = ContentObjective.of("avg", col("brightness"))
+    return SWQuery.build(
+        dimensions=("ra", "dec"),
+        area=area,
+        steps=(1.0, 1.0),
+        conditions=[
+            ShapeCondition(ra_len, ComparisonOp.EQ, 3),
+            ShapeCondition(dec_len, ComparisonOp.EQ, 2),
+            ContentCondition(brightness, ComparisonOp.GT, 0.8),
+        ],
+    )
+
+
+def _bright_rect(fx: float, fy: float) -> tuple[tuple[float, float], tuple[float, float]]:
+    """Coordinate rectangle of one planted bright region.
+
+    Origins snap to whole degrees so the regions align with Example 1's
+    1-degree grid and a 3x2 window can cover one exactly.
+    """
+    w, h = _BRIGHT_SIZE_DEG
+    ra0 = float(round(_RA_RANGE[0] + fx * (_RA_RANGE[1] - _RA_RANGE[0] - w)))
+    dec0 = float(round(_DEC_RANGE[0] + fy * (_DEC_RANGE[1] - _DEC_RANGE[0] - h)))
+    return ((ra0, dec0), (ra0 + w, dec0 + h))
+
+
+def _brightness(ra: np.ndarray, dec: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Per-star brightness: dim background plus planted bright regions.
+
+    The original SDSS has no brightness attribute; the paper notes it "can
+    be computed from other attributes" — we plant it directly so Example 1
+    has ground truth.
+    """
+    brightness = rng.normal(0.4, 0.05, ra.size)
+    for fx, fy in _BRIGHT_REGIONS:
+        (ra0, dec0), (ra1, dec1) = _bright_rect(fx, fy)
+        inside = (ra >= ra0) & (ra < ra1) & (dec >= dec0) & (dec < dec1)
+        brightness[inside] = rng.normal(0.92, 0.02, int(inside.sum()))
+    return np.clip(brightness, 0.0, 1.0)
+
+
+def _anchored(fx: float, fy: float, footprint: tuple[int, int], grid: Grid) -> Window:
+    w, h = footprint
+    ax = min(int(fx * grid.shape[0]), grid.shape[0] - w)
+    ay = min(int(fy * grid.shape[1]), grid.shape[1] - h)
+    return Window((ax, ay), (ax + w, ay + h))
+
+
+def _place(
+    fx: float,
+    fy: float,
+    footprint: tuple[int, int],
+    grid: Grid,
+    placed: list[Window],
+    margin: int = 1,
+) -> Window:
+    """Anchor a footprint near the requested fraction, avoiding collisions.
+
+    Overlapping paints would corrupt the planted speeds, so each new
+    footprint (expanded by ``margin`` cells) must be disjoint from every
+    placed one; the anchor is nudged outward in a deterministic spiral
+    until a free spot is found.
+    """
+    w, h = footprint
+
+    def expanded(window: Window) -> Window:
+        lo = tuple(max(0, c - margin) for c in window.lo)
+        hi = tuple(min(s, c + margin) for c, s in zip(window.hi, grid.shape))
+        return Window(lo, hi)
+
+    base = _anchored(fx, fy, footprint, grid)
+    for radius in range(0, max(grid.shape)):
+        for dx in range(-radius, radius + 1):
+            for dy in range(-radius, radius + 1):
+                if max(abs(dx), abs(dy)) != radius:
+                    continue
+                ax = min(max(0, base.lo[0] + dx), grid.shape[0] - w)
+                ay = min(max(0, base.lo[1] + dy), grid.shape[1] - h)
+                candidate = Window((ax, ay), (ax + w, ay + h))
+                if not any(expanded(candidate).overlaps(p) for p in placed):
+                    return candidate
+    raise ValueError(
+        f"cannot place a {footprint} cluster on a {grid.shape} grid without "
+        f"overlap — increase the dataset scale"
+    )
+
+
+def _paint(
+    counts: np.ndarray,
+    speed_mean: np.ndarray,
+    window: Window,
+    density: float,
+    speed: float,
+    rng: np.random.Generator,
+) -> None:
+    box = tuple(slice(l, u) for l, u in zip(window.lo, window.hi))
+    counts[box] = np.maximum(
+        1, np.round(rng.normal(density, density / 6, window.lengths))
+    ).astype(np.int64)
+    speed_mean[box] = speed
+
+
+def _emit(
+    grid: Grid, counts: np.ndarray, speed_mean: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    total = int(counts.sum())
+    cell_ids = np.repeat(np.arange(grid.num_cells), counts.reshape(-1))
+    ix, iy = np.unravel_index(cell_ids, grid.shape)
+    ra = grid.area[0].lo + (ix + rng.random(total)) * grid.steps[0]
+    dec = grid.area[1].lo + (iy + rng.random(total)) * grid.steps[1]
+    ra = np.minimum(ra, np.nextafter(grid.area[0].hi, -np.inf))
+    dec = np.minimum(dec, np.nextafter(grid.area[1].hi, -np.inf))
+
+    speeds = speed_mean.reshape(-1)[cell_ids]
+    background = speeds == 0.0
+    # Background: isotropic Gaussian velocities (Rayleigh speeds ~ 37).
+    rowv = rng.normal(0.0, 30.0, total)
+    colv = rng.normal(0.0, 30.0, total)
+    # Cluster members: co-moving at the planted speed (tiny dispersion).
+    member_speed = rng.normal(speeds, 0.3)
+    theta = rng.uniform(0.0, 2 * np.pi, total)
+    rowv = np.where(background, rowv, member_speed * np.cos(theta))
+    colv = np.where(background, colv, member_speed * np.sin(theta))
+    return ra, dec, rowv, colv

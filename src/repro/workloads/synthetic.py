@@ -1,0 +1,162 @@
+"""The paper's synthetic workload (Section 6, "Data Sets").
+
+Each synthetic data set is generated against a predefined grid
+(``S = [0, 10^6) x [0, 10^6)``, steps ``10^4`` — a 100x100 cell grid in
+the paper), with per-cell tuple counts drawn from a normal distribution
+with a fixed expectation.  Eight **clusters** of adjacent cells are
+planted: four *targets* whose ``value`` attribute averages inside the
+query interval ``(20, 30)`` and four decoys whose averages fall outside;
+the rest of the area carries background tuples whose averages miss the
+interval by a wide margin.  A single query —
+
+    ``card(w) in (5, 10)`` and ``avg(value) in (20, 30)``
+
+— therefore "selects four clusters", exactly as in the paper, and the
+three data sets differ only in the **spread**: the distance between the
+four target clusters.
+
+``scale`` shrinks the grid (tests use tiny grids; benchmarks mid-size
+ones); all other structure is preserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.conditions import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+)
+from ..core.expressions import col
+from ..core.geometry import Rect
+from ..core.grid import Grid
+from ..core.query import SWQuery
+from ..core.window import Window
+from ..storage.table import TableSchema
+from .base import Dataset
+
+__all__ = ["SPREADS", "synthetic_dataset", "synthetic_query"]
+
+SPREADS = ("low", "medium", "high")
+
+# Cluster footprint in cells; sub-windows of cardinality 6..9 inside it
+# (plus a few boundary mixes) form the query results.
+_CLUSTER_SHAPE = (5, 2)
+
+# Target-cluster anchor positions as fractions of the grid, per spread.
+_TARGET_ANCHORS = {
+    "high": [(0.06, 0.08), (0.84, 0.10), (0.10, 0.85), (0.82, 0.83)],
+    "medium": [(0.24, 0.25), (0.64, 0.28), (0.28, 0.65), (0.60, 0.62)],
+    "low": [(0.38, 0.40), (0.52, 0.42), (0.40, 0.52), (0.54, 0.55)],
+}
+
+# Decoy clusters sit at fixed positions away from every target layout.
+_DECOY_ANCHORS = [(0.06, 0.45), (0.45, 0.06), (0.90, 0.45), (0.45, 0.90)]
+
+_BACKGROUND_VALUE = 50.0  # far outside (20, 30)
+_TARGET_VALUE = 25.0  # middle of the interval
+_DECOY_VALUE = 35.0  # near miss — keeps estimation non-trivial
+
+
+def synthetic_dataset(
+    spread: str = "high",
+    scale: float = 1.0,
+    background_per_cell: float = 50.0,
+    cluster_per_cell: float = 100.0,
+    seed: int = 101,
+) -> Dataset:
+    """Generate one synthetic data set for the given spread level."""
+    if spread not in SPREADS:
+        raise ValueError(f"spread must be one of {SPREADS}, got {spread!r}")
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+
+    cells_per_dim = max(16, int(round(100 * scale)))
+    extent = 1_000_000.0
+    step = extent / cells_per_dim
+    grid = Grid(Rect.from_bounds([(0.0, extent), (0.0, extent)]), (step, step))
+    rng = np.random.default_rng(seed)
+
+    clusters: list[Window] = []
+    is_target: list[bool] = []
+    for fx, fy in _TARGET_ANCHORS[spread]:
+        clusters.append(_cluster_window(fx, fy, grid))
+        is_target.append(True)
+    for fx, fy in _DECOY_ANCHORS:
+        clusters.append(_cluster_window(fx, fy, grid))
+        is_target.append(False)
+
+    # Per-cell tuple counts: normal with fixed expectation, clusters denser.
+    counts = np.maximum(
+        1, np.round(rng.normal(background_per_cell, background_per_cell / 5, grid.shape))
+    ).astype(np.int64)
+    values_mean = np.full(grid.shape, _BACKGROUND_VALUE)
+    for window, target in zip(clusters, is_target):
+        box = tuple(slice(l, u) for l, u in zip(window.lo, window.hi))
+        counts[box] = np.maximum(
+            1, np.round(rng.normal(cluster_per_cell, cluster_per_cell / 5, window.lengths))
+        ).astype(np.int64)
+        values_mean[box] = _TARGET_VALUE if target else _DECOY_VALUE
+
+    xs, ys, values = _emit_tuples(grid, counts, values_mean, value_std=1.5, rng=rng)
+    schema = TableSchema(["x", "y", "value"], ["x", "y"])
+    return Dataset(
+        name=f"synth_{spread}",
+        columns={"x": xs, "y": ys, "value": values},
+        schema=schema,
+        grid=grid,
+        clusters=clusters,
+        meta={"is_target": is_target, "spread": spread, "scale": scale},
+    )
+
+
+def synthetic_query(dataset: Dataset) -> SWQuery:
+    """The paper's synthetic query: ``card in (5, 10)``, ``avg in (20, 30)``."""
+    grid = dataset.grid
+    card = ShapeObjective(ShapeKind.CARDINALITY)
+    avg_value = ContentObjective.of("avg", col("value"))
+    conditions = [
+        ShapeCondition(card, ComparisonOp.GT, 5),
+        ShapeCondition(card, ComparisonOp.LT, 10),
+        ContentCondition(avg_value, ComparisonOp.GT, 20.0),
+        ContentCondition(avg_value, ComparisonOp.LT, 30.0),
+    ]
+    return SWQuery.build(
+        dimensions=("x", "y"),
+        area=[(grid.area[0].lo, grid.area[0].hi), (grid.area[1].lo, grid.area[1].hi)],
+        steps=grid.steps,
+        conditions=conditions,
+    )
+
+
+def _cluster_window(fx: float, fy: float, grid: Grid) -> Window:
+    """A cluster footprint anchored at grid-fraction ``(fx, fy)``."""
+    w, h = _CLUSTER_SHAPE
+    ax = min(int(fx * grid.shape[0]), grid.shape[0] - w)
+    ay = min(int(fy * grid.shape[1]), grid.shape[1] - h)
+    return Window((ax, ay), (ax + w, ay + h))
+
+
+def _emit_tuples(
+    grid: Grid,
+    counts: np.ndarray,
+    values_mean: np.ndarray,
+    value_std: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialize tuples: uniform coordinates per cell, normal values."""
+    total = int(counts.sum())
+    cell_ids = np.repeat(np.arange(grid.num_cells), counts.reshape(-1))
+    ix, iy = np.unravel_index(cell_ids, grid.shape)
+    sx, sy = grid.steps
+    xs = grid.area[0].lo + (ix + rng.random(total)) * sx
+    ys = grid.area[1].lo + (iy + rng.random(total)) * sy
+    # Clip inside the area (last cells may be clipped by the grid).
+    xs = np.minimum(xs, np.nextafter(grid.area[0].hi, -np.inf))
+    ys = np.minimum(ys, np.nextafter(grid.area[1].hi, -np.inf))
+    values = rng.normal(values_mean.reshape(-1)[cell_ids], value_std)
+    return xs, ys, values

@@ -1,0 +1,101 @@
+"""The stock-price time-series workload (paper Example 2, Section 1).
+
+A one-dimensional exploration case: the data are daily stock prices over
+several years, the grid step is one year, and the query asks for
+
+    time intervals of length 1 to 3 years whose average price exceeds 50
+
+(``len(time) >= 1``, ``len(time) <= 3``, ``avg(price) > 50``).  The price
+series is a mean-reverting random walk with planted "bull" periods whose
+level sits above the threshold, so results exist and cluster around those
+periods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.conditions import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+)
+from ..core.expressions import col
+from ..core.geometry import Rect
+from ..core.grid import Grid
+from ..core.query import SWQuery
+from ..core.window import Window
+from ..storage.table import TableSchema
+from .base import Dataset
+
+__all__ = ["stock_dataset", "stock_query", "DAYS_PER_YEAR"]
+
+DAYS_PER_YEAR = 365.0
+
+
+def stock_dataset(
+    years: int = 16,
+    ticks_per_day: int = 4,
+    bull_years: tuple[int, ...] = (3, 4, 9, 13),
+    seed: int = 401,
+) -> Dataset:
+    """Generate the price series (one coordinate: ``time`` in days).
+
+    ``bull_years`` are the year indices whose price level is lifted above
+    the query threshold of 50.
+    """
+    if years < 4:
+        raise ValueError(f"need at least 4 years of data, got {years}")
+    for year in bull_years:
+        if not 0 <= year < years:
+            raise ValueError(f"bull year {year} outside [0, {years})")
+    rng = np.random.default_rng(seed)
+
+    horizon = years * DAYS_PER_YEAR
+    n = int(years * DAYS_PER_YEAR * ticks_per_day)
+    time = np.sort(rng.uniform(0.0, horizon, n))
+
+    # Mean-reverting base level around 35, lifted to ~62 in bull years.
+    level = np.full(n, 35.0)
+    year_of = (time / DAYS_PER_YEAR).astype(int)
+    for year in bull_years:
+        level[year_of == year] = 62.0
+    noise = np.zeros(n)
+    value = 0.0
+    for i in range(n):
+        value = 0.97 * value + rng.normal(0.0, 1.2)
+        noise[i] = value
+    price = level + noise
+
+    grid = Grid(Rect.from_bounds([(0.0, horizon)]), (DAYS_PER_YEAR,))
+    clusters = [Window((year,), (year + 1,)) for year in bull_years]
+    schema = TableSchema(["time", "price"], ["time"])
+    return Dataset(
+        name="stocks",
+        columns={"time": time, "price": price},
+        schema=schema,
+        grid=grid,
+        clusters=clusters,
+        meta={"bull_years": bull_years, "years": years},
+    )
+
+
+def stock_query(dataset: Dataset, threshold: float = 50.0) -> SWQuery:
+    """Example 2: intervals of 1-3 years with average price above ``threshold``."""
+    grid = dataset.grid
+    length = ShapeObjective(ShapeKind.LENGTH, 0)
+    avg_price = ContentObjective.of("avg", col("price"))
+    conditions = [
+        ShapeCondition(length, ComparisonOp.GE, 1),
+        ShapeCondition(length, ComparisonOp.LE, 3),
+        ContentCondition(avg_price, ComparisonOp.GT, threshold),
+    ]
+    return SWQuery.build(
+        dimensions=("time",),
+        area=[(grid.area[0].lo, grid.area[0].hi)],
+        steps=grid.steps,
+        conditions=conditions,
+    )

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic datasets and databases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Rect
+from repro.storage import Database, HeapTable, TableSchema
+from repro.workloads import make_database, synthetic_dataset, synthetic_query
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small high-spread synthetic dataset (session-cached)."""
+    return synthetic_dataset("high", scale=0.2, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_query(tiny_dataset):
+    """The paper's synthetic query over the tiny dataset."""
+    return synthetic_query(tiny_dataset)
+
+
+@pytest.fixture()
+def tiny_db(tiny_dataset):
+    """A fresh clustered-placement database over the tiny dataset."""
+    return make_database(tiny_dataset, "cluster")
+
+
+@pytest.fixture()
+def grid_10x10():
+    """A unit 10x10 grid over [0, 10)^2."""
+    return Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+
+
+@pytest.fixture()
+def small_table():
+    """A 600-row 2-D table with a value column, deterministic."""
+    rng = np.random.default_rng(42)
+    n = 600
+    x = rng.uniform(0, 10, n)
+    y = rng.uniform(0, 10, n)
+    v = rng.normal(25, 5, n)
+    schema = TableSchema(["x", "y", "v"], ["x", "y"])
+    return HeapTable("pts", schema, {"x": x, "y": y, "v": v}, tuples_per_block=16)
+
+
+@pytest.fixture()
+def small_db(small_table):
+    """A database registering the small table."""
+    db = Database()
+    db.register(small_table)
+    return db

@@ -1,0 +1,112 @@
+"""Unit and property tests for mergeable aggregate summaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import AGGREGATES, CellStats, get_aggregate
+
+values_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=30
+)
+
+
+class TestCellStats:
+    def test_of_values(self):
+        stats = CellStats.of_values([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.total == 6.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_empty(self):
+        stats = CellStats.empty()
+        assert stats.is_empty
+        assert stats.count == 0
+
+    def test_merge_identity(self):
+        stats = CellStats.of_values([4.0, 5.0])
+        assert stats.merge(CellStats.empty()) == stats
+        assert CellStats.empty().merge(stats) == stats
+
+    def test_merge_all(self):
+        parts = [CellStats.of_values([1.0]), CellStats.of_values([2.0, 3.0])]
+        merged = CellStats.merge_all(parts)
+        assert merged == CellStats.of_values([1.0, 2.0, 3.0])
+
+    def test_merge_all_empty_iterable(self):
+        assert CellStats.merge_all([]) == CellStats.empty()
+
+    @given(values_lists, values_lists)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = CellStats.of_values(a).merge(CellStats.of_values(b))
+        direct = CellStats.of_values(a + b)
+        assert merged.count == direct.count
+        assert merged.total == pytest.approx(direct.total)
+        assert merged.minimum == direct.minimum
+        assert merged.maximum == direct.maximum
+
+    @given(values_lists, values_lists)
+    def test_merge_commutative(self, a, b):
+        x, y = CellStats.of_values(a), CellStats.of_values(b)
+        assert x.merge(y) == y.merge(x)
+
+
+class TestAggregates:
+    def test_registry_contents(self):
+        assert set(AGGREGATES) == {"count", "sum", "avg", "min", "max"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_aggregate("AVG").name == "avg"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown aggregate"):
+            get_aggregate("median")
+
+    @pytest.mark.parametrize(
+        "name, expected",
+        [("count", 4.0), ("sum", 10.0), ("avg", 2.5), ("min", 1.0), ("max", 4.0)],
+    )
+    def test_finalizers(self, name, expected):
+        agg = get_aggregate(name)
+        assert agg.over_values([1.0, 2.0, 3.0, 4.0]) == expected
+
+    @pytest.mark.parametrize("name", ["avg", "min", "max"])
+    def test_undefined_over_empty(self, name):
+        assert math.isnan(get_aggregate(name).over_values([]))
+
+    def test_count_sum_zero_over_empty(self):
+        assert get_aggregate("count").over_values([]) == 0.0
+        assert get_aggregate("sum").over_values([]) == 0.0
+
+    def test_monotone_flags(self):
+        assert get_aggregate("sum").monotone_nonneg
+        assert get_aggregate("count").monotone_nonneg
+        assert not get_aggregate("avg").monotone_nonneg
+
+    def test_needs_values(self):
+        assert not get_aggregate("count").needs_values
+        assert get_aggregate("sum").needs_values
+
+    @given(values_lists)
+    def test_distributivity_over_split(self, values):
+        """Aggregating halves then merging equals aggregating all at once."""
+        mid = len(values) // 2
+        merged = CellStats.of_values(values[:mid]).merge(CellStats.of_values(values[mid:]))
+        for name in AGGREGATES:
+            direct = get_aggregate(name).over_values(values)
+            via_merge = get_aggregate(name).finalize(merged)
+            if math.isnan(direct):
+                assert math.isnan(via_merge)
+            else:
+                assert via_merge == pytest.approx(direct)
+
+    def test_numpy_input(self):
+        stats = CellStats.of_values(np.array([2.0, 4.0]))
+        assert stats.count == 2
+        assert stats.total == 6.0

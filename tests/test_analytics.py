@@ -1,0 +1,109 @@
+"""Tests for multi-window result analytics (Section 8 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Grid, Rect, ResultWindow, Window
+from repro.core.analytics import (
+    group_by_distance,
+    nearest_neighbors,
+    objective_similarity,
+    window_distance,
+)
+
+
+@pytest.fixture()
+def grid():
+    return Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+
+
+def res(lo, hi, grid, **objectives):
+    window = Window(lo, hi)
+    return ResultWindow(
+        window=window, bounds=window.rect(grid), objective_values=objectives
+    )
+
+
+class TestDistances:
+    def test_window_distance(self, grid):
+        a = res((0, 0), (1, 1), grid)
+        b = res((4, 0), (5, 1), grid)
+        assert window_distance(a, b) == pytest.approx(3.0)
+
+    def test_overlapping_distance_zero(self, grid):
+        a = res((0, 0), (3, 3), grid)
+        b = res((2, 2), (4, 4), grid)
+        assert window_distance(a, b) == 0.0
+
+
+class TestSimilarity:
+    def test_identical_values(self, grid):
+        a = res((0, 0), (1, 1), grid, avg=5.0)
+        b = res((2, 2), (3, 3), grid, avg=5.0)
+        assert objective_similarity(a, b) == 1.0
+
+    def test_decays_with_difference(self, grid):
+        a = res((0, 0), (1, 1), grid, avg=5.0)
+        near = res((2, 2), (3, 3), grid, avg=5.5)
+        far = res((4, 4), (5, 5), grid, avg=50.0)
+        assert objective_similarity(a, near) > objective_similarity(a, far)
+
+    def test_no_shared_keys(self, grid):
+        a = res((0, 0), (1, 1), grid, avg=5.0)
+        b = res((2, 2), (3, 3), grid, total=5.0)
+        assert objective_similarity(a, b) == 0.0
+
+    def test_symmetric(self, grid):
+        a = res((0, 0), (1, 1), grid, avg=5.0, total=9.0)
+        b = res((2, 2), (3, 3), grid, avg=7.0, total=3.0)
+        assert objective_similarity(a, b) == objective_similarity(b, a)
+
+
+class TestNearestNeighbors:
+    def test_pairs(self, grid):
+        results = [
+            res((0, 0), (1, 1), grid),
+            res((1, 0), (2, 1), grid),  # adjacent to the first
+            res((8, 8), (9, 9), grid),
+        ]
+        nn = nearest_neighbors(results)
+        assert nn[0][1] == 1
+        assert nn[1][1] == 0
+        assert nn[2][2] > 5.0
+
+    def test_too_few_results(self, grid):
+        assert nearest_neighbors([]) == []
+        assert nearest_neighbors([res((0, 0), (1, 1), grid)]) == []
+
+
+class TestGrouping:
+    def test_zero_threshold_is_overlap_clustering(self, grid):
+        results = [
+            res((0, 0), (2, 2), grid),
+            res((1, 1), (3, 3), grid),
+            res((7, 7), (9, 9), grid),
+        ]
+        groups = group_by_distance(results, 0.0)
+        assert sorted(len(g) for g in groups) == [1, 2]
+
+    def test_large_threshold_single_group(self, grid):
+        results = [
+            res((0, 0), (1, 1), grid),
+            res((9, 9), (10, 10), grid),
+        ]
+        groups = group_by_distance(results, 100.0)
+        assert len(groups) == 1
+
+    def test_single_linkage_chains(self, grid):
+        results = [
+            res((0, 0), (1, 1), grid),
+            res((2, 0), (3, 1), grid),  # 1 away from first
+            res((4, 0), (5, 1), grid),  # 1 away from second, 3 from first
+        ]
+        groups = group_by_distance(results, 1.0)
+        assert len(groups) == 1
+
+    def test_negative_threshold_rejected(self, grid):
+        with pytest.raises(ValueError, match="non-negative"):
+            group_by_distance([], -1.0)

@@ -1,0 +1,61 @@
+"""Tests for the benchmark scale configuration and fixture caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, fresh_database, get_synthetic, get_table
+from repro.bench.configs import BenchScale
+
+
+class TestBenchScale:
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale().name == "small"
+
+    @pytest.mark.parametrize("name", ["tiny", "small", "paper"])
+    def test_named_scales(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", name)
+        scale = bench_scale()
+        assert scale.name == name
+        assert 0 < scale.synthetic_scale <= 1
+        assert 0 < scale.sample_fraction <= 1
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "TINY")
+        assert bench_scale().name == "tiny"
+
+    def test_unknown_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError, match="REPRO_BENCH_SCALE"):
+            bench_scale()
+
+    def test_scale_ordering(self, monkeypatch):
+        sizes = {}
+        for name in ("tiny", "small", "paper"):
+            monkeypatch.setenv("REPRO_BENCH_SCALE", name)
+            sizes[name] = bench_scale().synthetic_scale
+        assert sizes["tiny"] < sizes["small"] < sizes["paper"]
+
+
+class TestFixtureCaching:
+    def test_dataset_cached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        assert get_synthetic("high") is get_synthetic("high")
+
+    def test_table_cached_per_placement(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        dataset = get_synthetic("high")
+        assert get_table(dataset, "cluster") is get_table(dataset, "cluster")
+        assert get_table(dataset, "cluster") is not get_table(dataset, "hilbert")
+
+    def test_fresh_database_isolated(self, monkeypatch):
+        import numpy as np
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        table = get_table(get_synthetic("high"), "cluster")
+        db1 = fresh_database(table)
+        db2 = fresh_database(table)
+        db1.disk(table.name).read(np.array([0]))
+        assert db2.disk(table.name).blocks_read == 0
+        assert db1.clock is not db2.clock

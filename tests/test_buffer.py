@@ -1,0 +1,82 @@
+"""Unit tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clock import SimClock
+from repro.costs import CostModel
+from repro.storage import BufferPool, SimulatedDisk
+
+
+@pytest.fixture()
+def pool():
+    disk = SimulatedDisk(100, CostModel(seek_ms=1.0, transfer_ms=0.1), SimClock())
+    return BufferPool(4, disk), disk
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self, pool):
+        buf, disk = pool
+        buf.access([1, 2])
+        assert buf.misses == 2
+        buf.access([1, 2])
+        assert buf.hits == 2
+        assert disk.blocks_read == 2  # second access served from pool
+
+    def test_eviction_lru(self, pool):
+        buf, disk = pool
+        buf.access([1])
+        buf.access([2])
+        buf.access([3])
+        buf.access([4])
+        buf.access([1])  # refresh 1 -> 2 is now LRU
+        buf.access([5])  # evicts 2
+        assert buf.contains(1)
+        assert not buf.contains(2)
+        buf.access([2])  # miss -> disk re-read
+        assert disk.blocks_reread == 1
+
+    def test_capacity_respected(self, pool):
+        buf, _ = pool
+        buf.access(list(range(10)))
+        assert buf.size == 4
+
+    def test_elapsed_zero_on_full_hit(self, pool):
+        buf, _ = pool
+        buf.access([1, 2])
+        assert buf.access([1, 2]) == 0.0
+
+    def test_empty_access(self, pool):
+        buf, _ = pool
+        assert buf.access([]) == 0.0
+        assert buf.hits == 0 and buf.misses == 0
+
+    def test_duplicate_ids_counted_once(self, pool):
+        buf, disk = pool
+        buf.access([3, 3, 3])
+        assert buf.misses == 1
+        assert disk.blocks_read == 1
+
+    def test_numpy_input(self, pool):
+        buf, _ = pool
+        buf.access(np.array([7, 8]))
+        assert buf.contains(7)
+
+    def test_reset(self, pool):
+        buf, _ = pool
+        buf.access([1, 2])
+        buf.reset()
+        assert buf.size == 0
+        assert buf.hits == 0 and buf.misses == 0
+
+    def test_positive_capacity_required(self, pool):
+        _, disk = pool
+        with pytest.raises(ValueError, match="positive"):
+            BufferPool(0, disk)
+
+    def test_misses_fetched_in_one_request(self, pool):
+        buf, disk = pool
+        buf.access([5, 1, 3])
+        assert disk.requests == 1

@@ -1,0 +1,114 @@
+"""Tests for cross-query cache reuse and search progress reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    SearchConfig,
+    SWEngine,
+    SWQuery,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    col,
+)
+from repro.workloads import make_database, synthetic_query
+
+
+def variant_query(base: SWQuery, threshold: float) -> SWQuery:
+    """Same grid/objective, different content threshold."""
+    grid = base.grid
+    card = ShapeObjective(ShapeKind.CARDINALITY)
+    avg = ContentObjective.of("avg", col("value"))
+    return SWQuery.build(
+        dimensions=base.dimensions,
+        area=[(iv.lo, iv.hi) for iv in grid.area.intervals],
+        steps=grid.steps,
+        conditions=[
+            ShapeCondition(card, ComparisonOp.GT, 5),
+            ShapeCondition(card, ComparisonOp.LT, 10),
+            ContentCondition(avg, ComparisonOp.GT, threshold),
+            ContentCondition(avg, ComparisonOp.LT, 30.0),
+        ],
+    )
+
+
+class TestCacheReuse:
+    def test_second_query_reads_nothing(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        first = engine.execute(tiny_query, reuse_cache=True)
+        assert first.run.stats.reads > 0
+        refined = variant_query(tiny_query, threshold=24.0)
+        second = engine.execute(refined, reuse_cache=True)
+        assert second.run.stats.reads == 0
+        assert second.disk_stats["blocks_read"] == 0
+
+    def test_reused_results_still_exact(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        engine.execute(tiny_query, reuse_cache=True)
+        refined = variant_query(tiny_query, threshold=24.0)
+        warm = engine.execute(refined, reuse_cache=True)
+        # Cold reference.
+        db2 = make_database(tiny_dataset, "cluster")
+        cold = SWEngine(db2, tiny_dataset.name, sample_fraction=0.3).execute(refined)
+        assert {r.window for r in warm.results} == {r.window for r in cold.results}
+        # And the refinement is a subset of the broader query.
+        broad = {r.window for r in engine.execute(tiny_query, reuse_cache=True).results}
+        assert {r.window for r in warm.results} <= broad
+
+    def test_no_reuse_without_flag(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        engine.execute(tiny_query)
+        second = engine.execute(tiny_query)
+        # Without reuse a fresh Data Manager re-requests (buffer pool may
+        # still absorb some disk I/O, but reads are issued).
+        assert second.run.stats.reads >= 0
+        assert second.run.stats.generated > 0
+
+    def test_different_grid_not_reused(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        engine.execute(tiny_query, reuse_cache=True)
+        grid = tiny_query.grid
+        finer = SWQuery.build(
+            dimensions=tiny_query.dimensions,
+            area=[(iv.lo, iv.hi) for iv in grid.area.intervals],
+            steps=[s / 2 for s in grid.steps],
+            conditions=tiny_query.conditions.conditions,
+        )
+        report = engine.execute(finer, reuse_cache=True)
+        assert report.run.stats.reads > 0
+
+
+class TestProgress:
+    def test_progress_before_and_after(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        search = engine.prepare(tiny_query)
+        before = search.progress()
+        assert before["explored"] == 0
+        assert before["data_read_fraction"] == 0.0
+        search.run()
+        after = search.progress()
+        assert after["explored"] > 0
+        assert after["results"] > 0
+        assert after["data_read_fraction"] == pytest.approx(1.0)
+        assert after["frontier"] == 0
+
+    def test_progress_mid_stream(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        search = engine.prepare(tiny_query, SearchConfig(alpha=0.0))
+        stream = search.iter_results()
+        next(stream)
+        mid = search.progress()
+        assert 0 < mid["data_read_fraction"] < 1.0
+        assert mid["results"] >= 1
+        stream.close()

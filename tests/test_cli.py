@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, list[str]]:
+    lines: list[str] = []
+    code = main(list(argv), out=lines.append)
+    return code, lines
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "synth-high"
+        assert args.placement == "cluster"
+        assert args.alpha == 1.0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_info(self):
+        code, lines = run_cli("info")
+        assert code == 0
+        assert any("Semantic Windows" in line for line in lines)
+        assert any("cost model" in line for line in lines)
+
+    def test_run_with_limit(self):
+        code, lines = run_cli(
+            "run", "--workload", "synth-high", "--scale", "0.2", "--limit", "3",
+            "--sample-fraction", "0.3",
+        )
+        assert code == 0
+        assert any("stopped after 3 results" in line for line in lines)
+
+    def test_run_to_completion_stocks(self):
+        code, lines = run_cli("run", "--workload", "stocks", "--sample-fraction", "0.3")
+        assert code == 0
+        assert any("query complete" in line for line in lines)
+
+    def test_sql_command(self):
+        sql = (
+            "SELECT LB(x), UB(x), CARD() FROM synth_high "
+            "GRID BY x BETWEEN 0 AND 1000000 STEP 50000, "
+            "y BETWEEN 0 AND 1000000 STEP 50000 "
+            "HAVING AVG(value) > 20 AND AVG(value) < 30 AND CARD() < 10"
+        )
+        code, lines = run_cli(
+            "sql", "--workload", "synth-high", "--scale", "0.2",
+            "--sample-fraction", "0.3", sql,
+        )
+        assert code == 0
+        assert any(line.endswith("rows") for line in lines)
+
+    def test_optimize_command(self):
+        sql = (
+            "SELECT CARD() FROM synth_high "
+            "GRID BY x BETWEEN 0 AND 1000000 STEP 50000, "
+            "y BETWEEN 0 AND 1000000 STEP 50000 "
+            "HAVING CARD() <= 4 MAXIMIZE AVG(value)"
+        )
+        code, lines = run_cli(
+            "optimize", "--workload", "synth-high", "--scale", "0.2",
+            "--sample-fraction", "0.3", sql,
+        )
+        assert code == 0
+        assert any("optimum" in line for line in lines)
+
+    def test_baseline_command(self):
+        code, lines = run_cli("baseline", "--workload", "synth-high", "--scale", "0.2")
+        assert code == 0
+        assert any("baseline:" in line for line in lines)
+
+    def test_error_path_returns_nonzero(self):
+        code, lines = run_cli(
+            "sql", "--workload", "synth-high", "--scale", "0.2",
+            "SELECT CARD() FROM wrong_table GRID BY x BETWEEN 0 AND 1 STEP 1 "
+            "HAVING CARD() > 0",
+        )
+        assert code == 2
+        assert any("error:" in line for line in lines)
+
+    def test_sql_syntax_error_handled(self):
+        code, lines = run_cli(
+            "sql", "--workload", "synth-high", "--scale", "0.2",
+            "SELECT FROM nothing",
+        )
+        assert code == 2
+        assert any("error:" in line for line in lines)

@@ -1,0 +1,118 @@
+"""Unit tests for the simulated DBMS front-end (range-aggregate queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ContentObjective, Grid, Rect, col
+from repro.storage import COUNT_KEY, Database, HeapTable, TableSchema
+
+
+@pytest.fixture()
+def grid():
+    return Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+
+
+@pytest.fixture()
+def avg_v():
+    return ContentObjective.of("avg", col("v"))
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, small_table):
+        db = Database()
+        db.register(small_table)
+        assert db.table("pts") is small_table
+        assert db.table_names() == ("pts",)
+        assert db.disk("pts").num_blocks == small_table.num_blocks
+
+    def test_duplicate_registration(self, small_table):
+        db = Database()
+        db.register(small_table)
+        with pytest.raises(ValueError, match="already registered"):
+            db.register(small_table)
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError, match="no table"):
+            Database().table("ghost")
+
+    def test_buffer_capacity_fraction(self, small_table):
+        db = Database(buffer_fraction=0.5, min_buffer_blocks=1)
+        db.register(small_table)
+        assert db.buffer("pts").capacity == small_table.num_blocks // 2
+
+    def test_min_buffer_floor(self, small_table):
+        db = Database(buffer_fraction=0.01, min_buffer_blocks=16)
+        db.register(small_table)
+        assert db.buffer("pts").capacity == 16
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="buffer_fraction"):
+            Database(buffer_fraction=0.0)
+
+
+class TestRangeAggregates:
+    def test_cell_values_exact(self, small_db, small_table, grid, avg_v):
+        scan = small_db.range_cell_aggregates("pts", grid, (2, 3), (4, 5), [avg_v])
+        x = small_table.column("x")
+        y = small_table.column("y")
+        v = small_table.column("v")
+        for (cx, cy) in [(2, 3), (2, 4), (3, 3), (3, 4)]:
+            mask = (x >= cx) & (x < cx + 1) & (y >= cy) & (y < cy + 1)
+            flat = grid.flat_id((cx, cy))
+            if mask.sum() == 0:
+                assert flat not in scan.cells
+                continue
+            stats = scan.cells[flat]
+            assert stats[COUNT_KEY].count == int(mask.sum())
+            assert stats["v"].total == pytest.approx(float(v[mask].sum()))
+            assert stats["v"].minimum == pytest.approx(float(v[mask].min()))
+            assert stats["v"].maximum == pytest.approx(float(v[mask].max()))
+
+    def test_no_cells_outside_range(self, small_db, grid, avg_v):
+        scan = small_db.range_cell_aggregates("pts", grid, (2, 3), (4, 5), [avg_v])
+        for flat in scan.cells:
+            idx = grid.index_of_flat(flat)
+            assert 2 <= idx[0] < 4 and 3 <= idx[1] < 5
+
+    def test_elapsed_time_charged(self, small_db, grid, avg_v):
+        before = small_db.clock.now
+        scan = small_db.range_cell_aggregates("pts", grid, (0, 0), (5, 5), [avg_v])
+        assert scan.elapsed_s > 0
+        assert small_db.clock.now - before == pytest.approx(scan.elapsed_s)
+
+    def test_buffered_rescan_cheaper(self, small_db, grid, avg_v):
+        first = small_db.range_cell_aggregates("pts", grid, (1, 1), (3, 3), [avg_v])
+        second = small_db.range_cell_aggregates("pts", grid, (1, 1), (3, 3), [avg_v])
+        assert second.elapsed_s < first.elapsed_s
+
+    def test_empty_region(self, small_db, grid, avg_v):
+        scan = small_db.range_cell_aggregates("pts", grid, (20, 20), (25, 25), [avg_v])
+        assert scan.cells == {}
+        assert scan.blocks_touched == 0
+
+    def test_count_objective_only(self, small_db, grid):
+        count = ContentObjective.of("count")
+        scan = small_db.range_cell_aggregates("pts", grid, (0, 0), (2, 2), [count])
+        for stats in scan.cells.values():
+            assert COUNT_KEY in stats
+
+
+class TestFullScan:
+    def test_covers_every_nonempty_cell(self, small_db, small_table, grid, avg_v):
+        scan = small_db.full_scan_cell_aggregates("pts", grid, [avg_v])
+        total = sum(s[COUNT_KEY].count for s in scan.cells.values())
+        assert total == small_table.num_rows
+        assert scan.blocks_touched == small_table.num_blocks
+
+    def test_sequential_scan_is_one_seek(self, small_db, grid, avg_v):
+        small_db.full_scan_cell_aggregates("pts", grid, [avg_v])
+        assert small_db.disk("pts").seeks == 1
+
+    def test_matches_range_query_totals(self, small_db, grid, avg_v):
+        full = small_db.full_scan_cell_aggregates("pts", grid, [avg_v])
+        ranged = small_db.range_cell_aggregates("pts", grid, (0, 0), (10, 10), [avg_v])
+        assert set(full.cells) == set(ranged.cells)
+        for flat in full.cells:
+            assert full.cells[flat][COUNT_KEY].count == ranged.cells[flat][COUNT_KEY].count

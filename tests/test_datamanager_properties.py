@@ -1,0 +1,110 @@
+"""Property-based tests for Data Manager invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContentObjective, Grid, Rect, Window, col
+from repro.core.datamanager import DataManager
+from repro.sampling import StratifiedSampler
+from repro.storage import Database, HeapTable, TableSchema
+
+
+def build_dm(seed: int, fraction: float = 0.5):
+    rng = np.random.default_rng(seed)
+    n = 300
+    x = rng.uniform(0, 8, n)
+    y = rng.uniform(0, 8, n)
+    v = rng.normal(10, 4, n)
+    schema = TableSchema(["x", "y", "v"], ["x", "y"])
+    db = Database()
+    db.register(HeapTable("t", schema, {"x": x, "y": y, "v": v}, 8))
+    grid = Grid(Rect.from_bounds([(0.0, 8.0), (0.0, 8.0)]), (1.0, 1.0))
+    obj = ContentObjective.of("avg", col("v"))
+    sample = StratifiedSampler(fraction, seed=seed + 1).sample(db.table("t"), grid)
+    return DataManager(db, "t", grid, [obj], sample), obj, grid
+
+
+@st.composite
+def boxes(draw, size=8):
+    lx = draw(st.integers(0, size - 1))
+    ly = draw(st.integers(0, size - 1))
+    hx = draw(st.integers(lx + 1, size))
+    hy = draw(st.integers(ly + 1, size))
+    return Window((lx, ly), (hx, hy))
+
+
+class TestDataManagerInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100), st.lists(boxes(), min_size=1, max_size=6))
+    def test_unread_monotone_under_reads(self, seed, windows):
+        dm, _, _ = build_dm(seed)
+        total = Window((0, 0), (8, 8))
+        previous = dm.unread_objects(total)
+        for window in windows:
+            dm.read_window(window)
+            current = dm.unread_objects(total)
+            assert current <= previous + 1e-9
+            previous = current
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100), boxes(), boxes())
+    def test_subwindows_exact_after_read(self, seed, outer, inner):
+        dm, obj, _ = build_dm(seed)
+        dm.read_window(outer)
+        shared = outer.intersection(inner)
+        if shared is None:
+            return
+        assert dm.is_read(shared)
+        # Exact value matches a direct recomputation from the table.
+        table = dm.database.table("t")
+        coords = table.coordinates()
+        rect = shared.rect(dm.grid)
+        mask = np.ones(coords.shape[0], dtype=bool)
+        for d in range(2):
+            mask &= (coords[:, d] >= rect.lower[d]) & (coords[:, d] < rect.upper[d])
+        expected = float(table.column("v")[mask].mean()) if mask.any() else None
+        got = dm.exact_value(obj, shared)
+        if expected is None:
+            assert np.isnan(got)
+        else:
+            assert got == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100), st.integers(0, 7), st.integers(1, 7))
+    def test_count_additive_over_split(self, seed, row, split):
+        dm, _, _ = build_dm(seed)
+        whole = Window((0, 0), (8, 8))
+        left = Window((0, 0), (split, 8))
+        right = Window((split, 0), (8, 8)) if split < 8 else None
+        total = dm.window_count(whole)
+        parts = dm.window_count(left) + (dm.window_count(right) if right else 0.0)
+        assert parts == pytest.approx(total)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100), boxes())
+    def test_full_sample_estimates_match_exact(self, seed, window):
+        dm, obj, _ = build_dm(seed, fraction=1.0)
+        estimate = dm.estimate(obj, window)
+        dm.read_window(window)
+        exact = dm.exact_value(obj, window)
+        if np.isnan(exact):
+            assert np.isnan(estimate)
+        else:
+            assert estimate == pytest.approx(exact)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100), st.lists(boxes(), min_size=2, max_size=5))
+    def test_version_strictly_increases_per_effective_read(self, seed, windows):
+        dm, _, _ = build_dm(seed)
+        version = dm.version
+        for window in windows:
+            scan = dm.read_window(window)
+            if scan is not None:
+                assert dm.version == version + 1
+                version = dm.version
+            else:
+                assert dm.version == version

@@ -1,0 +1,117 @@
+"""Unit tests for the complex-SQL baseline and its window enumerator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    SWEngine,
+    SWQuery,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    col,
+)
+from repro.dbms import enumerate_windows_filtered, materialize_cells, run_sql_baseline
+from repro.dbms.executor import _box_sum, _prefix
+from repro.core.window import Window
+import numpy as np
+
+
+class TestPrefixSums:
+    def test_prefix_box_sum_2d(self):
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        prefix = _prefix(values)
+        w = Window((1, 1), (3, 3))
+        assert _box_sum(prefix, w) == values[1:3, 1:3].sum()
+
+    def test_prefix_box_sum_full(self):
+        values = np.arange(6, dtype=float).reshape(2, 3)
+        prefix = _prefix(values)
+        assert _box_sum(prefix, Window((0, 0), (2, 3))) == values.sum()
+
+    def test_prefix_box_sum_1d(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        prefix = _prefix(values)
+        assert _box_sum(prefix, Window((1,), (3,))) == 5.0
+
+
+class TestBaseline:
+    def test_matches_sw_engine(self, tiny_dataset, tiny_query, tiny_db):
+        baseline = run_sql_baseline(tiny_db, tiny_dataset.name, tiny_query)
+        from repro.workloads import make_database
+
+        db2 = make_database(tiny_dataset, "cluster")
+        engine_run = SWEngine(db2, tiny_dataset.name, sample_fraction=0.3).execute(tiny_query)
+        assert {r.window for r in baseline.results} == {
+            r.window for r in engine_run.run.results
+        }
+
+    def test_blocking_output(self, tiny_dataset, tiny_query, tiny_db):
+        baseline = run_sql_baseline(tiny_db, tiny_dataset.name, tiny_query)
+        assert baseline.num_results > 0
+        assert all(r.time == baseline.total_time_s for r in baseline.results)
+
+    def test_time_decomposition(self, tiny_dataset, tiny_query, tiny_db):
+        baseline = run_sql_baseline(tiny_db, tiny_dataset.name, tiny_query)
+        assert baseline.io_time_s > 0
+        assert baseline.cpu_time_s > 0
+        assert baseline.total_time_s == pytest.approx(
+            baseline.io_time_s + baseline.cpu_time_s, rel=0.05
+        )
+
+    def test_single_sequential_read(self, tiny_dataset, tiny_query, tiny_db):
+        run_sql_baseline(tiny_db, tiny_dataset.name, tiny_query)
+        disk = tiny_db.disk(tiny_dataset.name)
+        assert disk.seeks == 1
+        assert disk.blocks_read == disk.num_blocks
+
+    def test_enumeration_respects_shape_bounds(self, tiny_dataset, tiny_query, tiny_db):
+        baseline = run_sql_baseline(tiny_db, tiny_dataset.name, tiny_query)
+        grid = tiny_query.grid
+        # All card<10 shapes: count enumerated windows is far below the
+        # unbounded window count.
+        from repro.core import enumerate_windows
+
+        unbounded = sum(1 for _ in enumerate_windows(grid))
+        assert 0 < baseline.windows_enumerated < unbounded
+
+    def test_objective_values_exact(self, tiny_dataset, tiny_query, tiny_db):
+        baseline = run_sql_baseline(tiny_db, tiny_dataset.name, tiny_query)
+        for result in baseline.results:
+            assert 20.0 < result.objective_values["avg(value)"] < 30.0
+
+    def test_min_max_aggregates_supported(self, tiny_dataset, tiny_db):
+        grid = tiny_dataset.grid
+        query = SWQuery.build(
+            dimensions=("x", "y"),
+            area=[(grid.area[0].lo, grid.area[0].hi), (grid.area[1].lo, grid.area[1].hi)],
+            steps=grid.steps,
+            conditions=[
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 4),
+                ContentCondition(ContentObjective.of("max", col("value")), ComparisonOp.LT, 30.0),
+                ContentCondition(ContentObjective.of("min", col("value")), ComparisonOp.GT, 15.0),
+            ],
+        )
+        baseline = run_sql_baseline(tiny_db, tiny_dataset.name, query)
+        for result in baseline.results:
+            assert result.objective_values["max(value)"] < 30.0
+            assert result.objective_values["min(value)"] > 15.0
+
+
+class TestPushdownAblation:
+    def test_naive_enumeration_agrees_and_costs_more(self, tiny_dataset, tiny_query):
+        from repro.workloads import make_database
+
+        db1 = make_database(tiny_dataset, "cluster")
+        pushed = run_sql_baseline(db1, tiny_dataset.name, tiny_query)
+        db2 = make_database(tiny_dataset, "cluster")
+        naive = run_sql_baseline(db2, tiny_dataset.name, tiny_query, pushdown=False)
+        assert {r.window for r in pushed.results} == {r.window for r in naive.results}
+        assert naive.windows_enumerated > 2 * pushed.windows_enumerated
+        assert naive.cpu_time_s > pushed.cpu_time_s

@@ -1,0 +1,179 @@
+"""Edge cases and failure-mode tests across the stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    SearchConfig,
+    SWEngine,
+    SWQuery,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    col,
+)
+from repro.dbms import run_sql_baseline
+from repro.distributed import DistributedConfig, run_distributed
+from repro.storage import Database, HeapTable, TableSchema
+from repro.workloads import make_database
+
+
+def query_over(grid_hi, conditions, steps=(1.0, 1.0)):
+    return SWQuery.build(
+        dimensions=("x", "y"),
+        area=[(0.0, grid_hi), (0.0, grid_hi)],
+        steps=steps,
+        conditions=conditions,
+    )
+
+
+@pytest.fixture()
+def sparse_db():
+    """A table with data only in one corner of a larger search area."""
+    rng = np.random.default_rng(55)
+    n = 200
+    x = rng.uniform(0, 3, n)
+    y = rng.uniform(0, 3, n)
+    v = rng.normal(10, 1, n)
+    schema = TableSchema(["x", "y", "v"], ["x", "y"])
+    db = Database()
+    db.register(HeapTable("sparse", schema, {"x": x, "y": y, "v": v}, tuples_per_block=8))
+    return db
+
+
+class TestNoResults:
+    def test_impossible_content_condition(self, sparse_db):
+        query = query_over(
+            10.0,
+            [
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 4),
+                ContentCondition(ContentObjective.of("avg", col("v")), ComparisonOp.GT, 1e9),
+            ],
+        )
+        run = SWEngine(sparse_db, "sparse", sample_fraction=0.5).execute(query).run
+        assert run.num_results == 0
+        assert run.first_result_time_s is None
+        assert run.all_results_time_s is None
+        assert run.completion_time_s > 0  # confirming emptiness costs time
+
+    def test_baseline_agrees_on_empty(self, sparse_db):
+        query = query_over(
+            10.0,
+            [
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 4),
+                ContentCondition(ContentObjective.of("avg", col("v")), ComparisonOp.GT, 1e9),
+            ],
+        )
+        baseline = run_sql_baseline(sparse_db, "sparse", query)
+        assert baseline.num_results == 0
+
+    def test_unsatisfiable_shape_conditions(self, sparse_db):
+        """min length > max length: nothing can qualify, search terminates."""
+        query = query_over(
+            10.0,
+            [
+                ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 0), ComparisonOp.GE, 5),
+                ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 0), ComparisonOp.LE, 2),
+            ],
+        )
+        run = SWEngine(sparse_db, "sparse", sample_fraction=0.5).execute(query).run
+        assert run.num_results == 0
+
+
+class TestSparseArea:
+    def test_mostly_empty_grid(self, sparse_db):
+        query = query_over(
+            10.0,
+            [
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 4),
+                ContentCondition(ContentObjective.of("avg", col("v")), ComparisonOp.GT, 5.0),
+            ],
+        )
+        run = SWEngine(sparse_db, "sparse", sample_fraction=0.5).execute(query).run
+        assert run.num_results > 0
+        # Every result lies inside the populated corner.
+        for r in run.results:
+            assert r.bounds.lower[0] < 3.0 and r.bounds.lower[1] < 3.0
+
+    def test_single_cell_grid_dimension(self, sparse_db):
+        query = SWQuery.build(
+            dimensions=("x", "y"),
+            area=[(0.0, 3.0), (0.0, 3.0)],
+            steps=(3.0, 3.0),  # a 1x1 grid
+            conditions=[
+                ContentCondition(ContentObjective.of("count"), ComparisonOp.GT, 0.0)
+            ],
+        )
+        run = SWEngine(sparse_db, "sparse", sample_fraction=0.5).execute(query).run
+        assert run.num_results == 1
+
+    def test_count_condition_only(self, sparse_db):
+        query = query_over(
+            10.0,
+            [
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 2),
+                ContentCondition(ContentObjective.of("count"), ComparisonOp.GE, 30.0),
+            ],
+        )
+        run = SWEngine(sparse_db, "sparse", sample_fraction=0.5).execute(query).run
+        baseline = run_sql_baseline(sparse_db, "sparse", query)
+        assert {r.window for r in run.results} == {r.window for r in baseline.results}
+
+
+class TestExtremeConfigurations:
+    def test_one_dimensional_search(self):
+        rng = np.random.default_rng(56)
+        n = 300
+        t = rng.uniform(0, 20, n)
+        v = np.where((t > 5) & (t < 9), 80.0, 10.0) + rng.normal(0, 1, n)
+        schema = TableSchema(["t", "v"], ["t"])
+        db = Database()
+        db.register(HeapTable("series", schema, {"t": t, "v": v}, tuples_per_block=8))
+        query = SWQuery.build(
+            dimensions=("t",),
+            area=[(0.0, 20.0)],
+            steps=(1.0,),
+            conditions=[
+                ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 0), ComparisonOp.LE, 4),
+                ContentCondition(ContentObjective.of("avg", col("v")), ComparisonOp.GT, 60.0),
+            ],
+        )
+        run = SWEngine(db, "series", sample_fraction=0.5).execute(query).run
+        assert run.num_results > 0
+        for r in run.results:
+            assert 5.0 <= r.bounds.lower[0] <= 9.0 or r.bounds.overlaps(r.bounds)
+
+    def test_huge_alpha(self, tiny_dataset, tiny_query):
+        """Extreme prefetching degenerates to near-full scans but stays exact."""
+        db = make_database(tiny_dataset, "cluster")
+        run = SWEngine(db, tiny_dataset.name, sample_fraction=0.3).execute(
+            tiny_query, SearchConfig(alpha=8.0)
+        ).run
+        db2 = make_database(tiny_dataset, "cluster")
+        reference = SWEngine(db2, tiny_dataset.name, sample_fraction=0.3).execute(
+            tiny_query
+        ).run
+        assert {r.window for r in run.results} == {r.window for r in reference.results}
+        assert run.stats.reads <= reference.stats.reads
+
+    def test_single_worker_distribution_equals_engine(self, tiny_dataset, tiny_query):
+        report = run_distributed(
+            tiny_dataset, tiny_query, DistributedConfig(num_workers=1, sample_fraction=0.3)
+        )
+        db = make_database(tiny_dataset, "cluster")
+        run = SWEngine(db, tiny_dataset.name, sample_fraction=0.3).execute(tiny_query).run
+        assert {r.window for r in report.results} == {r.window for r in run.results}
+
+    def test_tiny_sample_fraction_still_exact(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        run = SWEngine(db, tiny_dataset.name, sample_fraction=0.01).execute(tiny_query).run
+        db2 = make_database(tiny_dataset, "cluster")
+        reference = SWEngine(db2, tiny_dataset.name, sample_fraction=0.5).execute(
+            tiny_query
+        ).run
+        assert {r.window for r in run.results} == {r.window for r in reference.results}

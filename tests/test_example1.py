@@ -1,0 +1,65 @@
+"""End-to-end fidelity test for the paper's Example 1 / Figure 2 query."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchConfig, SWEngine
+from repro.sql import execute_sql
+from repro.workloads import example1_query, make_database, sdss_dataset
+
+
+@pytest.fixture(scope="module")
+def sky():
+    dataset = sdss_dataset(scale=0.3, seed=3)
+    return dataset, make_database(dataset, "cluster")
+
+
+class TestExample1:
+    def test_every_bright_region_found_exactly(self, sky):
+        dataset, db = sky
+        query = example1_query(dataset)
+        run = SWEngine(db, dataset.name, sample_fraction=0.2).execute(
+            query, SearchConfig(alpha=1.0)
+        ).run
+        assert run.num_results >= len(dataset.meta["bright_regions"])
+        for (lo, hi) in dataset.meta["bright_regions"]:
+            exact = [
+                r
+                for r in run.results
+                if r.bounds.lower == (lo[0], lo[1]) and r.bounds.upper == (hi[0], hi[1])
+            ]
+            assert exact, f"planted bright region {lo}..{hi} not returned exactly"
+            assert exact[0].objective_values["avg(brightness)"] > 0.8
+
+    def test_all_results_are_3_by_2(self, sky):
+        dataset, db = sky
+        query = example1_query(dataset)
+        run = SWEngine(db, dataset.name, sample_fraction=0.2).execute(query).run
+        for r in run.results:
+            assert r.window.lengths == (3, 2)
+            assert r.bounds[0].length == pytest.approx(3.0)
+            assert r.bounds[1].length == pytest.approx(2.0)
+
+    def test_figure2_sql_form(self, sky):
+        """The Figure 2 statement (bounds adapted to our area) runs as-is."""
+        dataset, db = sky
+        labels, rows = execute_sql(
+            db,
+            """
+            SELECT LB(ra), UB(ra), LB(dec), UB(dec), AVG(brightness)
+            FROM sdss
+            GRID BY ra BETWEEN 113 AND 229 STEP 1,
+                    dec BETWEEN 8 AND 34 STEP 1
+            HAVING AVG(brightness) > 0.8 AND
+                   LEN(ra) = 3 AND
+                   LEN(dec) = 2
+            """,
+            sample_fraction=0.2,
+        )
+        assert labels == ("LB(ra)", "UB(ra)", "LB(dec)", "UB(dec)", "AVG(brightness)")
+        assert len(rows) >= 3
+        for row in rows:
+            assert row[1] - row[0] == pytest.approx(3.0)
+            assert row[3] - row[2] == pytest.approx(2.0)
+            assert row[4] > 0.8

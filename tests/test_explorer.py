@@ -1,0 +1,106 @@
+"""Tests for the interactive exploration session API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchConfig
+from repro.explorer import ExplorationSession
+from repro.workloads import make_database
+
+
+@pytest.fixture()
+def session(tiny_dataset):
+    db = make_database(tiny_dataset, "cluster")
+    return ExplorationSession(db, tiny_dataset.name, sample_fraction=0.3)
+
+
+class TestExplore:
+    def test_full_run_recorded(self, session, tiny_query):
+        step = session.explore(tiny_query)
+        assert step.num_results > 0
+        assert not step.interrupted
+        assert step.duration_s > 0
+        assert session.history == (step,)
+        assert session.last_results == step.results
+
+    def test_limit_interrupts(self, session, tiny_query):
+        step = session.explore(tiny_query, limit=3)
+        assert step.num_results == 3
+        assert step.interrupted
+        full = session.explore(tiny_query)
+        # The interrupted prefix is a subset of the complete result set.
+        assert {r.window for r in step.results} <= {r.window for r in full.results}
+
+    def test_limit_validation(self, session, tiny_query):
+        with pytest.raises(ValueError, match="limit"):
+            session.explore(tiny_query, limit=0)
+
+    def test_sql_text_accepted(self, session, tiny_dataset):
+        grid = tiny_dataset.grid
+        step = session.explore(
+            f"SELECT CARD() FROM {tiny_dataset.name} "
+            f"GRID BY x BETWEEN 0 AND {grid.area[0].hi} STEP {grid.steps[0]}, "
+            f"y BETWEEN 0 AND {grid.area[1].hi} STEP {grid.steps[1]} "
+            f"HAVING AVG(value) > 20 AND AVG(value) < 30 "
+            f"AND CARD() > 5 AND CARD() < 10"
+        )
+        assert step.num_results > 0
+
+    def test_sql_wrong_table_rejected(self, session):
+        with pytest.raises(ValueError, match="bound to table"):
+            session.explore(
+                "SELECT CARD() FROM other GRID BY x BETWEEN 0 AND 1 STEP 1 "
+                "HAVING CARD() > 0"
+            )
+
+    def test_config_override(self, session, tiny_query):
+        step = session.explore(tiny_query, config=SearchConfig(alpha=2.0))
+        assert step.num_results > 0
+
+
+class TestDrillDown:
+    def test_finer_grid_over_result(self, session, tiny_query):
+        step = session.explore(tiny_query, limit=1)
+        result = step.results[0]
+        fine = session.drill_down(result, refine=4)
+        assert fine.grid.steps[0] == pytest.approx(tiny_query.grid.steps[0] / 4)
+        assert fine.grid.area.lower == result.bounds.lower
+        assert fine.grid.area.upper == result.bounds.upper
+        # The drilled query runs and the session records both steps.
+        fine_step = session.explore(fine)
+        assert len(session.history) == 2
+        assert fine_step.query is fine
+
+    def test_drill_down_requires_history_or_base(self, session, tiny_query):
+        result_like = None
+        with pytest.raises(ValueError, match="no previous step"):
+            session.drill_down(result_like)  # type: ignore[arg-type]
+
+    def test_refine_validation(self, session, tiny_query):
+        step = session.explore(tiny_query, limit=1)
+        with pytest.raises(ValueError, match="refine"):
+            session.drill_down(step.results[0], refine=1)
+
+    def test_custom_conditions(self, session, tiny_query):
+        from repro.core import ComparisonOp, ContentCondition, ContentObjective, col
+
+        step = session.explore(tiny_query, limit=1)
+        new_cond = ContentCondition(
+            ContentObjective.of("avg", col("value")), ComparisonOp.GT, 24.0
+        )
+        fine = session.drill_down(step.results[0], conditions=[new_cond])
+        assert list(fine.conditions) == [new_cond]
+
+
+class TestZoomOut:
+    def test_widened_area(self, session, tiny_query):
+        wide = session.zoom_out(tiny_query, widen=2.0)
+        base_iv = tiny_query.grid.area[0]
+        wide_iv = wide.grid.area[0]
+        assert wide_iv.length == pytest.approx(base_iv.length * 2.0)
+        assert wide_iv.lo < base_iv.lo
+
+    def test_widen_validation(self, session, tiny_query):
+        with pytest.raises(ValueError, match="widen"):
+            session.zoom_out(tiny_query, widen=1.0)

@@ -1,0 +1,79 @@
+"""Unit tests for the vectorized expression AST."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BinaryOp, Column, Literal, UnaryFunc, col, lit
+
+
+@pytest.fixture()
+def columns():
+    return {"a": np.array([1.0, 2.0, 3.0]), "b": np.array([4.0, 5.0, 6.0])}
+
+
+class TestEvaluation:
+    def test_column(self, columns):
+        np.testing.assert_allclose(col("a").evaluate(columns), [1, 2, 3])
+
+    def test_unknown_column(self, columns):
+        with pytest.raises(KeyError, match="unknown column"):
+            col("z").evaluate(columns)
+
+    def test_literal(self, columns):
+        assert lit(7).evaluate(columns) == 7.0
+
+    def test_arithmetic(self, columns):
+        expr = col("a") * 2 + col("b") / 2
+        np.testing.assert_allclose(expr.evaluate(columns), [4.0, 6.5, 9.0])
+
+    def test_reflected_operators(self, columns):
+        np.testing.assert_allclose((10 - col("a")).evaluate(columns), [9, 8, 7])
+        np.testing.assert_allclose((2 * col("a")).evaluate(columns), [2, 4, 6])
+        np.testing.assert_allclose((6 / col("a")).evaluate(columns), [6, 3, 2])
+        np.testing.assert_allclose((1 + col("a")).evaluate(columns), [2, 3, 4])
+
+    def test_power_and_sqrt(self, columns):
+        expr = ((col("a") ** 2) + (col("b") ** 2)).sqrt()
+        expected = np.sqrt(np.array([1, 4, 9]) + np.array([16, 25, 36]))
+        np.testing.assert_allclose(expr.evaluate(columns), expected)
+
+    def test_negation(self, columns):
+        np.testing.assert_allclose((-col("a")).evaluate(columns), [-1, -2, -3])
+
+    def test_unary_funcs(self, columns):
+        np.testing.assert_allclose(UnaryFunc("abs", -col("a")).evaluate(columns), [1, 2, 3])
+        np.testing.assert_allclose(
+            UnaryFunc("exp", lit(0.0)).evaluate(columns), 1.0
+        )
+
+
+class TestStructure:
+    def test_columns_collection(self):
+        expr = (col("x") + col("y")) * lit(2)
+        assert expr.columns() == {"x", "y"}
+        assert lit(1).columns() == frozenset()
+
+    def test_repr_roundtrips_meaningfully(self):
+        expr = ((col("rowv") ** 2) + (col("colv") ** 2)).sqrt()
+        assert repr(expr) == "sqrt(((rowv ^ 2) + (colv ^ 2)))"
+
+    def test_literal_repr_int_vs_float(self):
+        assert repr(lit(2)) == "2"
+        assert repr(lit(2.5)) == "2.5"
+
+    def test_invalid_binary_op(self):
+        with pytest.raises(ValueError, match="unknown binary"):
+            BinaryOp("%", lit(1), lit(2))
+
+    def test_invalid_unary_func(self):
+        with pytest.raises(ValueError, match="unknown function"):
+            UnaryFunc("sin", lit(1))
+
+    def test_wrap_rejects_bad_types(self):
+        with pytest.raises(TypeError, match="cannot use"):
+            col("a") + "nope"  # type: ignore[operator]
+
+    def test_expressions_are_hashable(self):
+        assert hash(col("a") + lit(1)) == hash(col("a") + lit(1))

@@ -1,0 +1,158 @@
+"""Unit and property tests for intervals and rectangles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Interval, Rect
+
+
+def finite_floats(lo=-1e6, hi=1e6):
+    return st.floats(min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(finite_floats())
+    length = draw(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    return Interval(lo, lo + length)
+
+
+@st.composite
+def rects(draw, ndim=2):
+    return Rect(tuple(draw(intervals()) for _ in range(ndim)))
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(2.0, 5.0)
+        assert iv.length == 3.0
+        assert iv.midpoint == 3.5
+        assert not iv.is_empty
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError, match="exceeds upper bound"):
+            Interval(5.0, 2.0)
+
+    def test_empty_interval(self):
+        assert Interval(3.0, 3.0).is_empty
+
+    def test_contains_half_open(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(0.0)
+        assert iv.contains(0.999)
+        assert not iv.contains(1.0)
+        assert not iv.contains(-0.001)
+
+    def test_contains_interval(self):
+        outer = Interval(0.0, 10.0)
+        assert outer.contains_interval(Interval(2.0, 5.0))
+        assert outer.contains_interval(outer)
+        assert not outer.contains_interval(Interval(5.0, 11.0))
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 6))
+        assert not Interval(0, 5).overlaps(Interval(5, 6))  # half-open: touching != overlap
+        assert not Interval(0, 5).overlaps(Interval(7, 9))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 8)) is None
+
+    def test_hull(self):
+        assert Interval(0, 2).hull(Interval(5, 7)) == Interval(0, 7)
+
+    def test_distance(self):
+        assert Interval(0, 2).distance_to(Interval(5, 7)) == 3.0
+        assert Interval(5, 7).distance_to(Interval(0, 2)) == 3.0
+        assert Interval(0, 5).distance_to(Interval(3, 8)) == 0.0
+
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_within_both(self, a, b):
+        shared = a.intersection(b)
+        if shared is not None:
+            assert a.contains_interval(shared)
+            assert b.contains_interval(shared)
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains_interval(a)
+        assert hull.contains_interval(b)
+
+    @given(intervals(), intervals())
+    def test_distance_zero_iff_overlap_or_empty(self, a, b):
+        if a.overlaps(b):
+            assert a.distance_to(b) == 0.0
+
+
+class TestRect:
+    def test_from_bounds(self):
+        r = Rect.from_bounds([(0, 2), (1, 4)])
+        assert r.ndim == 2
+        assert r.lower == (0, 1)
+        assert r.upper == (2, 4)
+        assert r.volume == 6.0
+
+    def test_requires_dimension(self):
+        with pytest.raises(ValueError, match="at least one dimension"):
+            Rect(())
+
+    def test_contains_point(self):
+        r = Rect.from_bounds([(0, 2), (0, 2)])
+        assert r.contains_point((1.0, 1.9))
+        assert not r.contains_point((2.0, 1.0))
+        with pytest.raises(ValueError, match="dims"):
+            r.contains_point((1.0,))
+
+    def test_contains_rect_and_overlap(self):
+        big = Rect.from_bounds([(0, 10), (0, 10)])
+        small = Rect.from_bounds([(2, 3), (2, 3)])
+        assert big.contains_rect(small)
+        assert big.overlaps(small)
+        assert not small.contains_rect(big)
+
+    def test_intersection(self):
+        a = Rect.from_bounds([(0, 5), (0, 5)])
+        b = Rect.from_bounds([(3, 8), (4, 9)])
+        assert a.intersection(b) == Rect.from_bounds([(3, 5), (4, 5)])
+        c = Rect.from_bounds([(6, 8), (0, 5)])
+        assert a.intersection(c) is None
+
+    def test_min_distance(self):
+        a = Rect.from_bounds([(0, 1), (0, 1)])
+        b = Rect.from_bounds([(4, 5), (4, 5)])
+        assert a.min_distance(b) == pytest.approx(math.sqrt(18))
+        assert a.min_distance(a) == 0.0
+
+    def test_diameter(self):
+        r = Rect.from_bounds([(0, 3), (0, 4)])
+        assert r.diameter == 5.0
+
+    def test_dimension_mismatch_raises(self):
+        a = Rect.from_bounds([(0, 1)])
+        b = Rect.from_bounds([(0, 1), (0, 1)])
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            a.overlaps(b)
+
+    @given(rects(), rects())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains_rect(a)
+        assert hull.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_min_distance_symmetric(self, a, b):
+        assert a.min_distance(b) == pytest.approx(b.min_distance(a))
+
+    @given(rects())
+    def test_volume_nonnegative(self, r):
+        assert r.volume >= 0.0

@@ -1,0 +1,100 @@
+"""Unit and property tests for the space-filling curves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import hilbert_d, hilbert_xy, morton_code
+from repro.storage.hilbert import curve_order
+
+
+class TestHilbert:
+    def test_order_1_curve(self):
+        # The 2x2 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+        xs = np.array([0, 0, 1, 1])
+        ys = np.array([0, 1, 1, 0])
+        np.testing.assert_array_equal(hilbert_d(xs, ys, 1), [0, 1, 2, 3])
+
+    def test_bijection_order_3(self):
+        side = 8
+        xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        d = hilbert_d(xs.ravel(), ys.ravel(), 3)
+        assert sorted(d) == list(range(side * side))
+
+    def test_adjacency(self):
+        """Consecutive curve positions are grid neighbors — the locality
+        property the -H placement relies on."""
+        order = 4
+        d = np.arange((1 << order) ** 2)
+        x, y = hilbert_xy(d, order)
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert np.all(steps == 1)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=20))
+    def test_roundtrip(self, ds):
+        d = np.array(ds)
+        x, y = hilbert_xy(d, 3)
+        np.testing.assert_array_equal(hilbert_d(x, y, 3), d)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_d(np.array([8]), np.array([0]), 3)
+        with pytest.raises(ValueError, match="out of range"):
+            hilbert_xy(np.array([64]), 3)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError, match="order"):
+            hilbert_d(np.array([0]), np.array([0]), 0)
+
+
+class TestMorton:
+    def test_2d_interleave(self):
+        # Bit d of each coordinate goes to position bit*ndim + d.
+        coords = np.array([[0, 0], [1, 0], [0, 1], [1, 1]])
+        np.testing.assert_array_equal(morton_code(coords, 1), [0, 1, 2, 3])
+
+    def test_3d_bijection(self):
+        side = 4
+        pts = np.array([(i, j, k) for i in range(side) for j in range(side) for k in range(side)])
+        codes = morton_code(pts, 2)
+        assert sorted(codes) == list(range(side ** 3))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="n_points"):
+            morton_code(np.array([1, 2, 3]), 2)
+
+
+class TestCurveOrder:
+    def test_returns_permutation(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(0, 100, (50, 2))
+        order = curve_order(coords, np.array([0, 0]), np.array([100, 100]), order=6)
+        assert sorted(order) == list(range(50))
+
+    def test_1d_sorts_by_coordinate(self):
+        coords = np.array([[5.0], [1.0], [3.0]])
+        order = curve_order(coords, np.array([0.0]), np.array([10.0]), order=6)
+        np.testing.assert_array_equal(coords[order].ravel(), [1.0, 3.0, 5.0])
+
+    def test_3d_falls_back_to_morton(self):
+        rng = np.random.default_rng(1)
+        coords = rng.uniform(0, 1, (20, 3))
+        order = curve_order(coords, np.zeros(3), np.ones(3), order=4)
+        assert sorted(order) == list(range(20))
+
+    def test_locality_improves_over_random(self):
+        """Hilbert-ordered neighbors are spatially closer than random order."""
+        rng = np.random.default_rng(2)
+        coords = rng.uniform(0, 1, (500, 2))
+        order = curve_order(coords, np.zeros(2), np.ones(2), order=8)
+        sorted_coords = coords[order]
+        hilbert_gap = np.linalg.norm(np.diff(sorted_coords, axis=0), axis=1).mean()
+        random_gap = np.linalg.norm(np.diff(coords, axis=0), axis=1).mean()
+        assert hilbert_gap < random_gap / 3
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            curve_order(np.zeros((3, 2)), np.zeros(2), np.zeros(2))

@@ -1,0 +1,143 @@
+"""Cross-module integration scenarios.
+
+These exercise realistic end-to-end flows: the same query through the
+Python API, the SQL surface, the baseline, and the distributed runtime
+must all agree; online behaviour must respect the cost model; interrupting
+and re-running must be safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CostModel,
+    DistributedConfig,
+    SearchConfig,
+    SWEngine,
+    make_database,
+    run_distributed,
+    run_sql_baseline,
+    synthetic_dataset,
+    synthetic_query,
+)
+from repro.sql import execute_sql
+from repro.workloads.base import make_table
+from repro.clock import SimClock
+from repro.storage import Database
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = synthetic_dataset("medium", scale=0.2, seed=77)
+    return dataset, synthetic_query(dataset)
+
+
+class TestFourWayAgreement:
+    def test_api_sql_baseline_distributed_agree(self, scenario):
+        dataset, query = scenario
+        # Python API.
+        db_api = make_database(dataset, "cluster")
+        api_windows = {
+            r.window
+            for r in SWEngine(db_api, dataset.name, sample_fraction=0.3)
+            .execute(query)
+            .results
+        }
+        # SQL surface.
+        db_sql = make_database(dataset, "cluster")
+        grid = dataset.grid
+        _, rows = execute_sql(
+            db_sql,
+            f"SELECT LB(x), UB(x), LB(y), UB(y) FROM {dataset.name} "
+            f"GRID BY x BETWEEN 0 AND {grid.area[0].hi} STEP {grid.steps[0]}, "
+            f"y BETWEEN 0 AND {grid.area[1].hi} STEP {grid.steps[1]} "
+            f"HAVING AVG(value) > 20 AND AVG(value) < 30 "
+            f"AND CARD() > 5 AND CARD() < 10",
+            sample_fraction=0.3,
+        )
+        sql_bounds = {tuple(row) for row in rows}
+        api_bounds = {
+            (w.rect(grid).lower[0], w.rect(grid).upper[0], w.rect(grid).lower[1], w.rect(grid).upper[1])
+            for w in api_windows
+        }
+        assert sql_bounds == api_bounds
+        # Baseline.
+        db_base = make_database(dataset, "cluster")
+        base_windows = {
+            r.window for r in run_sql_baseline(db_base, dataset.name, query).results
+        }
+        assert base_windows == api_windows
+        # Distributed.
+        dist = run_distributed(
+            dataset, query, DistributedConfig(num_workers=3, sample_fraction=0.3)
+        )
+        assert {r.window for r in dist.results} == api_windows
+
+
+class TestCostModelPropagation:
+    def test_slower_disk_slower_completion(self, scenario):
+        dataset, query = scenario
+
+        def run_with(cost_model):
+            db = Database(cost_model=cost_model, clock=SimClock())
+            db.register(make_table(dataset, "cluster"))
+            engine = SWEngine(db, dataset.name, sample_fraction=0.3)
+            return engine.execute(query).run.completion_time_s
+
+        fast = run_with(CostModel(seek_ms=0.1, transfer_ms=0.01))
+        slow = run_with(CostModel(seek_ms=5.0, transfer_ms=0.5))
+        assert slow > fast * 5
+
+    def test_zero_cpu_cost_model(self, scenario):
+        dataset, query = scenario
+        db = Database(
+            cost_model=CostModel(sw_cpu_per_window_us=0.0), clock=SimClock()
+        )
+        db.register(make_table(dataset, "cluster"))
+        run = SWEngine(db, dataset.name, sample_fraction=0.3).execute(query).run
+        assert run.num_results > 0
+
+
+class TestInterruptionAndRerun:
+    def test_interrupt_then_full_run_on_warm_buffers(self, scenario):
+        dataset, query = scenario
+        db = make_database(dataset, "axis")
+        engine = SWEngine(db, dataset.name, sample_fraction=0.3)
+        partial = engine.execute(query, SearchConfig(time_limit_s=0.02))
+        assert partial.run.interrupted
+        # Re-running on the same database reuses warm buffers; exactness holds.
+        complete = engine.execute(query)
+        assert not complete.run.interrupted
+        partial_windows = {r.window for r in partial.results}
+        complete_windows = {r.window for r in complete.results}
+        assert partial_windows <= complete_windows
+
+    def test_online_prefix_of_blocking_result(self, scenario):
+        """Every online prefix is a subset of the final exact result."""
+        dataset, query = scenario
+        db = make_database(dataset, "cluster")
+        engine = SWEngine(db, dataset.name, sample_fraction=0.3)
+        stream = engine.execute_iter(query, SearchConfig(alpha=0.5))
+        prefix = [next(stream).window for _ in range(3)]
+        remaining = [r.window for r in stream]
+        db2 = make_database(dataset, "cluster")
+        final = {
+            r.window
+            for r in run_sql_baseline(db2, dataset.name, query).results
+        }
+        assert set(prefix) <= final
+        assert set(prefix) | set(remaining) == final
+
+
+class TestSimTimeSanity:
+    def test_clock_shared_between_components(self, scenario):
+        dataset, query = scenario
+        db = make_database(dataset, "cluster")
+        engine = SWEngine(db, dataset.name, sample_fraction=0.3)
+        before = db.clock.now
+        engine.execute(query)
+        after_first = db.clock.now
+        assert after_first > before
+        run_sql_baseline(db, dataset.name, query)
+        assert db.clock.now > after_first

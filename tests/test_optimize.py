@@ -1,0 +1,121 @@
+"""Tests for optimization queries (the Section 8 future-work extension)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComparisonOp,
+    ConditionSet,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    col,
+    enumerate_windows,
+)
+from repro.core.datamanager import DataManager
+from repro.core.optimize import OptimizeSearch
+from repro.sampling import StratifiedSampler
+from repro.workloads import make_database, synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = synthetic_dataset("high", scale=0.18, seed=31)
+    return dataset
+
+
+def make_search(dataset, conditions, maximize=True, objective=None):
+    db = make_database(dataset, "cluster")
+    objective = objective or ContentObjective.of("avg", col("value"))
+    sample = StratifiedSampler(0.3, seed=41).sample(db.table(dataset.name), dataset.grid)
+    dm = DataManager(db, dataset.name, dataset.grid, [objective], sample)
+    cs = ConditionSet.of(conditions, dataset.grid.ndim)
+    return OptimizeSearch(objective, cs, dm, maximize=maximize)
+
+
+def brute_force_best(dataset, max_card, maximize=True):
+    from repro.storage.placement import cell_flat_ids
+
+    grid = dataset.grid
+    flat = cell_flat_ids(dataset.coordinates(), grid)
+    counts = np.bincount(flat, minlength=grid.num_cells).reshape(grid.shape)
+    sums = np.bincount(
+        flat, weights=dataset.columns["value"], minlength=grid.num_cells
+    ).reshape(grid.shape)
+    best = None
+    for w in enumerate_windows(grid, max_lengths=(max_card, max_card)):
+        if w.cardinality > max_card:
+            continue
+        box = tuple(slice(l, u) for l, u in zip(w.lo, w.hi))
+        count = counts[box].sum()
+        if count == 0:
+            continue
+        value = sums[box].sum() / count
+        if best is None or (value > best if maximize else value < best):
+            best = value
+    return best
+
+
+CARD_CAP = [ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 4)]
+
+
+class TestOptimizeSearch:
+    def test_finds_global_maximum(self, setup):
+        search = make_search(setup, CARD_CAP, maximize=True)
+        result = search.run()
+        expected = brute_force_best(setup, 4, maximize=True)
+        assert result.best is not None
+        assert result.best.value == pytest.approx(expected)
+
+    def test_finds_global_minimum(self, setup):
+        search = make_search(setup, CARD_CAP, maximize=False)
+        result = search.run()
+        expected = brute_force_best(setup, 4, maximize=False)
+        assert result.best.value == pytest.approx(expected)
+
+    def test_incumbents_improve_monotonically(self, setup):
+        search = make_search(setup, CARD_CAP, maximize=True)
+        result = search.run()
+        values = [inc.value for inc in result.trajectory]
+        assert values == sorted(values)
+        times = [inc.time for inc in result.trajectory]
+        assert times == sorted(times)
+
+    def test_guided_search_converges_early(self, setup):
+        """The estimate-ordered search should lock the optimum long
+        before evaluating the whole space."""
+        search = make_search(setup, CARD_CAP, maximize=True)
+        result = search.run()
+        assert result.best.time < result.completion_time_s / 2
+
+    def test_online_iteration(self, setup):
+        search = make_search(setup, CARD_CAP, maximize=True)
+        first = next(search.iter_incumbents())
+        assert math.isfinite(first.value)
+
+    def test_shape_conditions_respected(self, setup):
+        conditions = [
+            ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 0), ComparisonOp.EQ, 2),
+            ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 1), ComparisonOp.EQ, 2),
+        ]
+        search = make_search(setup, conditions, maximize=True)
+        result = search.run()
+        assert result.best.window.lengths == (2, 2)
+
+    def test_content_conditions_rejected(self, setup):
+        objective = ContentObjective.of("avg", col("value"))
+        content = [ContentCondition(objective, ComparisonOp.GT, 1.0)]
+        with pytest.raises(ValueError, match="shape conditions only"):
+            make_search(setup, content)
+
+    def test_windows_evaluated_counted(self, setup):
+        search = make_search(setup, CARD_CAP, maximize=True)
+        result = search.run()
+        assert result.windows_evaluated > 0
+        assert result.completion_time_s > 0

@@ -1,0 +1,172 @@
+"""Unit and property tests for block arithmetic and the simulated disk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock import SimClock
+from repro.costs import CostModel
+from repro.storage import SimulatedDisk
+from repro.storage.pages import (
+    block_of_row,
+    blocks_of_rows,
+    coalesce_runs,
+    row_range_of_block,
+)
+
+
+class TestPages:
+    def test_block_of_row(self):
+        assert block_of_row(0, 8) == 0
+        assert block_of_row(7, 8) == 0
+        assert block_of_row(8, 8) == 1
+
+    def test_block_of_row_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            block_of_row(-1, 8)
+        with pytest.raises(ValueError, match="positive"):
+            block_of_row(0, 0)
+
+    def test_row_range_of_block(self):
+        assert row_range_of_block(1, 8, 20) == range(8, 16)
+        assert row_range_of_block(2, 8, 20) == range(16, 20)  # clipped
+
+    def test_row_range_beyond_table(self):
+        with pytest.raises(ValueError, match="beyond the table"):
+            row_range_of_block(3, 8, 20)
+
+    def test_blocks_of_rows(self):
+        rows = np.array([0, 1, 9, 17, 18])
+        np.testing.assert_array_equal(blocks_of_rows(rows, 8), [0, 1, 2])
+
+    def test_blocks_of_rows_empty(self):
+        assert blocks_of_rows(np.array([]), 8).size == 0
+
+    def test_coalesce_runs(self):
+        runs = list(coalesce_runs([1, 2, 3, 7, 8, 11]))
+        assert runs == [(1, 3), (7, 2), (11, 1)]
+
+    def test_coalesce_runs_single(self):
+        assert list(coalesce_runs([5])) == [(5, 1)]
+
+    def test_coalesce_runs_requires_sorted_unique(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            list(coalesce_runs([3, 3, 4]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            list(coalesce_runs([4, 3]))
+
+    @given(st.sets(st.integers(0, 200), min_size=1))
+    def test_coalesce_runs_partition_property(self, ids):
+        ordered = sorted(ids)
+        runs = list(coalesce_runs(ordered))
+        rebuilt = [b for start, count in runs for b in range(start, start + count)]
+        assert rebuilt == ordered
+        # Runs are maximal: consecutive runs leave a gap.
+        for (s1, c1), (s2, _) in zip(runs, runs[1:]):
+            assert s1 + c1 < s2
+
+
+@pytest.fixture()
+def disk():
+    return SimulatedDisk(100, CostModel(seek_ms=1.0, transfer_ms=0.1), SimClock())
+
+
+class TestSimulatedDisk:
+    def test_single_run_costs_one_seek(self, disk):
+        elapsed = disk.read(np.array([10, 11, 12]))
+        assert elapsed == pytest.approx(0.001 + 3 * 0.0001)
+        assert disk.seeks == 1
+        assert disk.blocks_read == 3
+
+    def test_dispersed_runs_cost_multiple_seeks(self, disk):
+        disk.read(np.array([1, 5, 9]))
+        assert disk.seeks == 3
+
+    def test_sequential_continuation_avoids_seek(self, disk):
+        disk.read(np.array([10, 11]))
+        disk.read(np.array([12, 13]))  # head continues
+        assert disk.seeks == 1
+
+    def test_rereads_counted(self, disk):
+        disk.read(np.array([1, 2, 3]))
+        disk.read(np.array([2, 3, 4]))
+        assert disk.blocks_read == 6
+        assert disk.blocks_reread == 2
+
+    def test_clock_advances(self, disk):
+        before = disk.clock.now
+        disk.read(np.array([0]))
+        assert disk.clock.now > before
+        assert disk.clock.now - before == pytest.approx(disk.total_time_s)
+
+    def test_out_of_range_rejected(self, disk):
+        with pytest.raises(ValueError, match="out of range"):
+            disk.read(np.array([100]))
+        with pytest.raises(ValueError, match="out of range"):
+            disk.read(np.array([-1]))
+
+    def test_empty_read_free(self, disk):
+        assert disk.read(np.array([], dtype=np.int64)) == 0.0
+        assert disk.requests == 0
+
+    def test_sequential_scan(self, disk):
+        elapsed = disk.sequential_scan()
+        assert disk.blocks_read == 100
+        assert disk.seeks == 1
+        assert elapsed == pytest.approx(0.001 + 100 * 0.0001)
+
+    def test_mean_read_ms(self, disk):
+        disk.read(np.arange(100))
+        # 1 seek + 100 transfers over 100 blocks.
+        assert disk.mean_read_ms() == pytest.approx((1.0 + 100 * 0.1) / 100)
+
+    def test_dev_read_ms_zero_without_seeks(self, disk):
+        assert disk.dev_read_ms() == 0.0
+
+    def test_stats_dict(self, disk):
+        disk.read(np.array([3, 50]))
+        stats = disk.stats()
+        assert stats["blocks_read"] == 2
+        assert stats["seeks"] == 2
+        assert stats["requests"] == 1
+
+    def test_reset_stats(self, disk):
+        disk.read(np.array([1, 2]))
+        disk.reset_stats()
+        assert disk.blocks_read == 0
+        assert disk.seeks == 0
+        assert disk.total_time_s == 0.0
+
+    def test_needs_positive_capacity(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            SimulatedDisk(0, CostModel(), SimClock())
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock().advance(-1)
+
+    def test_advance_to_only_forward(self):
+        clock = SimClock(5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+    def test_reset(self):
+        clock = SimClock(2.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError, match="negative"):
+            SimClock(-1.0)

@@ -1,0 +1,111 @@
+"""The paper's headline claims, asserted end-to-end at test scale.
+
+Each test encodes one sentence of the paper's abstract/intro/conclusions
+as an executable check — the narrative-level integration suite on top of
+the per-module tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchConfig, SWEngine
+from repro.dbms import run_sql_baseline
+from repro.workloads import make_database, synthetic_dataset, synthetic_query
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = synthetic_dataset("high", scale=0.25, seed=55)
+    return dataset, synthetic_query(dataset)
+
+
+class TestHeadlineClaims:
+    def test_online_results_quickly_and_continuously(self, setting):
+        """'SW can offer online results quickly and continuously' — the
+        first result arrives in a small fraction of the completion time
+        and no later result gap dominates the run."""
+        dataset, query = setting
+        db = make_database(dataset, "cluster")
+        run = SWEngine(db, dataset.name, sample_fraction=0.2).execute(
+            query, SearchConfig(alpha=1.0)
+        ).run
+        assert run.first_result_time_s < run.completion_time_s * 0.25
+        gaps = [
+            b.time - a.time for a, b in zip(run.results, run.results[1:])
+        ]
+        assert max(gaps) < run.completion_time_s * 0.8
+
+    def test_little_or_no_degradation_in_completion_time(self, setting):
+        """'...with little or no degradation in query completion times' —
+        on a clustered placement the online engine's completion is within
+        a small factor of the blocking baseline's."""
+        dataset, query = setting
+        db_sw = make_database(dataset, "cluster")
+        sw = SWEngine(db_sw, dataset.name, sample_fraction=0.2).execute(query).run
+        db_base = make_database(dataset, "cluster")
+        base = run_sql_baseline(db_base, dataset.name, query)
+        assert sw.completion_time_s < base.total_time_s * 1.5
+
+    def test_results_before_baseline_finishes(self, setting):
+        """The human-in-the-loop payoff: a large share of the exact result
+        set is already on screen before the traditional DBMS would have
+        produced anything at all."""
+        dataset, query = setting
+        db_base = make_database(dataset, "cluster")
+        base = run_sql_baseline(db_base, dataset.name, query)
+        db_sw = make_database(dataset, "cluster")
+        run = SWEngine(db_sw, dataset.name, sample_fraction=0.2).execute(
+            query, SearchConfig(alpha=1.0)
+        ).run
+        early = sum(1 for r in run.results if r.time < base.total_time_s)
+        assert early == run.num_results, (
+            "every exact result should precede the baseline's blocking output"
+        )
+
+    def test_exact_results_whatever_the_knobs(self, setting):
+        """'all results are guaranteed to be exact' — the result set is
+        invariant across every tuning dimension at once."""
+        dataset, query = setting
+        reference = None
+        for placement, config in [
+            ("cluster", SearchConfig()),
+            ("axis", SearchConfig(alpha=2.0)),
+            ("hilbert", SearchConfig(alpha=0.5, diversification="utility_jumps")),
+            ("cluster", SearchConfig(s=0.3, refresh_reads=25)),
+        ]:
+            db = make_database(dataset, placement)
+            run = SWEngine(db, dataset.name, sample_fraction=0.2).execute(
+                query, config
+            ).run
+            windows = {r.window for r in run.results}
+            if reference is None:
+                reference = windows
+            assert windows == reference
+
+    def test_prefetching_reduces_dispersed_completion(self, setting):
+        """'prefetching allowed us to reduce the completion time
+        significantly' on axis-ordered data."""
+        dataset, query = setting
+        db0 = make_database(dataset, "axis")
+        no_pref = SWEngine(db0, dataset.name, sample_fraction=0.2).execute(
+            query, SearchConfig(alpha=0.0)
+        ).run
+        db2 = make_database(dataset, "axis")
+        pref = SWEngine(db2, dataset.name, sample_fraction=0.2).execute(
+            query, SearchConfig(alpha=2.0)
+        ).run
+        assert pref.completion_time_s < no_pref.completion_time_s / 2
+
+    def test_sampling_guides_not_approximates(self, setting):
+        """Sampling steers the order only: degrading the sample changes
+        *when* results arrive, never *which* results arrive."""
+        dataset, query = setting
+        outcomes = {}
+        for fraction in (0.02, 0.5):
+            db = make_database(dataset, "cluster")
+            run = SWEngine(db, dataset.name, sample_fraction=fraction).execute(
+                query
+            ).run
+            outcomes[fraction] = ({r.window for r in run.results}, run.all_results_time_s)
+        assert outcomes[0.02][0] == outcomes[0.5][0]

@@ -1,0 +1,174 @@
+"""Unit tests for physical placements and heap tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Rect
+from repro.storage import (
+    HeapTable,
+    TableSchema,
+    axis_order,
+    cell_flat_ids,
+    cluster_order,
+    hilbert_order,
+    index_order,
+    order_rows,
+    random_order,
+)
+
+
+@pytest.fixture()
+def coords():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0, 10, (300, 2))
+
+
+@pytest.fixture()
+def unit_grid():
+    return Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+
+
+class TestPlacements:
+    def test_axis_order_sorts_primary(self, coords):
+        perm = axis_order(coords, primary_dim=0)
+        xs = coords[perm, 0]
+        assert np.all(np.diff(xs) >= 0)
+
+    def test_axis_order_other_dim(self, coords):
+        perm = axis_order(coords, primary_dim=1)
+        ys = coords[perm, 1]
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_axis_order_validates_dim(self, coords):
+        with pytest.raises(ValueError, match="out of range"):
+            axis_order(coords, primary_dim=2)
+
+    def test_all_orders_are_permutations(self, coords, unit_grid):
+        n = coords.shape[0]
+        for perm in (
+            axis_order(coords),
+            hilbert_order(coords),
+            cluster_order(coords, unit_grid),
+            index_order(coords),
+            random_order(n),
+        ):
+            assert sorted(perm) == list(range(n))
+
+    def test_cluster_order_groups_cells(self, coords, unit_grid):
+        perm = cluster_order(coords, unit_grid)
+        flats = cell_flat_ids(coords[perm], unit_grid)
+        # Each cell's tuples are contiguous: cell ids never reappear.
+        seen = set()
+        previous = None
+        for f in flats:
+            if f != previous:
+                assert f not in seen, "cell id reappeared — grouping broken"
+                seen.add(f)
+                previous = f
+
+    def test_cluster_order_requires_grid(self, coords):
+        with pytest.raises(ValueError, match="requires the grid"):
+            order_rows("cluster", coords)
+
+    def test_order_rows_dispatch(self, coords, unit_grid):
+        perm = order_rows("hilbert", coords)
+        np.testing.assert_array_equal(perm, hilbert_order(coords))
+
+    def test_cell_flat_ids_outside_marked(self, unit_grid):
+        coords = np.array([[5.0, 5.0], [11.0, 5.0], [-1.0, 2.0]])
+        flats = cell_flat_ids(coords, unit_grid)
+        assert flats[0] == unit_grid.flat_id((5, 5))
+        assert flats[1] == -1
+        assert flats[2] == -1
+
+    def test_1d_coords_accepted(self):
+        grid = Grid(Rect.from_bounds([(0.0, 10.0)]), (1.0,))
+        coords = np.array([3.0, 1.0, 7.0])
+        perm = order_rows("axis", coords, grid=grid)
+        np.testing.assert_array_equal(perm, [1, 0, 2])
+
+
+class TestTableSchema:
+    def test_attribute_columns(self):
+        schema = TableSchema(["x", "y", "v"], ["x", "y"])
+        assert schema.attribute_columns == ("v",)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema(["x", "x"], ["x"])
+
+    def test_coordinate_must_exist(self):
+        with pytest.raises(ValueError, match="not in schema"):
+            TableSchema(["x"], ["y"])
+
+    def test_needs_coordinates(self):
+        with pytest.raises(ValueError, match="coordinate column"):
+            TableSchema(["x"], [])
+
+
+class TestHeapTable:
+    def test_shape(self, small_table):
+        assert small_table.num_rows == 600
+        assert small_table.num_blocks == 38  # ceil(600/16)
+        assert small_table.ndim == 2
+
+    def test_column_read_only(self, small_table):
+        column = small_table.column("v")
+        with pytest.raises(ValueError):
+            column[0] = 99.0
+
+    def test_unknown_column(self, small_table):
+        with pytest.raises(KeyError, match="no column"):
+            small_table.column("nope")
+
+    def test_block_rows(self, small_table):
+        assert small_table.block_rows(0) == slice(0, 16)
+        assert small_table.block_rows(37) == slice(592, 600)
+        with pytest.raises(ValueError, match="out of range"):
+            small_table.block_rows(38)
+
+    def test_rows_of_blocks(self, small_table):
+        rows = small_table.rows_of_blocks(np.array([0, 37]))
+        assert rows.size == 16 + 8
+        assert rows[0] == 0 and rows[-1] == 599
+
+    def test_blocks_matching_exact(self, small_table):
+        lows, highs = (2.0, 3.0), (4.0, 5.0)
+        blocks, matching = small_table.blocks_matching(lows, highs)
+        coords = small_table.coordinates()
+        expected_rows = [
+            i
+            for i in range(small_table.num_rows)
+            if lows[0] <= coords[i, 0] < highs[0] and lows[1] <= coords[i, 1] < highs[1]
+        ]
+        np.testing.assert_array_equal(matching, expected_rows)
+        np.testing.assert_array_equal(
+            blocks, np.unique(np.array(expected_rows) // 16)
+        )
+
+    def test_blocks_matching_empty_region(self, small_table):
+        blocks, matching = small_table.blocks_matching((20.0, 20.0), (30.0, 30.0))
+        assert blocks.size == 0 and matching.size == 0
+
+    def test_mbr_prefilter_superset(self, small_table):
+        lows, highs = (1.0, 1.0), (2.0, 2.0)
+        coarse = set(small_table.blocks_intersecting(lows, highs).tolist())
+        exact = set(small_table.blocks_matching(lows, highs)[0].tolist())
+        assert exact <= coarse
+
+    def test_validation(self):
+        schema = TableSchema(["x"], ["x"])
+        with pytest.raises(ValueError, match="empty"):
+            HeapTable("t", schema, {"x": np.array([])})
+        with pytest.raises(ValueError, match="lengths differ"):
+            HeapTable(
+                "t",
+                TableSchema(["x", "y"], ["x"]),
+                {"x": np.array([1.0]), "y": np.array([1.0, 2.0])},
+            )
+        with pytest.raises(ValueError, match="missing column"):
+            HeapTable("t", TableSchema(["x", "y"], ["x"]), {"x": np.array([1.0])})
+        with pytest.raises(ValueError, match="positive"):
+            HeapTable("t", schema, {"x": np.array([1.0])}, tuples_per_block=0)

@@ -1,0 +1,140 @@
+"""Unit and property tests for the spillable priority queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SpillableQueue, Window
+
+
+def w(i: int) -> Window:
+    return Window((i, 0), (i + 1, 1))
+
+
+priorities = st.tuples(
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+    st.floats(min_value=0, max_value=1, allow_nan=False),
+)
+
+
+class TestBasicQueue:
+    def test_pop_order_by_utility(self):
+        q = SpillableQueue()
+        q.push((0.2, 0.0), w(0), 0)
+        q.push((0.9, 0.0), w(1), 0)
+        q.push((0.5, 0.0), w(2), 0)
+        assert q.pop()[1] == w(1)
+        assert q.pop()[1] == w(2)
+        assert q.pop()[1] == w(0)
+        assert q.pop() is None
+
+    def test_benefit_breaks_ties(self):
+        q = SpillableQueue()
+        q.push((0.5, 0.1), w(0), 0)
+        q.push((0.5, 0.9), w(1), 0)
+        assert q.pop()[1] == w(1)
+
+    def test_peek_does_not_remove(self):
+        q = SpillableQueue()
+        q.push((0.7, 0.0), w(0), 0)
+        assert q.peek_priority() == (0.7, 0.0)
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert SpillableQueue().peek_priority() is None
+
+    def test_version_carried(self):
+        q = SpillableQueue()
+        q.push((0.5, 0.5), w(0), 7)
+        assert q.pop()[2] == 7
+
+    def test_len(self):
+        q = SpillableQueue()
+        for i in range(5):
+            q.push((i / 10, 0.0), w(i), 0)
+        assert len(q) == 5
+        q.pop()
+        assert len(q) == 4
+
+    def test_drain(self):
+        q = SpillableQueue()
+        for i in range(5):
+            q.push((i / 10, 0.0), w(i), 0)
+        entries = list(q.drain())
+        assert len(entries) == 5
+        assert len(q) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="head capacity"):
+            SpillableQueue(head_capacity=1)
+        with pytest.raises(ValueError, match="bucket"):
+            SpillableQueue(num_buckets=0)
+
+
+class TestSpilling:
+    def test_spill_keeps_order(self):
+        q = SpillableQueue(head_capacity=8, num_buckets=4)
+        values = [(i % 97) / 97 for i in range(200)]
+        for i, p in enumerate(values):
+            q.push((p, 0.0), w(i), 0)
+        assert q.spill_events > 0
+        popped = []
+        while True:
+            entry = q.pop()
+            if entry is None:
+                break
+            popped.append(entry[0][0])
+        assert len(popped) == 200
+        # Global order holds across head and promoted buckets, up to the
+        # intra-bucket granularity: priorities never climb by more than
+        # one bucket width after a demotion.
+        bucket_width = 1 / 4
+        for a, b in zip(popped, popped[1:]):
+            assert b <= a + bucket_width + 1e-12
+
+    def test_spill_preserves_entries(self):
+        q = SpillableQueue(head_capacity=4, num_buckets=8)
+        windows = [w(i) for i in range(50)]
+        for i, window in enumerate(windows):
+            q.push(((i % 10) / 10, 0.0), window, i)
+        seen = set()
+        while True:
+            entry = q.pop()
+            if entry is None:
+                break
+            seen.add(entry[1])
+        assert seen == set(windows)
+
+    def test_promote_events_counted(self):
+        q = SpillableQueue(head_capacity=4)
+        for i in range(20):
+            q.push((i / 20, 0.0), w(i), 0)
+        while q.pop() is not None:
+            pass
+        assert q.promote_events > 0
+
+    @given(st.lists(priorities, min_size=1, max_size=80))
+    def test_exact_order_with_large_head(self, prios):
+        """Without spilling the queue is an exact max-heap."""
+        q = SpillableQueue(head_capacity=1000)
+        for i, p in enumerate(prios):
+            q.push(p, w(i), 0)
+        popped = []
+        while True:
+            entry = q.pop()
+            if entry is None:
+                break
+            popped.append(entry[0])
+        assert popped == sorted(prios, reverse=True)
+
+    @given(st.lists(priorities, min_size=1, max_size=120))
+    def test_no_entry_lost_when_spilling(self, prios):
+        q = SpillableQueue(head_capacity=8, num_buckets=4)
+        for i, p in enumerate(prios):
+            q.push(p, w(i), 0)
+        count = 0
+        while q.pop() is not None:
+            count += 1
+        assert count == len(prios)

@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Grid, PrefetchState, PrefetchStrategy, Rect, Window, prefetch_extend
+from repro.distributed import plan_partitions
+from repro.sql import parse_query
+from repro.sql.errors import SqlError
+
+
+# --- SQL fuzzing ---------------------------------------------------------------
+
+identifiers = st.sampled_from(["ra", "dec", "x", "y", "price", "v_1"])
+aggregates = st.sampled_from(["AVG", "SUM", "MIN", "MAX"])
+ops = st.sampled_from(["<", "<=", ">", ">=", "=", "!="])
+numbers = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False).map(
+    lambda v: f"{v:.3f}"
+)
+
+
+@st.composite
+def generated_queries(draw):
+    """Structurally valid SW SQL with randomized pieces."""
+    dims = draw(st.lists(identifiers, min_size=1, max_size=3, unique=True))
+    table = draw(identifiers)
+    grid_parts = []
+    for dim in dims:
+        lo = draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+        width = draw(st.floats(min_value=1, max_value=100, allow_nan=False))
+        step = draw(st.floats(min_value=0.1, max_value=10, allow_nan=False))
+        grid_parts.append(f"{dim} BETWEEN {lo:.3f} AND {lo + width:.3f} STEP {step:.3f}")
+    having_parts = [f"CARD() {draw(ops)} {draw(numbers)}"]
+    attr = draw(identifiers)
+    having_parts.append(f"{draw(aggregates)}({attr}) {draw(ops)} {draw(numbers)}")
+    select = ", ".join(f"LB({d})" for d in dims) + ", CARD()"
+    return (
+        f"SELECT {select} FROM {table} GRID BY "
+        + ", ".join(grid_parts)
+        + " HAVING "
+        + " AND ".join(having_parts)
+    ), dims, table
+
+
+class TestSqlFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(generated_queries())
+    def test_generated_queries_parse(self, item):
+        sql, dims, table = item
+        parsed = parse_query(sql)
+        assert parsed.table == table
+        assert [g.name for g in parsed.grid] == dims
+        assert len(parsed.having) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(min_size=0, max_size=60))
+    def test_arbitrary_text_never_crashes_unexpectedly(self, text):
+        """The parser either succeeds or raises a typed SqlError."""
+        try:
+            parse_query(text)
+        except SqlError:
+            pass
+
+
+# --- prefetch invariants ----------------------------------------------------------
+
+
+@st.composite
+def grids_and_windows(draw):
+    nx = draw(st.integers(4, 20))
+    ny = draw(st.integers(4, 20))
+    grid = Grid(Rect.from_bounds([(0.0, float(nx)), (0.0, float(ny))]), (1.0, 1.0))
+    lx = draw(st.integers(0, nx - 1))
+    ly = draw(st.integers(0, ny - 1))
+    hx = draw(st.integers(lx + 1, nx))
+    hy = draw(st.integers(ly + 1, ny))
+    return grid, Window((lx, ly), (hx, hy))
+
+
+class TestPrefetchProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(grids_and_windows(), st.floats(0.0, 10.0))
+    def test_extension_invariants(self, gw, p):
+        grid, window = gw
+        extended = prefetch_extend(window, p, grid, cost_fn=lambda w: float(w.cardinality))
+        # Contains the original, stays in the grid.
+        assert extended.contains_window(window)
+        assert all(l >= 0 for l in extended.lo)
+        assert all(h <= s for h, s in zip(extended.hi, grid.shape))
+
+    @settings(max_examples=40, deadline=None)
+    @given(grids_and_windows(), st.floats(0.0, 5.0), st.floats(0.0, 5.0))
+    def test_monotone_in_budget(self, gw, p1, p2):
+        grid, window = gw
+        lo, hi = sorted((p1, p2))
+        cost = lambda w: float(w.cardinality)
+        small = prefetch_extend(window, lo, grid, cost)
+        large = prefetch_extend(window, hi, grid, cost)
+        assert large.cardinality >= small.cardinality
+
+    @given(
+        st.floats(0.0, 3.0),
+        st.lists(st.booleans(), min_size=0, max_size=20),
+    )
+    def test_dynamic_size_reset_semantics(self, alpha, outcomes):
+        state = PrefetchState(alpha=alpha, strategy=PrefetchStrategy.DYNAMIC)
+        streak = 0
+        for positive in outcomes:
+            state.record_read(positive)
+            streak = 0 if positive else streak + 1
+            assert state.fp_reads == streak
+            if alpha > 0:
+                expected = (1 + alpha) ** (alpha + streak) - 1
+                assert state.size() == pytest.approx(expected)
+            else:
+                assert state.size() == 0.0
+
+
+# --- partition-plan invariants -------------------------------------------------------
+
+
+class TestPartitionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(8, 64),
+        st.integers(1, 8),
+        st.floats(0.0, 0.8),
+    )
+    def test_boundaries_partition_the_grid(self, size0, workers, skew):
+        if workers > size0:
+            workers = size0
+        grid = Grid(Rect.from_bounds([(0.0, float(size0)), (0.0, 4.0)]), (1.0, 1.0))
+        plan = plan_partitions(grid, workers, skew=skew)
+        # Strictly increasing boundaries covering [0, size0].
+        assert plan.boundaries[0] == 0
+        assert plan.boundaries[-1] == size0
+        assert all(a < b for a, b in zip(plan.boundaries, plan.boundaries[1:]))
+        # Every cell column has exactly one owner.
+        owners = [plan.owner_of_cell(i) for i in range(size0)]
+        assert owners == sorted(owners)
+        assert set(owners) == set(range(workers))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(8, 40), st.integers(2, 4), st.integers(2, 10))
+    def test_full_overlap_covers_window_reach(self, size0, workers, max_len):
+        grid = Grid(Rect.from_bounds([(0.0, float(size0)), (0.0, 4.0)]), (1.0, 1.0))
+        plan = plan_partitions(
+            grid, workers, overlap="full_overlap", max_window_length_dim0=max_len
+        )
+        for worker in range(workers):
+            a_lo, a_hi = plan.anchor_slab(worker)
+            d_lo, d_hi = plan.data_range(worker)
+            # Every window anchored in the slab fits in the local data.
+            furthest = min(a_hi - 1 + max_len, size0)
+            assert d_lo <= a_lo
+            assert d_hi >= furthest
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(16, 64), st.integers(2, 6))
+    def test_weighted_balancing_bounds_imbalance(self, size0, workers):
+        rng = np.random.default_rng(size0 * 31 + workers)
+        grid = Grid(Rect.from_bounds([(0.0, float(size0)), (0.0, 2.0)]), (1.0, 1.0))
+        weights = rng.uniform(1, 10, grid.shape)
+        plan = plan_partitions(grid, workers, cell_weights=weights)
+        col_weights = weights.sum(axis=1)
+        loads = [
+            col_weights[plan.boundaries[i] : plan.boundaries[i + 1]].sum()
+            for i in range(workers)
+        ]
+        # No worker holds more than the ideal share plus one column's worth
+        # of slack per boundary (cell-aligned splits cannot do better).
+        ideal = col_weights.sum() / workers
+        assert max(loads) <= ideal + 2 * col_weights.max()

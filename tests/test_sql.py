@@ -1,0 +1,263 @@
+"""Unit tests for the SW SQL extension: lexer, parser, compiler, execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComparisonOp, SearchConfig, ShapeKind
+from repro.sql import (
+    CompileError,
+    LexError,
+    ParseError,
+    compile_sql,
+    execute_sql,
+    execute_sql_iter,
+    parse_query,
+    tokenize,
+)
+from repro.sql.lexer import TokenType
+from repro.storage import TableSchema
+
+FIGURE2_QUERY = """
+SELECT LB(ra), UB(ra), LB(dec), UB(dec), AVG(brightness)
+FROM sdss
+GRID BY ra BETWEEN 100 AND 300 STEP 1,
+        dec BETWEEN 5 AND 40 STEP 1
+HAVING AVG(brightness) > 0.8 AND LEN(ra) = 3 AND LEN(dec) = 2
+"""
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT select SeLeCt")
+        assert all(t.is_keyword("select") for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2 .5")
+        values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert values == ["1", "2.5", "1e3", "2.5e-2", ".5"]
+
+    def test_symbols(self):
+        tokens = tokenize("<= >= <> != < > = ( ) ,")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "<>", "!=", "<", ">", "=", "(", ")", ","]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- a comment\n x")
+        assert [t.value for t in tokens[:-1]] == ["select", "x"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestParser:
+    def test_figure2_query(self):
+        parsed = parse_query(FIGURE2_QUERY)
+        assert parsed.table == "sdss"
+        assert [g.name for g in parsed.grid] == ["ra", "dec"]
+        assert parsed.grid[0].lo == 100.0 and parsed.grid[0].hi == 300.0
+        assert parsed.grid[0].step == 1.0
+        assert len(parsed.select) == 5
+        assert len(parsed.having) == 3
+
+    def test_alias(self):
+        parsed = parse_query(
+            "SELECT AVG(v) AS mean_v FROM t GRID BY x BETWEEN 0 AND 10 STEP 1 "
+            "HAVING AVG(v) > 1"
+        )
+        assert parsed.select[0].label == "mean_v"
+
+    def test_group_by_rejected_with_hint(self):
+        with pytest.raises(ParseError, match="GRID BY instead"):
+            parse_query("SELECT AVG(v) FROM t GROUP BY x")
+
+    def test_or_rejected(self):
+        with pytest.raises(ParseError, match="conjunctions"):
+            parse_query(
+                "SELECT CARD() FROM t GRID BY x BETWEEN 0 AND 1 STEP 1 "
+                "HAVING CARD() > 1 OR CARD() < 5"
+            )
+
+    def test_flipped_comparison(self):
+        parsed = parse_query(
+            "SELECT CARD() FROM t GRID BY x BETWEEN 0 AND 10 STEP 1 HAVING 5 < CARD()"
+        )
+        comparison = parsed.having[0]
+        assert comparison.op == ">"
+        assert comparison.value == 5.0
+
+    def test_negative_numbers(self):
+        parsed = parse_query(
+            "SELECT CARD() FROM t GRID BY x BETWEEN -10 AND -1 STEP 0.5 "
+            "HAVING AVG(v) > -2.5"
+        )
+        assert parsed.grid[0].lo == -10.0
+        assert parsed.having[0].value == -2.5
+
+    def test_expression_inside_aggregate(self):
+        parsed = parse_query(
+            "SELECT AVG(sqrt(rowv*rowv + colv*colv)) FROM sdss "
+            "GRID BY ra BETWEEN 0 AND 10 STEP 1 "
+            "HAVING AVG(sqrt(rowv*rowv + colv*colv)) > 95"
+        )
+        call = parsed.having[0].call
+        assert call.name == "avg"
+        assert call.expr.columns() == {"rowv", "colv"}
+
+    def test_count_star(self):
+        parsed = parse_query(
+            "SELECT CARD() FROM t GRID BY x BETWEEN 0 AND 10 STEP 1 HAVING COUNT(*) > 5"
+        )
+        assert parsed.having[0].call.name == "count"
+
+    def test_unknown_function(self):
+        with pytest.raises(ParseError, match="unknown window function"):
+            parse_query("SELECT MEDIAN(v) FROM t GRID BY x BETWEEN 0 AND 1 STEP 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_query("SELECT CARD() FROM t GRID BY x BETWEEN 0 AND 1 STEP 1 LIMIT 5")
+
+    def test_missing_step(self):
+        with pytest.raises(ParseError, match="STEP"):
+            parse_query("SELECT CARD() FROM t GRID BY x BETWEEN 0 AND 1")
+
+    def test_error_position_reported(self):
+        with pytest.raises(ParseError) as err:
+            parse_query("SELECT FROM t")
+        assert err.value.position is not None
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema(["ra", "dec", "brightness"], ["ra", "dec"])
+
+
+class TestCompiler:
+    def test_figure2_compiles(self, schema):
+        compiled = compile_sql(FIGURE2_QUERY, schema)
+        query = compiled.query
+        assert query.dimensions == ("ra", "dec")
+        assert query.grid.shape == (200, 35)
+        shape_conds = query.conditions.shape_conditions
+        assert {(c.objective.dim, c.value) for c in shape_conds} == {(0, 3.0), (1, 2.0)}
+        assert query.conditions.content_conditions[0].op is ComparisonOp.GT
+
+    def test_projection(self, schema):
+        from repro.core import ResultWindow, Window
+
+        compiled = compile_sql(FIGURE2_QUERY, schema)
+        window = Window((0, 0), (3, 2))
+        result = ResultWindow(
+            window=window,
+            bounds=window.rect(compiled.query.grid),
+            objective_values={"avg(brightness)": 0.9},
+        )
+        row = compiled.project(result)
+        assert row == (100.0, 103.0, 5.0, 7.0, 0.9)
+        assert compiled.column_labels[-1] == "AVG(brightness)"
+
+    def test_unknown_dimension(self, schema):
+        with pytest.raises(CompileError, match="not a coordinate column"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY nope BETWEEN 0 AND 1 STEP 1 "
+                "HAVING CARD() > 1",
+                schema,
+            )
+
+    def test_len_unknown_dim(self, schema):
+        with pytest.raises(CompileError, match="not in GRID BY"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY ra BETWEEN 0 AND 10 STEP 1 "
+                "HAVING LEN(dec) = 2",
+                schema,
+            )
+
+    def test_lb_in_having_rejected(self, schema):
+        with pytest.raises(CompileError, match="cannot be"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY ra BETWEEN 0 AND 10 STEP 1 "
+                "HAVING LB(ra) > 5",
+                schema,
+            )
+
+    def test_select_aggregate_must_be_condition(self, schema):
+        with pytest.raises(CompileError, match="must also be used in a HAVING"):
+            compile_sql(
+                "SELECT AVG(brightness) FROM t "
+                "GRID BY ra BETWEEN 0 AND 10 STEP 1 HAVING CARD() > 1",
+                schema,
+            )
+
+    def test_unknown_aggregate_column(self, schema):
+        with pytest.raises(CompileError, match="unknown column"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY ra BETWEEN 0 AND 10 STEP 1 "
+                "HAVING AVG(nope) > 1",
+                schema,
+            )
+
+    def test_invalid_step(self, schema):
+        with pytest.raises(CompileError, match="STEP"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY ra BETWEEN 0 AND 10 STEP 0 "
+                "HAVING CARD() > 1",
+                schema,
+            )
+
+    def test_empty_between(self, schema):
+        with pytest.raises(CompileError, match="empty"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY ra BETWEEN 10 AND 10 STEP 1 "
+                "HAVING CARD() > 1",
+                schema,
+            )
+
+    def test_duplicate_dimension(self, schema):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_sql(
+                "SELECT CARD() FROM t GRID BY ra BETWEEN 0 AND 1 STEP 1, "
+                "ra BETWEEN 0 AND 1 STEP 1 HAVING CARD() > 1",
+                schema,
+            )
+
+
+class TestExecution:
+    def _sql(self, dataset):
+        grid = dataset.grid
+        hi = grid.area[0].hi
+        return (
+            f"SELECT LB(x), UB(x), CARD(), AVG(value) "
+            f"FROM {dataset.name} "
+            f"GRID BY x BETWEEN 0 AND {hi} STEP {grid.steps[0]}, "
+            f"y BETWEEN 0 AND {hi} STEP {grid.steps[1]} "
+            f"HAVING AVG(value) > 20 AND AVG(value) < 30 "
+            f"AND CARD() > 5 AND CARD() < 10"
+        )
+
+    def test_execute_sql_matches_engine(self, tiny_dataset, tiny_query, tiny_db):
+        from repro.core import SWEngine
+
+        labels, rows = execute_sql(tiny_db, self._sql(tiny_dataset), sample_fraction=0.3)
+        assert labels == ("LB(x)", "UB(x)", "CARD()", "AVG(value)")
+        engine_run = SWEngine(tiny_db, tiny_dataset.name, sample_fraction=0.3).execute(
+            tiny_query
+        )
+        assert len(rows) == engine_run.run.num_results
+        for row in rows:
+            assert 5 < row[2] < 10
+            assert 20 < row[3] < 30
+
+    def test_execute_sql_iter_streams(self, tiny_dataset, tiny_db):
+        stream = execute_sql_iter(
+            tiny_db, self._sql(tiny_dataset), SearchConfig(alpha=1.0), sample_fraction=0.3
+        )
+        first = next(stream)
+        assert len(first) == 4
+
+    def test_unknown_table(self, tiny_db):
+        with pytest.raises(KeyError, match="no table"):
+            execute_sql(tiny_db, "SELECT CARD() FROM ghost GRID BY x BETWEEN 0 AND 1 STEP 1 HAVING CARD() > 0")

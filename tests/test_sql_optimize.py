@@ -1,0 +1,110 @@
+"""Tests for the MAXIMIZE/MINIMIZE SQL extension (Section 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import (
+    CompileError,
+    compile_optimize_query,
+    compile_sql,
+    execute_optimize,
+    execute_sql,
+    parse_query,
+)
+from repro.storage import TableSchema
+from repro.workloads import make_database, synthetic_dataset
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema(["x", "y", "value"], ["x", "y"])
+
+
+BASE = (
+    "SELECT LB(x), UB(x), AVG(value) FROM t "
+    "GRID BY x BETWEEN 0 AND 10 STEP 1, y BETWEEN 0 AND 10 STEP 1 "
+)
+
+
+class TestParsing:
+    def test_maximize_parsed(self):
+        parsed = parse_query(BASE + "HAVING CARD() <= 4 MAXIMIZE AVG(value)")
+        assert parsed.optimize is not None
+        assert parsed.optimize.maximize
+        assert parsed.optimize.call.name == "avg"
+
+    def test_minimize_parsed(self):
+        parsed = parse_query(BASE + "MINIMIZE SUM(value)")
+        assert not parsed.optimize.maximize
+
+    def test_optimize_without_having(self):
+        parsed = parse_query(BASE + "MAXIMIZE AVG(value)")
+        assert parsed.having == ()
+        assert parsed.optimize is not None
+
+
+class TestCompilation:
+    def test_compiles_shape_conditions(self, schema):
+        parsed = parse_query(BASE + "HAVING CARD() <= 4 MAXIMIZE AVG(value)")
+        compiled = compile_optimize_query(parsed, schema)
+        assert compiled.maximize
+        assert compiled.query.conditions.max_cardinality((10, 10)) == 4
+        assert compiled.objective.aggregate.name == "avg"
+
+    def test_content_conditions_rejected(self, schema):
+        parsed = parse_query(BASE + "HAVING AVG(value) > 5 MAXIMIZE AVG(value)")
+        with pytest.raises(CompileError, match="shape conditions only"):
+            compile_optimize_query(parsed, schema)
+
+    def test_cannot_optimize_shape_function(self, schema):
+        parsed = parse_query(BASE + "MAXIMIZE CARD()")
+        with pytest.raises(CompileError, match="cannot optimize"):
+            compile_optimize_query(parsed, schema)
+
+    def test_unknown_column_rejected(self, schema):
+        parsed = parse_query(BASE + "MAXIMIZE AVG(nope)")
+        with pytest.raises(CompileError, match="unknown column"):
+            compile_optimize_query(parsed, schema)
+
+    def test_plain_compile_rejects_optimize(self, schema):
+        with pytest.raises(CompileError, match="execute_optimize"):
+            compile_sql(BASE + "MAXIMIZE AVG(value)", schema)
+
+    def test_not_an_optimize_statement(self, schema):
+        parsed = parse_query(BASE + "HAVING CARD() <= 4 AND AVG(value) > 5")
+        with pytest.raises(CompileError, match="no MAXIMIZE"):
+            compile_optimize_query(parsed, schema)
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def db(self):
+        dataset = synthetic_dataset("high", scale=0.2, seed=61)
+        return make_database(dataset, "cluster"), dataset
+
+    def _sql(self, dataset, direction):
+        grid = dataset.grid
+        return (
+            f"SELECT CARD() FROM {dataset.name} "
+            f"GRID BY x BETWEEN 0 AND {grid.area[0].hi} STEP {grid.steps[0]}, "
+            f"y BETWEEN 0 AND {grid.area[1].hi} STEP {grid.steps[1]} "
+            f"HAVING CARD() <= 4 {direction} AVG(value)"
+        )
+
+    def test_maximize_picks_background(self, db):
+        database, dataset = db
+        result = execute_optimize(database, self._sql(dataset, "MAXIMIZE"), 0.3)
+        # Background value ~ N(50): the optimum must exceed every cluster.
+        assert result.best.value > 45.0
+
+    def test_minimize_picks_target_cluster(self, db):
+        database, dataset = db
+        result = execute_optimize(database, self._sql(dataset, "MINIMIZE"), 0.3)
+        # Target clusters average ~25 — the minimum lives there.
+        assert result.best.value < 27.0
+
+    def test_execute_sql_rejects_optimize(self, db):
+        database, dataset = db
+        with pytest.raises(CompileError, match="execute_optimize"):
+            execute_sql(database, self._sql(dataset, "MAXIMIZE"))

@@ -1,0 +1,99 @@
+"""Tests for STR bulk loading and the str placement ablation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import RTree
+from repro.storage.placement import index_order, order_rows, str_order
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(91)
+    return rng.uniform(0, 10, (500, 2))
+
+
+def leaves_touched(tree, lows, highs):
+    count = 0
+    for mins, maxs in tree.leaf_mbrs():
+        if all(mi < h and ma >= l for mi, ma, l, h in zip(mins, maxs, lows, highs)):
+            count += 1
+    return count
+
+
+class TestStrBulkLoad:
+    def test_search_matches_brute_force(self, points):
+        tree = RTree.bulk_load_str(points, max_entries=16)
+        lows, highs = (2.0, 3.0), (5.0, 6.0)
+        expected = sorted(
+            i
+            for i, p in enumerate(points)
+            if lows[0] <= p[0] < highs[0] and lows[1] <= p[1] < highs[1]
+        )
+        assert sorted(tree.search(lows, highs)) == expected
+
+    def test_size_and_leaf_order(self, points):
+        tree = RTree.bulk_load_str(points, max_entries=16)
+        assert tree.size == 500
+        assert sorted(tree.leaf_order()) == list(range(500))
+
+    def test_leaves_are_full(self, points):
+        tree = RTree.bulk_load_str(points, max_entries=16)
+        sizes = [len(n.payloads) for n in tree._dfs() if n.leaf]
+        # Packed loading: all leaves full except possibly the last few.
+        assert sum(sizes) == 500
+        assert sum(1 for s in sizes if s == 16) >= len(sizes) - 2
+
+    def test_empty_input(self):
+        tree = RTree.bulk_load_str(np.empty((0, 2)))
+        assert tree.size == 0
+        assert tree.search((0, 0), (1, 1)) == []
+
+    def test_1d_input(self):
+        pts = np.array([[3.0], [1.0], [2.0], [5.0]])
+        tree = RTree.bulk_load_str(pts, max_entries=4)
+        assert sorted(tree.search((1.5,), (5.0,))) == [0, 2]
+
+    def test_str_beats_insertion_on_query_fanout(self, points):
+        """The quality gap justifying the -ind vs STR ablation."""
+        packed = RTree.bulk_load_str(points, max_entries=16)
+        inserted = RTree(2, max_entries=16)
+        rng = np.random.default_rng(92)
+        for i in rng.permutation(500):
+            inserted.insert(tuple(points[i]), int(i))
+        total_packed = total_inserted = 0
+        for seed in range(40):
+            r = np.random.default_rng(seed)
+            lo = r.uniform(0, 8, 2)
+            hi = lo + 2
+            total_packed += leaves_touched(packed, lo, hi)
+            total_inserted += leaves_touched(inserted, lo, hi)
+        assert total_packed < total_inserted
+
+    def test_multilevel_tree(self):
+        rng = np.random.default_rng(93)
+        pts = rng.uniform(0, 1, (2000, 2))
+        tree = RTree.bulk_load_str(pts, max_entries=8)
+        assert tree.height >= 3
+        assert sorted(tree.search((0, 0), (1.01, 1.01))) == list(range(2000))
+
+
+class TestStrPlacement:
+    def test_str_order_is_permutation(self, points):
+        order = str_order(points)
+        assert sorted(order) == list(range(500))
+
+    def test_dispatch(self, points):
+        np.testing.assert_array_equal(order_rows("str", points), str_order(points))
+
+    def test_str_locality_at_least_index(self, points):
+        """STR ordering's neighbor distance should not exceed insertion's."""
+        str_gap = np.linalg.norm(
+            np.diff(points[str_order(points)], axis=0), axis=1
+        ).mean()
+        ins_gap = np.linalg.norm(
+            np.diff(points[index_order(points)], axis=0), axis=1
+        ).mean()
+        assert str_gap < ins_gap * 1.25

@@ -1,0 +1,86 @@
+"""Tests for search tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchConfig, SWEngine
+from repro.core.trace import EventKind, SearchTrace
+from repro.workloads import make_database
+
+
+@pytest.fixture()
+def traced_run(tiny_dataset, tiny_query):
+    db = make_database(tiny_dataset, "cluster")
+    engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+    trace = SearchTrace()
+    report = engine.execute(tiny_query, SearchConfig(alpha=1.0), trace=trace)
+    return trace, report
+
+
+class TestTraceRecording:
+    def test_results_traced(self, traced_run):
+        trace, report = traced_run
+        result_events = trace.events(EventKind.RESULT)
+        assert len(result_events) == report.run.num_results
+        assert [e.time for e in result_events] == [r.time for r in report.results]
+
+    def test_reads_traced_with_positivity(self, traced_run):
+        trace, report = traced_run
+        reads = trace.events(EventKind.READ)
+        assert len(reads) == report.run.stats.reads
+        positive, false_positive = trace.read_positivity()
+        assert positive + false_positive == len(reads)
+        assert positive > 0
+
+    def test_prefetched_cells_consistent(self, traced_run):
+        trace, report = traced_run
+        # The stats counter includes non-disk reads; the trace only disk
+        # reads, so it is a lower bound.
+        assert trace.prefetched_cells() <= report.run.stats.prefetched_cells
+
+    def test_times_monotone_per_kind(self, traced_run):
+        trace, _ = traced_run
+        for kind in (EventKind.READ, EventKind.RESULT):
+            times = [e.time for e in trace.events(kind)]
+            assert times == sorted(times)
+
+    def test_summary_fields(self, traced_run):
+        trace, report = traced_run
+        summary = trace.summary()
+        assert summary["results"] == report.run.num_results
+        assert summary["reads"] == report.run.stats.reads
+        assert summary["max_result_delay_s"] >= 0
+
+    def test_result_delays(self, traced_run):
+        trace, report = traced_run
+        delays = trace.result_delays()
+        assert len(delays) == max(0, report.run.num_results - 1)
+        assert all(d >= 0 for d in delays)
+
+    def test_no_trace_no_overhead_interface(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        report = engine.execute(tiny_query)  # no trace argument
+        assert report.run.num_results > 0
+
+    def test_refresh_traced(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        trace = SearchTrace()
+        report = engine.execute(
+            tiny_query, SearchConfig(alpha=0.0, refresh_reads=10), trace=trace
+        )
+        assert len(trace.events(EventKind.REFRESH)) == report.run.stats.refreshes
+        assert report.run.stats.refreshes > 0
+
+    def test_jump_traced(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.3)
+        trace = SearchTrace()
+        report = engine.execute(
+            tiny_query,
+            SearchConfig(alpha=0.0, s=0.5, diversification="dist_jumps"),
+            trace=trace,
+        )
+        assert len(trace.events(EventKind.JUMP)) == report.run.stats.jumps

@@ -1,0 +1,229 @@
+"""Unit tests for utility computation and prefetching (Sections 4.2-4.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    ComparisonOp,
+    ConditionSet,
+    ContentCondition,
+    ContentObjective,
+    Grid,
+    PrefetchState,
+    PrefetchStrategy,
+    Rect,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    Window,
+    col,
+    prefetch_extend,
+)
+from repro.core.datamanager import DataManager
+from repro.core.utility import UtilityModel
+from repro.sampling import StratifiedSampler
+
+
+@pytest.fixture()
+def grid():
+    return Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+
+
+@pytest.fixture()
+def dm(small_db, grid):
+    obj = ContentObjective.of("avg", col("v"))
+    sample = StratifiedSampler(1.0, seed=31).sample(small_db.table("pts"), grid)
+    return DataManager(small_db, "pts", grid, [obj], sample)
+
+
+def conditions(*conds, ndim=2):
+    return ConditionSet.of(conds, ndim)
+
+
+class TestCost:
+    def test_cost_formula(self, dm, grid):
+        """C_w = |w|_nc * m / n."""
+        model = UtilityModel(conditions(), dm)
+        w = Window((2, 2), (4, 4))
+        expected = dm.unread_objects(w) * grid.num_cells / dm.total_objects
+        assert model.cost(w) == pytest.approx(expected)
+
+    def test_cost_drops_after_read(self, dm):
+        model = UtilityModel(conditions(), dm)
+        w = Window((2, 2), (4, 4))
+        before = model.cost(w)
+        dm.read_window(Window((2, 2), (3, 4)))  # half the window
+        after = model.cost(w)
+        assert 0 < after < before
+        dm.read_window(w)
+        assert model.cost(w) == 0.0
+
+    def test_k_defaults_to_m(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        assert model.k == grid.num_cells
+
+    def test_k_from_cardinality(self, dm):
+        cs = conditions(
+            ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LT, 10)
+        )
+        assert UtilityModel(cs, dm).k == 9
+
+
+class TestBenefit:
+    def test_satisfied_conditions_give_one(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(ContentCondition(obj, ComparisonOp.GT, 0.0, eps=10.0))
+        model = UtilityModel(cs, dm)
+        # v ~ N(25, 5): every window's estimated average is > 0.
+        assert model.benefit(Window((0, 0), (5, 5))) == 1.0
+
+    def test_unsatisfied_distance_scaled(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(ContentCondition(obj, ComparisonOp.GT, 35.0, eps=20.0))
+        model = UtilityModel(cs, dm)
+        w = Window((0, 0), (10, 10))
+        est = dm.estimate(obj, w)
+        expected = max(0.0, 1.0 - abs(est - 35.0) / 20.0)
+        assert model.benefit(w) == pytest.approx(expected)
+
+    def test_min_combination(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(
+            ContentCondition(obj, ComparisonOp.GT, 0.0, eps=10.0),  # satisfied -> 1
+            ContentCondition(obj, ComparisonOp.GT, 1000.0, eps=10.0),  # hopeless -> 0
+        )
+        assert UtilityModel(cs, dm).benefit(Window((0, 0), (3, 3))) == 0.0
+
+    def test_shape_benefit(self, dm):
+        cs = conditions(
+            ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 0), ComparisonOp.EQ, 3)
+        )
+        model = UtilityModel(cs, dm)
+        assert model.benefit(Window((0, 0), (3, 1))) == 1.0
+        partial = model.benefit(Window((0, 0), (2, 1)))
+        assert 0 < partial < 1  # one cell away, scaled by the grid extent
+
+    def test_invalid_eps_rejected(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(ContentCondition(obj, ComparisonOp.GT, 1.0, eps=0.0))
+        with pytest.raises(ValueError, match="eps"):
+            UtilityModel(cs, dm)
+
+    def test_invalid_s_rejected(self, dm):
+        with pytest.raises(ValueError, match="s must be"):
+            UtilityModel(conditions(), dm, s=1.5)
+
+
+class TestUtility:
+    def test_utility_formula(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(ContentCondition(obj, ComparisonOp.GT, 0.0, eps=10.0))
+        model = UtilityModel(cs, dm, s=0.6)
+        w = Window((1, 1), (3, 3))
+        expected = 0.6 * model.benefit(w) + 0.4 * (1 - min(model.cost(w) / model.k, 1.0))
+        assert model.utility(w) == pytest.approx(expected)
+
+    def test_utility_in_unit_interval(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(ContentCondition(obj, ComparisonOp.GT, 20.0, eps=30.0))
+        model = UtilityModel(cs, dm)
+        for w in [Window((0, 0), (1, 1)), Window((2, 3), (7, 8)), Window((0, 0), (10, 10))]:
+            assert 0.0 <= model.utility(w) <= 1.0
+
+    def test_s_extremes(self, dm):
+        obj = ContentObjective.of("avg", col("v"))
+        cs = conditions(ContentCondition(obj, ComparisonOp.GT, 0.0, eps=10.0))
+        w = Window((0, 0), (2, 2))
+        benefit_only = UtilityModel(cs, dm, s=1.0)
+        cost_only = UtilityModel(cs, dm, s=0.0)
+        assert benefit_only.utility(w) == benefit_only.benefit(w)
+        assert cost_only.utility(w) == pytest.approx(
+            1 - min(cost_only.cost(w) / cost_only.k, 1.0)
+        )
+
+
+class TestPrefetchState:
+    def test_alpha_zero_no_prefetch(self):
+        state = PrefetchState(alpha=0.0)
+        assert state.size() == 0.0
+        state.record_read(False)
+        assert state.size() == 0.0
+
+    def test_default_size(self):
+        state = PrefetchState(alpha=1.0)
+        assert state.size() == pytest.approx(2.0 ** 1 - 1)
+
+    def test_dynamic_growth_formula(self):
+        state = PrefetchState(alpha=0.5)
+        state.record_read(False)
+        state.record_read(False)
+        assert state.fp_reads == 2
+        assert state.size() == pytest.approx(1.5 ** 2.5 - 1)
+
+    def test_positive_resets(self):
+        state = PrefetchState(alpha=1.0)
+        for _ in range(4):
+            state.record_read(False)
+        state.record_read(True)
+        assert state.fp_reads == 0
+        assert state.size() == pytest.approx(1.0)
+
+    def test_static_ignores_false_positives(self):
+        state = PrefetchState(alpha=1.0, strategy=PrefetchStrategy.STATIC)
+        base = state.size()
+        for _ in range(5):
+            state.record_read(False)
+        assert state.size() == base
+
+    def test_none_strategy(self):
+        state = PrefetchState(alpha=2.0, strategy=PrefetchStrategy.NONE)
+        assert state.size() == 0.0
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            PrefetchState(alpha=-0.5)
+
+    def test_string_strategy_coerced(self):
+        assert PrefetchState(alpha=1.0, strategy="static").strategy is PrefetchStrategy.STATIC
+
+
+class TestPrefetchExtend:
+    def test_zero_budget_identity(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        w = Window((3, 3), (5, 5))
+        assert prefetch_extend(w, 0.0, grid, model.cost) == w
+
+    def test_extension_contains_original(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        w = Window((4, 4), (5, 5))
+        extended = prefetch_extend(w, 2.0, grid, model.cost)
+        assert extended.contains_window(w)
+        assert extended.cardinality > w.cardinality
+
+    def test_larger_budget_larger_region(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        w = Window((4, 4), (5, 5))
+        small = prefetch_extend(w, 1.0, grid, model.cost)
+        large = prefetch_extend(w, 6.0, grid, model.cost)
+        assert large.cardinality >= small.cardinality
+
+    def test_respects_grid_boundaries(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        w = Window((0, 0), (1, 1))
+        extended = prefetch_extend(w, 100.0, grid, model.cost)
+        assert extended.lo == (0, 0)
+        assert extended.hi[0] <= grid.shape[0]
+        assert extended.hi[1] <= grid.shape[1]
+
+    def test_negative_budget_rejected(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        with pytest.raises(ValueError, match="non-negative"):
+            prefetch_extend(Window((0, 0), (1, 1)), -1.0, grid, model.cost)
+
+    def test_huge_budget_swallows_grid(self, dm, grid):
+        model = UtilityModel(conditions(), dm)
+        extended = prefetch_extend(Window((5, 5), (6, 6)), 1e9, grid, model.cost)
+        assert extended == Window((0, 0), grid.shape)

@@ -1,0 +1,161 @@
+"""Tests for terminal visualization and dataset/result persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, Rect, ResultWindow, Window
+from repro.io import load_dataset, results_to_rows, save_dataset, write_results_csv
+from repro.viz import render_grid, render_results, render_timeline
+from repro.workloads import synthetic_dataset
+
+
+@pytest.fixture()
+def grid():
+    return Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 5.0)]), (1.0, 1.0))
+
+
+def result(lo, hi, grid, time=0.0, **objectives):
+    window = Window(lo, hi)
+    return ResultWindow(
+        window=window, bounds=window.rect(grid), objective_values=objectives, time=time
+    )
+
+
+class TestRenderGrid:
+    def test_dimensions(self):
+        text = render_grid(np.zeros((10, 5)), legend=False)
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 12 for line in lines)  # 10 cells + 2 borders
+
+    def test_intensity_mapping(self):
+        values = np.array([[0.0, 10.0]])  # 1 column, 2 rows
+        text = render_grid(values, legend=False)
+        top, bottom = text.splitlines()
+        assert top == "|@|"
+        assert bottom == "| |"
+
+    def test_nan_renders_blank(self):
+        values = np.array([[np.nan], [5.0]])
+        text = render_grid(values, legend=False)
+        assert " " in text
+
+    def test_legend(self):
+        text = render_grid(np.array([[1.0, 2.0]]))
+        assert "scale:" in text
+
+    def test_downsampling(self):
+        text = render_grid(np.random.default_rng(0).random((300, 4)), max_width=50, legend=False)
+        width = len(text.splitlines()[0]) - 2
+        assert width <= 50
+
+    def test_1d_input(self):
+        text = render_grid(np.array([1.0, 2.0, 3.0]), legend=False)
+        assert len(text.splitlines()) == 1
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            render_grid(np.zeros((2, 2, 2)))
+
+    def test_constant_grid(self):
+        text = render_grid(np.full((4, 2), 7.0), legend=False)
+        assert "@" in text
+
+
+class TestRenderResults:
+    def test_density(self, grid):
+        results = [
+            result((0, 0), (2, 2), grid),
+            result((1, 1), (3, 3), grid),
+        ]
+        text = render_results(results, grid)
+        # Cell (1,1) covered twice renders darkest.
+        assert "@" in text
+
+    def test_empty_results(self, grid):
+        text = render_results([], grid)
+        assert "|" in text
+
+
+class TestRenderTimeline:
+    def test_counts_reported(self, grid):
+        results = [result((0, 0), (1, 1), grid, time=t) for t in (0.1, 0.2, 0.9)]
+        text = render_timeline(results, total_time=1.0, width=10)
+        assert "3 results" in text
+
+    def test_early_burst_shape(self, grid):
+        results = [result((0, 0), (1, 1), grid, time=0.01 * i) for i in range(10)]
+        text = render_timeline(results, total_time=1.0, width=10)
+        bar = text.split("|")[1]
+        assert bar[0] == "█"
+        assert bar[-1] == " "
+
+    def test_zero_results(self, grid):
+        assert "0 results" in render_timeline([], total_time=1.0)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError, match="total_time"):
+            render_timeline([], total_time=0.0)
+
+
+class TestDatasetPersistence:
+    def test_roundtrip(self, tmp_path):
+        dataset = synthetic_dataset("medium", scale=0.2, seed=81)
+        path = save_dataset(dataset, tmp_path / "synth.npz")
+        loaded = load_dataset(path)
+        assert loaded.name == dataset.name
+        assert loaded.schema.columns == dataset.schema.columns
+        assert loaded.grid.shape == dataset.grid.shape
+        assert loaded.clusters == dataset.clusters
+        for name in dataset.columns:
+            np.testing.assert_array_equal(loaded.columns[name], dataset.columns[name])
+        assert loaded.meta["spread"] == "medium"
+
+    def test_loaded_dataset_runs(self, tmp_path):
+        from repro.core import SWEngine
+        from repro.workloads import make_database, synthetic_query
+
+        dataset = synthetic_dataset("high", scale=0.2, seed=82)
+        loaded = load_dataset(save_dataset(dataset, tmp_path / "d.npz"))
+        db = make_database(loaded, "cluster")
+        run = SWEngine(db, loaded.name, sample_fraction=0.3).execute(
+            synthetic_query(loaded)
+        ).run
+        db2 = make_database(dataset, "cluster")
+        reference = SWEngine(db2, dataset.name, sample_fraction=0.3).execute(
+            synthetic_query(dataset)
+        ).run
+        assert {r.window for r in run.results} == {r.window for r in reference.results}
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        dataset = synthetic_dataset("low", scale=0.2, seed=83)
+        path = save_dataset(dataset, tmp_path / "d.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(str(data["__meta__"]))
+        meta["format_version"] = 99
+        data["__meta__"] = np.array(json.dumps(meta))
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="unsupported dataset format"):
+            load_dataset(path)
+
+
+class TestResultExport:
+    def test_rows(self, grid):
+        results = [
+            result((0, 0), (2, 1), grid, time=1.5, avg=25.0),
+            result((3, 3), (4, 5), grid, time=2.5, avg=28.0),
+        ]
+        header, rows = results_to_rows(results, ("x", "y"))
+        assert header == ["lb_x", "lb_y", "ub_x", "ub_y", "avg", "time_s"]
+        assert rows[0] == [0.0, 0.0, 2.0, 1.0, 25.0, 1.5]
+
+    def test_csv(self, grid, tmp_path):
+        results = [result((0, 0), (1, 1), grid, time=0.5, avg=25.0)]
+        path = write_results_csv(results, ("x", "y"), tmp_path / "out.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "lb_x,lb_y,ub_x,ub_y,avg,time_s"
+        assert len(content) == 2

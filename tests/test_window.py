@@ -1,0 +1,183 @@
+"""Unit and property tests for windows and the search-graph structure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Direction, Grid, Rect, Window, enumerate_windows
+
+
+@st.composite
+def windows(draw, ndim=2, max_coord=12):
+    lo = tuple(draw(st.integers(0, max_coord - 1)) for _ in range(ndim))
+    hi = tuple(draw(st.integers(l + 1, max_coord)) for l in lo)
+    return Window(lo, hi)
+
+
+class TestWindowBasics:
+    def test_shape_functions(self):
+        w = Window((1, 2), (4, 3))
+        assert w.lengths == (3, 1)
+        assert w.length(0) == 3
+        assert w.cardinality == 3
+        assert w.anchor == (1, 2)
+
+    def test_single_cell(self):
+        w = Window.single_cell((5, 6))
+        assert w.cardinality == 1
+        assert w.lo == (5, 6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            Window((1, 1), (1, 2))
+
+    def test_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="matching dimensionality"):
+            Window((1,), (2, 3))
+
+    def test_iter_cells(self):
+        w = Window((0, 0), (2, 2))
+        assert sorted(w.iter_cells()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_contains_cell(self):
+        w = Window((1, 1), (3, 3))
+        assert w.contains_cell((2, 2))
+        assert not w.contains_cell((3, 2))
+
+    def test_hashable_and_equal(self):
+        assert Window((0, 0), (1, 1)) == Window((0, 0), (1, 1))
+        assert len({Window((0, 0), (1, 1)), Window((0, 0), (1, 1))}) == 1
+
+
+class TestWindowAlgebra:
+    def test_overlap(self):
+        a = Window((0, 0), (3, 3))
+        b = Window((2, 2), (5, 5))
+        c = Window((3, 3), (5, 5))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_intersection(self):
+        a = Window((0, 0), (3, 3))
+        b = Window((2, 1), (5, 2))
+        assert a.intersection(b) == Window((2, 1), (3, 2))
+        assert a.intersection(Window((4, 4), (5, 5))) is None
+
+    def test_hull(self):
+        a = Window((0, 0), (1, 1))
+        b = Window((3, 2), (4, 4))
+        assert a.hull(b) == Window((0, 0), (4, 4))
+
+    def test_contains_window(self):
+        outer = Window((0, 0), (5, 5))
+        assert outer.contains_window(Window((1, 1), (3, 3)))
+        assert outer.contains_window(outer)
+        assert not outer.contains_window(Window((4, 4), (6, 6)))
+
+    def test_is_extension_of(self):
+        base = Window((1, 1), (2, 2))
+        ext = Window((1, 1), (4, 4))
+        assert ext.is_extension_of(base)
+        assert not base.is_extension_of(base)
+        assert not base.is_extension_of(ext)
+
+    @given(windows(), windows())
+    def test_overlap_matches_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+    @given(windows(), windows())
+    def test_hull_contains_both(self, a, b):
+        hull = a.hull(b)
+        assert hull.contains_window(a)
+        assert hull.contains_window(b)
+
+
+class TestNeighbors:
+    def test_neighbor_directions(self, grid_10x10):
+        w = Window((2, 2), (4, 4))
+        nbrs = set(w.neighbors(grid_10x10))
+        assert nbrs == {
+            Window((1, 2), (4, 4)),  # left in dim 0
+            Window((2, 2), (5, 4)),  # right in dim 0
+            Window((2, 1), (4, 4)),  # left in dim 1
+            Window((2, 2), (4, 5)),  # right in dim 1
+        }
+
+    def test_neighbor_at_boundary(self, grid_10x10):
+        w = Window((0, 0), (10, 1))
+        assert w.neighbor(grid_10x10, 0, Direction.LEFT) is None
+        assert w.neighbor(grid_10x10, 0, Direction.RIGHT) is None
+        assert w.neighbor(grid_10x10, 1, Direction.RIGHT) == Window((0, 0), (10, 2))
+
+    def test_every_neighbor_is_one_cell_bigger(self, grid_10x10):
+        w = Window((3, 3), (5, 6))
+        for nbr in w.neighbors(grid_10x10):
+            assert nbr.is_extension_of(w)
+            assert nbr.cardinality - w.cardinality in (
+                w.cardinality // w.length(0),
+                w.cardinality // w.length(1),
+            )
+
+    @given(windows(ndim=2, max_coord=10))
+    def test_neighbors_contain_original(self, w):
+        grid = Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+        for nbr in w.neighbors(grid):
+            assert nbr.contains_window(w)
+
+    def test_extend_validates_amount(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            Window((0, 0), (1, 1)).extend(0, Direction.RIGHT, 0)
+
+
+class TestEnumerateWindows:
+    def test_count_1d(self):
+        grid = Grid(Rect.from_bounds([(0.0, 4.0)]), (1.0,))
+        wins = list(enumerate_windows(grid))
+        # n*(n+1)/2 = 10 windows over 4 cells.
+        assert len(wins) == 10
+        assert len(set(wins)) == 10
+
+    def test_count_2d(self):
+        grid = Grid(Rect.from_bounds([(0.0, 3.0), (0.0, 3.0)]), (1.0, 1.0))
+        wins = list(enumerate_windows(grid))
+        assert len(wins) == 36  # (3*4/2)^2
+
+    def test_max_lengths(self):
+        grid = Grid(Rect.from_bounds([(0.0, 4.0)]), (1.0,))
+        wins = list(enumerate_windows(grid, max_lengths=(2,)))
+        assert all(w.length(0) <= 2 for w in wins)
+        assert len(wins) == 7  # 4 singles + 3 pairs
+
+    def test_max_lengths_validation(self):
+        grid = Grid(Rect.from_bounds([(0.0, 4.0)]), (1.0,))
+        with pytest.raises(ValueError, match="dimensionality"):
+            list(enumerate_windows(grid, max_lengths=(2, 2)))
+
+    def test_all_reachable_via_neighbors(self):
+        """Every window is reachable from a cell through neighbor steps."""
+        grid = Grid(Rect.from_bounds([(0.0, 4.0), (0.0, 3.0)]), (1.0, 1.0))
+        reached = {Window.single_cell(c) for c in grid.iter_cells()}
+        frontier = list(reached)
+        while frontier:
+            w = frontier.pop()
+            for nbr in w.neighbors(grid):
+                if nbr not in reached:
+                    reached.add(nbr)
+                    frontier.append(nbr)
+        assert reached == set(enumerate_windows(grid))
+
+
+class TestWindowRect:
+    def test_rect(self, grid_10x10):
+        w = Window((2, 3), (4, 5))
+        rect = w.rect(grid_10x10)
+        assert rect.lower == (2.0, 3.0)
+        assert rect.upper == (4.0, 5.0)
+
+    def test_rect_volume_matches_cardinality_on_unit_grid(self, grid_10x10):
+        w = Window((1, 1), (4, 3))
+        assert w.rect(grid_10x10).volume == pytest.approx(w.cardinality)

@@ -1,0 +1,163 @@
+"""Targeted tests of the distributed worker protocol (Section 5 mechanics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    SearchConfig,
+    SWEngine,
+    SWQuery,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+    col,
+)
+from repro.distributed import DistributedConfig, OverlapMode, run_distributed
+from repro.distributed.coordinator import _build_worker
+from repro.distributed.messages import CellRequest, Network
+from repro.distributed.partitioning import plan_partitions
+from repro.costs import DEFAULT_COST_MODEL
+from repro.sampling import StratifiedSampler
+from repro.storage import Database, HeapTable, TableSchema
+from repro.workloads import Dataset, make_database
+
+
+def make_dataset(seed: int, n: int = 250) -> tuple[Dataset, SWQuery]:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 12, n)
+    y = rng.uniform(0, 12, n)
+    v = rng.normal(20, 8, n)
+    schema = TableSchema(["x", "y", "v"], ["x", "y"])
+    from repro.core import Grid, Rect
+
+    grid = Grid(Rect.from_bounds([(0.0, 12.0), (0.0, 12.0)]), (1.0, 1.0))
+    dataset = Dataset(
+        name="rand",
+        columns={"x": x, "y": y, "v": v},
+        schema=schema,
+        grid=grid,
+    )
+    query = SWQuery.build(
+        dimensions=("x", "y"),
+        area=[(0.0, 12.0), (0.0, 12.0)],
+        steps=(1.0, 1.0),
+        conditions=[
+            ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 6),
+            ContentCondition(ContentObjective.of("avg", col("v")), ComparisonOp.GT, 22.0),
+        ],
+    )
+    return dataset, query
+
+
+class TestWorkerMechanics:
+    def _one_worker(self, workers=2, wid=0):
+        dataset, query = make_dataset(1)
+        full_table = HeapTable(dataset.name, dataset.schema, dataset.columns, 8)
+        sample = StratifiedSampler(0.5, seed=3).sample(full_table, dataset.grid)
+        plan = plan_partitions(dataset.grid, workers)
+        network = Network(workers, DEFAULT_COST_MODEL)
+        config = DistributedConfig(num_workers=workers)
+        worker = _build_worker(
+            wid, dataset, query, plan, sample, full_table, network, config, DEFAULT_COST_MODEL
+        )
+        return worker, network, plan, query
+
+    def test_seeds_only_own_anchors(self):
+        worker, _, plan, _ = self._one_worker(workers=2, wid=0)
+        lo, hi = plan.anchor_slab(0)
+        entries = list(worker.queue.drain())
+        assert entries, "worker should have seeded start windows"
+        assert all(lo <= window.lo[0] < hi for _, window, _ in entries)
+
+    def test_boundary_window_requests_remote_cells(self):
+        worker, network, plan, _ = self._one_worker(workers=2, wid=0)
+        boundary = plan.boundaries[1]
+        from repro.core import Window
+
+        # A window anchored just left of the boundary, spanning across it.
+        window = Window((boundary - 1, 0), (boundary + 1, 2))
+        worker._explore(window)
+        assert window in worker._waiting
+        assert network.pending(1) == 1
+
+    def test_request_answered_after_local_read(self):
+        worker0, network, plan, query = self._one_worker(workers=2, wid=0)
+        # Build worker 1 against the same network.
+        dataset, _ = make_dataset(1)
+        full_table = HeapTable(dataset.name, dataset.schema, dataset.columns, 8)
+        sample = StratifiedSampler(0.5, seed=3).sample(full_table, dataset.grid)
+        config = DistributedConfig(num_workers=2)
+        worker1 = _build_worker(
+            1, dataset, query, plan, sample, full_table, network, config, DEFAULT_COST_MODEL
+        )
+        boundary = plan.boundaries[1]
+        from repro.core import Window
+
+        window = Window((boundary - 1, 0), (boundary + 1, 2))
+        worker0._explore(window)
+        # Worker 1 hasn't read anything: the request must be parked.
+        worker1.advance_to(network.earliest_arrival(1))
+        worker1._process_inbox()
+        assert worker1._pending, "request should wait for local data"
+        # After reading its cells, flushing answers the request.
+        worker1.data.read_window(Window((boundary, 0), (boundary + 1, 2)))
+        worker1._flush_pending()
+        assert not worker1._pending
+        assert network.pending(0) == 1  # the response is in flight
+
+    def test_response_unparks_window(self):
+        worker0, network, plan, query = self._one_worker(workers=2, wid=0)
+        boundary = plan.boundaries[1]
+        from repro.core import Window
+        from repro.distributed.messages import CellResponse
+        from repro.core.aggregates import CellStats
+        from repro.storage.database import COUNT_KEY
+
+        window = Window((boundary - 1, 0), (boundary + 1, 1))
+        worker0._explore(window)
+        assert window in worker0._waiting
+        payloads = {
+            (boundary, 0): {
+                COUNT_KEY: CellStats(0, 0.0, float("inf"), float("-inf")),
+            }
+        }
+        queue_before = len(worker0.queue)
+        worker0._handle_response(CellResponse(1, payloads))
+        assert window not in worker0._waiting
+        assert len(worker0.queue) == queue_before + 1
+
+
+class TestDistributedEqualsSingleNodeProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(0, 1000),
+        st.integers(2, 4),
+        st.sampled_from(list(OverlapMode)),
+    )
+    def test_random_data_agreement(self, seed, workers, overlap):
+        dataset, query = make_dataset(seed)
+        single = make_database(dataset, "cluster")
+        reference = {
+            r.window
+            for r in SWEngine(single, dataset.name, sample_fraction=0.5)
+            .execute(query)
+            .results
+        }
+        report = run_distributed(
+            dataset,
+            query,
+            DistributedConfig(
+                num_workers=workers,
+                overlap=overlap,
+                sample_fraction=0.5,
+                search=SearchConfig(alpha=0.5),
+            ),
+        )
+        assert {r.window for r in report.results} == reference
