@@ -32,8 +32,7 @@ from repro.core import (
     ShapeObjective,
     SWEngine,
     SWQuery,
-    col,
-)
+    )
 from repro.workloads import synthetic_query
 
 

@@ -1,0 +1,259 @@
+"""Hot-path kernel benchmarks: SAT lookups, batch seeding, end-to-end.
+
+Three layers, each asserting both *speed* and *exactness* of the
+summed-area-table kernel path (``repro.core.kernels``) against the naive
+per-window slice reductions it replaces:
+
+* **micro** — ``SummedAreaTable.window_sum`` / ``placement_sums`` versus
+  per-window ``ndarray`` slice sums over random boxes (values must match
+  exactly: integer-valued float64 prefix sums are exact below 2^53);
+* **seeding** — ``HeuristicSearch._seed_start_windows`` with kernels on
+  versus off for a seed-heavy query on the paper's 100x100 synthetic
+  grid, asserting a >= 5x speedup and identical queue contents;
+* **end-to-end** — a time-budgeted (interactive) exploration over a fine
+  200x200 query grid, asserting a >= 2x wall-clock speedup with
+  byte-identical :class:`~repro.core.search.SearchRun` output, plus
+  kernel-vs-naive run identity on every synthetic spread config.
+
+Results are emitted machine-readably via ``repro.bench.emit_json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench import emit_json, fresh_database, get_synthetic, get_table, print_table
+from repro.core import SearchConfig, SWEngine
+from repro.core.conditions import (
+    ComparisonOp,
+    ContentCondition,
+    ContentObjective,
+    ShapeCondition,
+    ShapeKind,
+    ShapeObjective,
+)
+from repro.core.expressions import col
+from repro.core.kernels import SummedAreaTable
+from repro.core.query import SWQuery
+from repro.workloads import synthetic_query
+from repro.workloads.synthetic import SPREADS, synthetic_dataset
+
+
+def _seed_heavy_query(dataset, steps=None) -> SWQuery:
+    """A query whose shape conditions make seeding the dominant phase.
+
+    ``len >= 3`` per dimension yields one start window per grid cell
+    offset (~n placements on an n-cell grid), and the ``avg(value)``
+    interval forces a content estimate for every one of them.
+    """
+    grid = dataset.grid
+    avg_value = ContentObjective.of("avg", col("value"))
+    conditions = [
+        ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 0), ComparisonOp.GE, 3),
+        ShapeCondition(ShapeObjective(ShapeKind.LENGTH, 1), ComparisonOp.GE, 3),
+        ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LT, 16),
+        ContentCondition(avg_value, ComparisonOp.GT, 20.0),
+        ContentCondition(avg_value, ComparisonOp.LT, 30.0),
+    ]
+    return SWQuery.build(
+        dimensions=("x", "y"),
+        area=[(grid.area[0].lo, grid.area[0].hi), (grid.area[1].lo, grid.area[1].hi)],
+        steps=steps if steps is not None else grid.steps,
+        conditions=conditions,
+    )
+
+
+def _run_fingerprint(run) -> tuple:
+    """Everything observable about a search run, for byte-identity checks."""
+    return (
+        [(r.window, r.bounds, tuple(sorted(r.objective_values.items())), r.time) for r in run.results],
+        run.completion_time_s,
+        run.stats,
+    )
+
+
+# -- micro: SAT versus slice reductions --------------------------------------
+
+
+def _run_micro() -> dict:
+    rng = np.random.default_rng(7)
+    grid = rng.integers(0, 200, size=(400, 400)).astype(np.int64)
+    sat = SummedAreaTable(grid)
+
+    boxes = []
+    for _ in range(2000):
+        lo = rng.integers(0, 396, size=2)
+        hi = np.minimum(lo + 1 + rng.integers(0, 40, size=2), 400)
+        boxes.append((tuple(int(v) for v in lo), tuple(int(v) for v in hi)))
+
+    t0 = time.perf_counter()
+    naive = [float(grid[lo[0] : hi[0], lo[1] : hi[1]].sum()) for lo, hi in boxes]
+    naive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = [sat.box_sum(lo, hi) for lo, hi in boxes]
+    sat_s = time.perf_counter() - t0
+    assert fast == naive, "SAT box sums must match slice sums exactly"
+
+    lengths = (5, 5)
+    t0 = time.perf_counter()
+    naive_grid = np.array(
+        [
+            [float(grid[i : i + 5, j : j + 5].sum()) for j in range(396)]
+            for i in range(396)
+        ]
+    )
+    naive_place_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast_grid = sat.placement_sums(lengths)
+    place_s = time.perf_counter() - t0
+    assert np.array_equal(fast_grid, naive_grid), "placement sums must match slice sums"
+
+    return {
+        "box_naive_s": naive_s,
+        "box_sat_s": sat_s,
+        "placement_naive_s": naive_place_s,
+        "placement_sat_s": place_s,
+        "placement_speedup": naive_place_s / place_s,
+    }
+
+
+def test_sat_micro_kernels(benchmark):
+    out = benchmark.pedantic(_run_micro, rounds=1, iterations=1)
+    print_table(
+        "Summed-area-table kernels vs slice reductions (2000 boxes / 156k placements)",
+        ["Kernel", "naive (s)", "SAT (s)", "speedup"],
+        [
+            ["box_sum", f"{out['box_naive_s']:.4f}", f"{out['box_sat_s']:.4f}",
+             f"{out['box_naive_s'] / out['box_sat_s']:.1f}x"],
+            ["placement_sums", f"{out['placement_naive_s']:.4f}", f"{out['placement_sat_s']:.4f}",
+             f"{out['placement_speedup']:.1f}x"],
+        ],
+    )
+    emit_json("hotpath_micro", out)
+    # Batch placement sums replace ~n^2 slice reductions with 2^d shifted
+    # array subtractions; anything less than an order of magnitude here
+    # means the kernel layer regressed badly.
+    assert out["placement_speedup"] > 10.0
+
+
+# -- seeding: batch placement evaluation -------------------------------------
+
+
+def _run_seeding() -> dict:
+    dataset = synthetic_dataset("high", scale=1.0)
+    query = _seed_heavy_query(dataset)
+    table = get_table(dataset, "axis", axis_dim=0)
+
+    timings: dict[bool, float] = {}
+    drained: dict[bool, list] = {}
+    for use_kernels in (False, True):
+        engine = SWEngine(
+            fresh_database(table), dataset.name, sample_fraction=0.05, use_kernels=use_kernels
+        )
+        engine.sample_for(query)  # build the (offline) sample outside the timing
+        best = float("inf")
+        for _ in range(3):
+            search = engine.prepare(query, SearchConfig())
+            t0 = time.perf_counter()
+            search._seed_start_windows()
+            best = min(best, time.perf_counter() - t0)
+        timings[use_kernels] = best
+        drained[use_kernels] = list(search.queue.drain())
+
+    assert drained[True] == drained[False], "kernel seeding must fill an identical queue"
+    return {
+        "placements": len(drained[True]),
+        "naive_s": timings[False],
+        "kernel_s": timings[True],
+        "speedup": timings[False] / timings[True],
+    }
+
+
+def test_seeding_speedup(benchmark):
+    out = benchmark.pedantic(_run_seeding, rounds=1, iterations=1)
+    print_table(
+        "Batch seeding, 100x100 grid (seed-heavy query)",
+        ["placements", "naive (s)", "kernel (s)", "speedup"],
+        [[out["placements"], f"{out['naive_s']:.4f}", f"{out['kernel_s']:.4f}",
+          f"{out['speedup']:.1f}x"]],
+    )
+    emit_json("hotpath_seeding", out)
+    assert out["speedup"] >= 5.0, f"seeding speedup {out['speedup']:.1f}x below 5x floor"
+
+
+# -- end-to-end: interactive (time-budgeted) exploration ---------------------
+
+
+def _run_end_to_end() -> dict:
+    dataset = synthetic_dataset("high", scale=0.5)
+    extent = dataset.grid.area[0].hi - dataset.grid.area[0].lo
+    query = _seed_heavy_query(dataset, steps=(extent / 200, extent / 200))
+    table = get_table(dataset, "axis", axis_dim=0)
+    config = SearchConfig(time_limit_s=0.3)
+
+    walls: dict[bool, float] = {}
+    runs: dict[bool, tuple] = {}
+    for use_kernels in (False, True):
+        engine = SWEngine(
+            fresh_database(table), dataset.name, sample_fraction=0.05, use_kernels=use_kernels
+        )
+        engine.sample_for(query)  # sample construction is offline in the protocol
+        t0 = time.perf_counter()
+        report = engine.execute(query, config)
+        walls[use_kernels] = time.perf_counter() - t0
+        runs[use_kernels] = _run_fingerprint(report.run)
+
+    assert runs[True] == runs[False], "kernel run must be byte-identical to naive"
+    return {
+        "results": len(runs[True][0]),
+        "naive_wall_s": walls[False],
+        "kernel_wall_s": walls[True],
+        "speedup": walls[False] / walls[True],
+    }
+
+
+def test_end_to_end_speedup(benchmark):
+    out = benchmark.pedantic(_run_end_to_end, rounds=1, iterations=1)
+    print_table(
+        "Interactive exploration, 200x200 query grid, time_limit_s=0.3",
+        ["results", "naive wall (s)", "kernel wall (s)", "speedup"],
+        [[out["results"], f"{out['naive_wall_s']:.3f}", f"{out['kernel_wall_s']:.3f}",
+          f"{out['speedup']:.2f}x"]],
+    )
+    emit_json("hotpath_end_to_end", out)
+    assert out["speedup"] >= 2.0, f"end-to-end speedup {out['speedup']:.2f}x below 2x floor"
+
+
+# -- parity: every existing synthetic config ---------------------------------
+
+
+def _run_parity() -> dict:
+    out = {}
+    for spread in SPREADS:
+        dataset = get_synthetic(spread)
+        query = synthetic_query(dataset)
+        table = get_table(dataset, "axis", axis_dim=0)
+        fingerprints = {}
+        for use_kernels in (False, True):
+            engine = SWEngine(
+                fresh_database(table), dataset.name, sample_fraction=0.1,
+                use_kernels=use_kernels,
+            )
+            report = engine.execute(query, SearchConfig())
+            fingerprints[use_kernels] = _run_fingerprint(report.run)
+        assert fingerprints[True] == fingerprints[False], f"kernel run diverged on {spread}"
+        out[spread] = len(fingerprints[True][0])
+    return out
+
+
+def test_kernel_parity_on_spread_configs(benchmark):
+    out = benchmark.pedantic(_run_parity, rounds=1, iterations=1)
+    print_table(
+        "Kernel-vs-naive byte identity across synthetic spreads",
+        ["spread", "results", "identical"],
+        [[spread, n, "yes"] for spread, n in out.items()],
+    )
+    emit_json("hotpath_parity", {"results_per_spread": out, "identical": True})

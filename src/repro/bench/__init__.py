@@ -1,12 +1,13 @@
 """Benchmark harness: scales, cached fixtures, paper-style reporting."""
 
 from .configs import BenchScale, bench_scale
-from .reporting import format_seconds, format_table, online_series, print_table
+from .reporting import emit_json, format_seconds, format_table, online_series, print_table
 from .runner import fresh_database, get_sdss, get_stock, get_synthetic, get_table
 
 __all__ = [
     "BenchScale",
     "bench_scale",
+    "emit_json",
     "format_seconds",
     "format_table",
     "online_series",

@@ -1,13 +1,22 @@
-"""Plain-text reporting of benchmark outcomes in the paper's layouts."""
+"""Plain-text and machine-readable reporting of benchmark outcomes."""
 
 from __future__ import annotations
 
+import json
 import math
+import os
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..core.search import SearchRun
 
-__all__ = ["format_table", "print_table", "online_series", "format_seconds"]
+__all__ = ["format_table", "print_table", "online_series", "format_seconds", "emit_json"]
+
+#: Environment variable naming a directory for per-benchmark JSON files.
+BENCH_JSON_DIR_ENV = "REPRO_BENCH_JSON"
+
+#: Marker prefixing machine-readable benchmark lines on stdout.
+JSON_MARKER = "BENCH_JSON"
 
 
 def format_seconds(value: float | None) -> str:
@@ -47,3 +56,22 @@ def online_series(
 ) -> list[tuple[float, float | None]]:
     """(fraction, seconds-to-reach-it) pairs — the online-performance curves."""
     return [(f, run.time_to_fraction(f)) for f in fractions]
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Emit one machine-readable benchmark record.
+
+    Prints a single ``BENCH_JSON {...}`` line to stdout (greppable from
+    captured pytest output, so perf trajectories can be scraped across
+    runs) and, when the ``REPRO_BENCH_JSON`` environment variable names a
+    directory, also writes ``<name>.json`` there.  Returns the serialized
+    record.
+    """
+    record = json.dumps({"benchmark": name, **payload}, sort_keys=True, default=float)
+    print(f"{JSON_MARKER} {record}")
+    out_dir = os.environ.get(BENCH_JSON_DIR_ENV)
+    if out_dir:
+        path = Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        (path / f"{name}.json").write_text(record + "\n")
+    return record

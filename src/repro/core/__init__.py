@@ -22,6 +22,7 @@ from .engine import ExecutionReport, SWEngine
 from .expressions import BinaryOp, Column, Expr, Literal, UnaryFunc, col, lit
 from .geometry import Interval, Rect
 from .grid import Grid
+from .kernels import DataKernels, SummedAreaTable
 from .optimize import Incumbent, OptimizeResult, OptimizeSearch
 from .prefetch import PrefetchState, PrefetchStrategy, prefetch_extend
 from .pqueue import SpillableQueue
@@ -37,8 +38,10 @@ __all__ = [
     "ClusterTracker",
     "cluster_discovery_times",
     "final_clusters",
+    "DataKernels",
     "DataManager",
     "Diversification",
+    "SummedAreaTable",
     "ExecutionReport",
     "SWEngine",
     "PrefetchState",

@@ -18,10 +18,8 @@ and is pure computation — no I/O, no simulated time.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from .grid import Grid
 from .query import ResultWindow
 
 __all__ = [

@@ -12,7 +12,7 @@ the *final* clustering) lives in :func:`cluster_discovery_times`.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .geometry import Rect
 from .grid import Grid

@@ -19,7 +19,7 @@ normalizer ``k`` (Section 4.2) from a list of conditions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Iterable, Iterator, Sequence
 

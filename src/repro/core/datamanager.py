@@ -14,10 +14,14 @@ Mirrors the worker component of the same name in the paper's architecture
 * **DBMS interaction** — a window read is one range-aggregate query over
   the bounding box of the window's unread cells.
 
-Implementation note: all per-cell state lives in grid-shaped numpy arrays,
-so window-level estimates are O(window) vectorized box reductions — this
-is what keeps a pure-Python search over 10^5-10^6 candidate windows
-tractable.
+Implementation note: all per-cell state lives in grid-shaped numpy arrays.
+With ``use_kernels`` (the default) the count-like window queries —
+``window_count``, ``unread_objects``, ``is_read`` and ``count``
+aggregates — are served by :class:`~repro.core.kernels.DataKernels` as
+O(2^d) summed-area-table lookups whenever the tables are fresh (see its
+rebuild policy); real-valued ``sum``/``avg`` and the ``min``/``max``
+extrema stay on O(window) slice reductions so every value is bitwise
+identical to the naive path (see kernels.py for the exactness contract).
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from ..storage.database import COUNT_KEY, Database
 from .aggregates import CellStats
 from .conditions import ContentObjective
 from .grid import Grid
+from .kernels import DataKernels
 from .window import Window
 
 __all__ = ["DataManager"]
@@ -56,6 +61,10 @@ class DataManager:
     noise:
         Optional estimation-error injection (Section 6.6); applied to
         window estimates while the window still has unread cells.
+    use_kernels:
+        Route count-like window queries through the summed-area-table
+        kernels (:mod:`repro.core.kernels`).  ``False`` keeps the naive
+        per-window slice reductions — same values, useful as a baseline.
     """
 
     def __init__(
@@ -67,6 +76,7 @@ class DataManager:
         sample: CellSample,
         noise: NoiseModel | None = None,
         sample_table=None,
+        use_kernels: bool = True,
     ) -> None:
         self._db = database
         self._table_name = table_name
@@ -101,6 +111,16 @@ class DataManager:
         self.version = 0
         self.reads = 0
         self.cells_read = 0
+
+        self.use_kernels = use_kernels
+        self._kernels: DataKernels | None = None
+
+    @property
+    def kernels(self) -> DataKernels:
+        """The summed-area-table kernel set over this manager's grids."""
+        if self._kernels is None:
+            self._kernels = DataKernels(self)
+        return self._kernels
 
     # -- introspection -----------------------------------------------------------
 
@@ -138,16 +158,22 @@ class DataManager:
 
     def is_read(self, window: Window) -> bool:
         """Whether every cell of the window is cached."""
+        if self.use_kernels:
+            return self.kernels.is_read(window)
         return bool(self.read_mask[self.box(window)].all())
 
     # -- counts and cost inputs -----------------------------------------------------
 
     def window_count(self, window: Window) -> float:
         """Exact number of objects in the window."""
+        if self.use_kernels:
+            return self.kernels.window_count(window)
         return float(self.true_count[self.box(window)].sum())
 
     def unread_objects(self, window: Window) -> float:
         """``|w|_nc``: objects in the window's non-cached cells."""
+        if self.use_kernels:
+            return self.kernels.unread_objects(window)
         return float(self.unread_count[self.box(window)].sum())
 
     # -- estimation --------------------------------------------------------------------
@@ -171,6 +197,8 @@ class DataManager:
         return self._reduce(objective, window)
 
     def _reduce(self, objective: ContentObjective, window: Window) -> float:
+        if self.use_kernels:
+            return self.kernels.reduce(objective, window)
         box = self.box(window)
         agg = objective.aggregate.name
         if agg == "count":

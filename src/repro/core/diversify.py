@@ -23,9 +23,8 @@ before exploring; the third is a *queue layout* (see
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from .clusters import ClusterTracker
 from .pqueue import QueueEntry, SpillableQueue
@@ -237,6 +236,15 @@ class SubAreaQueues:
     def push(self, priority: float, window: Window, version: int) -> None:
         """Route the window to its sub-area queue."""
         self.queue_of(window).push(priority, window, version)
+
+    def push_many(self, entries: Iterable[QueueEntry]) -> None:
+        """Bulk insert, routed per sub-area (relative order preserved)."""
+        grouped: dict[int, list[QueueEntry]] = {}
+        for entry in entries:
+            idx = subarea_of(entry[1].anchor, self.grid_shape, self.tiles)
+            grouped.setdefault(idx, []).append(entry)
+        for idx, group in grouped.items():
+            self._queues[idx].push_many(group)
 
     def pop(self) -> QueueEntry | None:
         """Pop from the next non-empty sub-area, round-robin."""

@@ -55,6 +55,7 @@ class SWEngine:
         sample_seed: int = 17,
         noise: NoiseModel | None = None,
         sampler: str = "stratified",
+        use_kernels: bool = True,
     ) -> None:
         if sampler not in ("stratified", "uniform"):
             raise ValueError(f"sampler must be 'stratified' or 'uniform', got {sampler!r}")
@@ -64,6 +65,7 @@ class SWEngine:
         self.sample_seed = sample_seed
         self.noise = noise
         self.sampler = sampler
+        self.use_kernels = use_kernels
         self._sample_cache: dict[tuple, CellSample] = {}
         self._data_cache: dict[tuple, DataManager] = {}
 
@@ -135,6 +137,7 @@ class SWEngine:
                 objectives,
                 self.sample_for(query),
                 noise=self.noise,
+                use_kernels=self.use_kernels,
             )
             if reuse_cache and self.noise is None:
                 self._data_cache[key] = data

@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from .window import Window
 
@@ -37,6 +37,17 @@ Priority = tuple[float, float]
 QueueEntry = tuple[Priority, Window, int]
 
 _MIN_PRIORITY: Priority = (-math.inf, -math.inf)
+
+
+def _entry_order(entry: QueueEntry) -> tuple:
+    """Content-deterministic descending order over queue entries.
+
+    Used wherever entries are re-sequenced (promote, drain), so tie order
+    never depends on insertion history — the kernel batch path and the
+    naive scalar path must interleave identically on exact priority ties.
+    """
+    (utility, benefit), window, version = entry
+    return (-utility, -benefit, window.lo, window.hi, version)
 
 
 class SpillableQueue:
@@ -87,6 +98,35 @@ class SpillableQueue:
         if len(self._heap) > self._capacity:
             self._spill()
 
+    def push_many(self, entries: Iterable[QueueEntry]) -> None:
+        """Bulk insert: one heapify instead of one sift per entry.
+
+        Seqs are stamped in input order, so tie order among equal
+        priorities matches an equivalent sequence of :meth:`push` calls.
+        """
+        seq = self._seq
+        if self._threshold == _MIN_PRIORITY:
+            # Nothing spilled yet — every entry goes to the head.
+            added = [
+                (-priority[0], -priority[1], next(seq), window, version)
+                for priority, window, version in entries
+            ]
+        else:
+            added = []
+            for priority, window, version in entries:
+                if priority < self._threshold:
+                    self._buckets[self._bucket_of(priority)].append(
+                        (priority, window, version)
+                    )
+                    self._spilled += 1
+                else:
+                    added.append((-priority[0], -priority[1], next(seq), window, version))
+        if added:
+            self._heap.extend(added)
+            heapq.heapify(self._heap)
+            while len(self._heap) > self._capacity:
+                self._spill()
+
     def pop(self) -> QueueEntry | None:
         """Remove and return the highest-priority entry, or ``None``."""
         if not self._heap:
@@ -105,15 +145,24 @@ class SpillableQueue:
         return (-self._heap[0][0], -self._heap[0][1])
 
     def drain(self) -> Iterator[QueueEntry]:
-        """Remove and yield every entry (used by the periodic refresh)."""
-        heap, self._heap = self._heap, []
-        for neg_u, neg_b, _, window, version in heap:
-            yield ((-neg_u, -neg_b), window, version)
+        """Remove and yield every entry, best first (periodic refresh).
+
+        The order is content-deterministic (priority, then window bounds)
+        rather than raw heap layout, so a refresh re-sequences ties the
+        same way no matter how the entries were inserted.
+        """
+        entries: list[QueueEntry] = [
+            ((-neg_u, -neg_b), window, version)
+            for neg_u, neg_b, _, window, version in self._heap
+        ]
+        self._heap = []
         for bucket in self._buckets:
-            yield from bucket
+            entries.extend(bucket)
             bucket.clear()
         self._spilled = 0
         self._threshold = _MIN_PRIORITY
+        entries.sort(key=_entry_order)
+        yield from entries
 
     # -- internals ---------------------------------------------------------
 
@@ -141,7 +190,9 @@ class SpillableQueue:
             bucket = self._buckets[idx]
             if not bucket:
                 continue
-            for priority, window, version in bucket:
+            # Promote in content order: fresh seqs would otherwise encode
+            # the bucket's (history-dependent) insertion order into ties.
+            for priority, window, version in sorted(bucket, key=_entry_order):
                 heapq.heappush(
                     self._heap,
                     (-priority[0], -priority[1], next(self._seq), window, version),

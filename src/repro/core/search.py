@@ -27,10 +27,12 @@ approximate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator
-
 import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
 
 from ..costs import CostModel, DEFAULT_COST_MODEL
 from .clusters import ClusterTracker
@@ -102,6 +104,7 @@ class SearchStats:
 
     explored: int = 0
     generated: int = 0
+    estimates: int = 0
     reads: int = 0
     cells_read: int = 0
     prefetched_cells: int = 0
@@ -147,8 +150,6 @@ class SearchRun:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         if not self.results:
             return None
-        import math
-
         needed = max(1, math.ceil(fraction * len(self.results)))
         return self.results[needed - 1].time
 
@@ -185,7 +186,11 @@ class HeuristicSearch:
         self._max_lengths = query.conditions.max_lengths(shape)
         self._max_card = query.conditions.max_cardinality(shape)
         self._prune_conditions = self._anti_monotone_conditions()
-        self._generated: set[Window] = set()
+        # Dedup of generated windows by packed integer key (mixed-radix
+        # encoding of lo/hi against the grid shape) — far smaller than a
+        # set of Window objects over 10^5-10^6 candidates.
+        self._generated: set[int] = set()
+        self._key_bound = math.prod(shape) * math.prod(s + 1 for s in shape)
         self._last_read_region: Window | None = None
         self._results: list[ResultWindow] = []
         self._start_time = 0.0
@@ -216,6 +221,7 @@ class HeuristicSearch:
 
     def _utility(self, window: Window) -> tuple[float, float]:
         """(utility, benefit) queue priority — benefit breaks exact ties."""
+        self.stats.estimates += 1
         benefit = self.utility_model.benefit(window)
         benefit = self.policy.modified_benefit(window, benefit)
         return (self.utility_model.utility_with_benefit(window, benefit), benefit)
@@ -312,6 +318,8 @@ class HeuristicSearch:
         """StartWindows(): all placements of the minimal qualifying shape."""
         shape = self.grid.shape
         mins = self._min_lengths
+        if self.data.use_kernels and self._batch_seed(mins):
+            return
         spans = [range(shape[d] - mins[d] + 1) for d in range(self.grid.ndim)]
         for position in itertools.product(*spans):
             window = Window(
@@ -319,10 +327,90 @@ class HeuristicSearch:
             )
             self._push_window(window)
 
+    def _batch_seed(self, mins: Sequence[int]) -> bool:
+        """Vectorized StartWindows(): one kernel pass over all placements.
+
+        Utilities, benefits, tie order and every counter come out exactly
+        as the scalar loop's — the kernel batch is bitwise-identical and
+        placements are enumerated in the same row-major order.  Returns
+        ``False`` when the jump policy's benefit modifier cannot be
+        batched (custom policy, or clusters already exist), falling back
+        to the scalar loop.
+        """
+        modifier = self._batch_benefit_modifier()
+        if modifier is None:
+            return False
+        shape = self.grid.shape
+        ndim = self.grid.ndim
+        counts = tuple(shape[d] - mins[d] + 1 for d in range(ndim))
+        lows = np.indices(counts).reshape(ndim, -1).T
+        mins = np.asarray(mins, dtype=lows.dtype)
+        his = lows + mins
+        unchecked = Window.unchecked
+        windows = [
+            unchecked(tuple(lo), tuple(hi))
+            for lo, hi in zip(lows.tolist(), his.tolist())
+        ]
+        mins = tuple(int(m) for m in mins)
+
+        benefits, cost_terms = self.utility_model.placement_profile(mins, windows)
+        self.stats.estimates += len(windows)
+        modified = modifier(benefits)
+        s = self.utility_model.s
+        utilities = s * modified + (1.0 - s) * cost_terms
+
+        self._generated.update(self._window_keys(lows, mins))
+        version = self.data.version
+        entries = [
+            ((u, b), window, version)
+            for u, b, window in zip(utilities.tolist(), modified.tolist(), windows)
+        ]
+        self.queue.push_many(entries)
+        self.stats.generated += len(entries)
+        return True
+
+    def _batch_benefit_modifier(self):
+        """Vectorized ``JumpPolicy.modified_benefit``, if expressible."""
+        policy_type = type(self.policy)
+        if policy_type in (JumpPolicy, DistJumpPolicy):
+            return lambda benefits: benefits
+        if policy_type is UtilityJumpPolicy and self.tracker.num_clusters == 0:
+            # min_distance() is exactly 1.0 for every window while no
+            # clusters exist — always the case at seeding time.
+            return lambda benefits: (benefits + 1.0) / 2.0
+        return None
+
+    def _window_key(self, window: Window) -> int:
+        """Packed mixed-radix encoding of (lo, hi) against the grid shape."""
+        shape = self.grid.shape
+        key = 0
+        for d in range(len(shape)):
+            key = key * shape[d] + window.lo[d]
+        for d in range(len(shape)):
+            key = key * (shape[d] + 1) + window.hi[d]
+        return key
+
+    def _window_keys(self, lows: np.ndarray, lengths: Sequence[int]) -> list[int]:
+        """Batch :meth:`_window_key` over fixed-shape placements."""
+        shape = self.grid.shape
+        if self._key_bound >= 1 << 62:
+            return [
+                self._window_key(Window(pos, tuple(p + l for p, l in zip(pos, lengths))))
+                for pos in map(tuple, lows.tolist())
+            ]
+        keys = np.zeros(len(lows), dtype=np.int64)
+        his = lows + np.asarray(lengths, dtype=lows.dtype)
+        for d in range(len(shape)):
+            keys = keys * shape[d] + lows[:, d]
+        for d in range(len(shape)):
+            keys = keys * (shape[d] + 1) + his[:, d]
+        return keys.tolist()
+
     def _push_window(self, window: Window) -> None:
-        if window in self._generated:
+        key = self._window_key(window)
+        if key in self._generated:
             return
-        self._generated.add(window)
+        self._generated.add(key)
         self.queue.push(self._utility(window), window, self.data.version)
         self.stats.generated += 1
 
@@ -424,10 +512,14 @@ class HeuristicSearch:
             return
         version = self.data.version
         entries = list(self.queue.drain())
-        for priority, window, entry_version in entries:
-            if entry_version < version:
-                priority = self._utility(window)
-            self.queue.push(priority, window, version)
+        self.queue.push_many(
+            (
+                priority if entry_version >= version else self._utility(window),
+                window,
+                version,
+            )
+            for priority, window, entry_version in entries
+        )
         self.stats.refreshes += 1
         if self.trace is not None:
             self.trace.record(

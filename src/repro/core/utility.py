@@ -19,9 +19,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..sampling.estimators import default_eps
 from .conditions import (
+    ComparisonOp,
     ConditionSet,
     ContentCondition,
     ShapeCondition,
@@ -31,6 +35,26 @@ from .datamanager import DataManager
 from .window import Window
 
 __all__ = ["UtilityModel"]
+
+_OP_UFUNCS = {
+    ComparisonOp.LT: np.less,
+    ComparisonOp.LE: np.less_equal,
+    ComparisonOp.GT: np.greater,
+    ComparisonOp.GE: np.greater_equal,
+    ComparisonOp.EQ: np.equal,
+    ComparisonOp.NE: np.not_equal,
+}
+
+
+def _op_mask(op: ComparisonOp, values: np.ndarray, threshold: float) -> np.ndarray:
+    """Vectorized ``ComparisonOp.apply`` — NaN operands never satisfy."""
+    if math.isnan(threshold):
+        return np.zeros(values.shape, dtype=bool)
+    mask = _OP_UFUNCS[op](values, threshold)
+    if op is ComparisonOp.NE:
+        # numpy's ``!=`` is True for NaN; the scalar semantics are False.
+        mask &= ~np.isnan(values)
+    return mask
 
 
 @dataclass(frozen=True)
@@ -98,6 +122,55 @@ class UtilityModel:
         """Utility using an externally modified benefit (diversification)."""
         cost_term = 1.0 - min(self.cost(window) / self._k, 1.0)
         return self.s * benefit + (1.0 - self.s) * cost_term
+
+    # -- batch evaluation over all placements of a fixed shape ------------------
+
+    def placement_profile(
+        self, lengths: Sequence[int], windows: Sequence[Window]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(benefits, cost_terms)`` for every placement of one shape.
+
+        ``windows`` is the row-major list of placements of ``lengths``
+        (as produced by iterating lows with ``itertools.product``); both
+        returned arrays align with it.  Every entry is bitwise identical
+        to the scalar :meth:`benefit` / ``1 - min(cost/k, 1)`` pair — the
+        whole point of this path is cutting wall time without perturbing
+        a single utility value (see kernels.py's exactness contract).
+        """
+        kern = self.data.kernels
+        costs = kern.placement_unread(lengths).reshape(-1) * self._m / self._n
+        cost_terms = 1.0 - np.minimum(costs / self._k, 1.0)
+
+        # Shape benefits depend only on the window's shape, which is the
+        # same for every placement here.
+        shape_benefit = 1.0
+        for cond in self._shape:
+            shape_benefit = min(shape_benefit, self._shape_benefit(cond, windows[0]))
+            if shape_benefit == 0.0:
+                break
+        benefits = np.full(cost_terms.shape, shape_benefit, dtype=np.float64)
+        if shape_benefit > 0.0:
+            for entry in self._content:
+                estimates = kern.placement_estimates(
+                    entry.condition.objective, lengths, windows
+                )
+                np.minimum(
+                    benefits, self._content_benefits(entry, estimates), out=benefits
+                )
+                if not benefits.any():
+                    break
+        return benefits, cost_terms
+
+    def _content_benefits(self, entry: _ContentEntry, estimates: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_content_benefit` over an estimate array."""
+        cond = entry.condition
+        nan_mask = np.isnan(estimates)
+        satisfied = _op_mask(cond.op, estimates, cond.value)
+        with np.errstate(invalid="ignore"):
+            out = np.maximum(0.0, 1.0 - np.abs(estimates - cond.value) / entry.eps)
+        out = np.where(satisfied, 1.0, out)
+        out[nan_mask] = 0.0
+        return out
 
     # -- per-condition benefits -------------------------------------------------
 

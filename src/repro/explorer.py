@@ -19,7 +19,7 @@ state a human (or notebook) would otherwise juggle by hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from .core.conditions import Condition

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.conditions import ComparisonOp, ContentCondition, ContentObjective
+from ..core.conditions import ContentCondition, ContentObjective
 from ..core.grid import Grid
 from ..storage.table import HeapTable
 from .stratified import CellSample
@@ -65,14 +65,25 @@ def build_objective_grids(
             objective.expr.evaluate(columns), sample.rows.shape  # type: ignore[union-attr]
         ).astype(float)
         sums = np.bincount(sample.cells, weights=values, minlength=m)
-        np.minimum.at(sample_min, sample.cells, values)
-        np.maximum.at(sample_max, sample.cells, values)
+        if values.size:
+            # Segmented extrema via sort + reduceat: identical values to
+            # np.minimum.at/np.maximum.at (min/max are order-insensitive)
+            # but one vectorized pass instead of an unbuffered per-element
+            # scatter, which is the slow path of ufunc.at.
+            order = np.argsort(sample.cells, kind="stable")
+            sorted_cells = sample.cells[order]
+            sorted_values = values[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(sorted_cells)) + 1)
+            )
+            occupied = sorted_cells[starts]
+            sample_min[occupied] = np.minimum.reduceat(sorted_values, starts)
+            sample_max[occupied] = np.maximum.reduceat(sorted_values, starts)
+            value_min = float(values.min())
+            value_max = float(values.max())
         ratios = sample.ratios().reshape(-1)
         with np.errstate(divide="ignore", invalid="ignore"):
             scaled_sum = np.where(ratios > 0, sums / ratios, 0.0)
-        if values.size:
-            value_min = float(values.min())
-            value_max = float(values.max())
 
     return ObjectiveGrids(
         scaled_sum=scaled_sum.reshape(shape),

@@ -14,6 +14,8 @@ fixed bad sample — and experiments stay reproducible.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..core.window import Window
@@ -42,6 +44,26 @@ class NoiseModel:
         n = rng.normal(self.noise_pct, self.std_pct)
         sign = 1.0 if rng.random() < 0.5 else -1.0
         return value * (1.0 + sign * n / 100.0)
+
+    def perturb_many(
+        self,
+        windows: Sequence[Window],
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Perturb a batch of window estimates (see :meth:`perturb`).
+
+        Each draw is seeded by the window's bounds, so this is a per-entry
+        loop by construction; ``mask`` restricts perturbation to the
+        windows where it applies (those with unread cells).  Entries are
+        routed through :meth:`perturb` one by one, keeping batch values
+        bitwise identical to the scalar estimation path.
+        """
+        out = np.array(values, dtype=np.float64, copy=True)
+        for i, window in enumerate(windows):
+            if mask is None or mask[i]:
+                out[i] = self.perturb(window, float(out[i]))
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NoiseModel({self.noise_pct}% ± {self.std_pct})"

@@ -9,7 +9,7 @@ the unit at which the simulated disk charges seeks.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 

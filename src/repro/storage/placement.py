@@ -19,7 +19,6 @@ physical order.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Mapping, Sequence
 
 import numpy as np
 

@@ -11,12 +11,10 @@ PostgreSQL table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..clock import SimClock
-from ..core.geometry import Rect
 from ..core.grid import Grid
 from ..core.window import Window
 from ..costs import CostModel, DEFAULT_COST_MODEL

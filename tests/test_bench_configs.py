@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import bench_scale, fresh_database, get_synthetic, get_table
-from repro.bench.configs import BenchScale
 
 
 class TestBenchScale:

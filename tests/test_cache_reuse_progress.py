@@ -16,7 +16,7 @@ from repro.core import (
     ShapeObjective,
     col,
 )
-from repro.workloads import make_database, synthetic_query
+from repro.workloads import make_database
 
 
 def variant_query(base: SWQuery, threshold: float) -> SWQuery:

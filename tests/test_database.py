@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import ContentObjective, Grid, Rect, col
-from repro.storage import COUNT_KEY, Database, HeapTable, TableSchema
+from repro.storage import COUNT_KEY, Database
 
 
 @pytest.fixture()

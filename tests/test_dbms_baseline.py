@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
@@ -17,7 +16,7 @@ from repro.core import (
     ShapeObjective,
     col,
 )
-from repro.dbms import enumerate_windows_filtered, materialize_cells, run_sql_baseline
+from repro.dbms import run_sql_baseline
 from repro.dbms.executor import _box_sum, _prefix
 from repro.core.window import Window
 import numpy as np

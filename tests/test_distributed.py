@@ -11,11 +11,10 @@ from repro.distributed import (
     CellResponse,
     DistributedConfig,
     Network,
-    OverlapMode,
     plan_partitions,
     run_distributed,
 )
-from repro.workloads import make_database, synthetic_query
+from repro.workloads import make_database
 
 
 @pytest.fixture()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import BinaryOp, Column, Literal, UnaryFunc, col, lit
+from repro.core import BinaryOp, UnaryFunc, col, lit
 
 
 @pytest.fixture()

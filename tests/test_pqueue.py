@@ -138,3 +138,89 @@ class TestSpilling:
         while q.pop() is not None:
             count += 1
         assert count == len(prios)
+
+
+class TestBulkAndDeterminism:
+    """push_many / drain / promote introduced for the kernel batch path."""
+
+    def _entries(self):
+        # Tie-heavy: many exact priority collisions to stress tie order.
+        return [
+            ((round((i % 5) / 5, 6), round((i % 3) / 3, 6)), w(i), i % 4)
+            for i in range(60)
+        ]
+
+    def _pop_all(self, q):
+        out = []
+        while True:
+            entry = q.pop()
+            if entry is None:
+                return out
+            out.append(entry)
+
+    def test_push_many_matches_sequential_push(self):
+        entries = self._entries()
+        q_seq = SpillableQueue()
+        for priority, window, version in entries:
+            q_seq.push(priority, window, version)
+        q_bulk = SpillableQueue()
+        q_bulk.push_many(entries)
+        # Exact pop-sequence equality, tied windows included: seqs are
+        # stamped in input order, so the batch is indistinguishable.
+        assert self._pop_all(q_bulk) == self._pop_all(q_seq)
+
+    def test_push_many_accepts_generator(self):
+        entries = self._entries()
+        q = SpillableQueue()
+        q.push_many(iter(entries))
+        assert len(q) == len(entries)
+
+    def test_push_many_spills_over_capacity(self):
+        entries = self._entries()
+        q = SpillableQueue(head_capacity=8, num_buckets=4)
+        q.push_many(entries)
+        assert len(q) == len(entries)
+        assert q.spilled > 0
+        assert {e[1] for e in self._pop_all(q)} == {e[1] for e in entries}
+
+    def test_push_many_onto_spilled_queue_preserves_entries(self):
+        entries = self._entries()
+        q = SpillableQueue(head_capacity=8, num_buckets=4)
+        for priority, window, version in entries:
+            q.push(priority, window, version)
+        assert q.spilled > 0  # threshold is live: bulk path must split
+        extra = [((0.01, 0.0), w(100 + i), 0) for i in range(10)]
+        q.push_many(extra)
+        popped = self._pop_all(q)
+        assert {e[1] for e in popped} == {e[1] for e in entries + extra}
+
+    def test_drain_is_content_sorted_and_insertion_independent(self):
+        entries = self._entries()
+        q_fwd = SpillableQueue()
+        q_fwd.push_many(entries)
+        q_rev = SpillableQueue()
+        q_rev.push_many(entries[::-1])
+        drained = list(q_fwd.drain())
+        assert drained == list(q_rev.drain())
+        keys = [
+            (-p[0], -p[1], window.lo, window.hi, version)
+            for p, window, version in drained
+        ]
+        assert keys == sorted(keys)
+        assert len(q_fwd) == 0
+
+    def test_promote_tie_order_is_insertion_independent(self):
+        # Entries landing in a bucket keep arbitrary order; on promotion
+        # they must be re-sequenced by content, not by insertion history.
+        tied = [((0.2, 0.5), w(i), 0) for i in range(12)]
+        orders = (tied, tied[::-1])
+        popped = []
+        for order in orders:
+            q = SpillableQueue(head_capacity=4, num_buckets=4)
+            q._threshold = (0.9, 0.0)  # force every push into a bucket
+            for priority, window, version in order:
+                q.push(priority, window, version)
+            assert q.spilled == len(tied)
+            popped.append([entry[1] for entry in self._pop_all(q)])
+        assert popped[0] == popped[1]
+        assert popped[0] == [w(i) for i in range(12)]

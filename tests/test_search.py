@@ -31,7 +31,7 @@ from repro.core import (
 )
 from repro.storage import Database, HeapTable, TableSchema
 from repro.storage.placement import cell_flat_ids
-from repro.workloads import make_database, synthetic_query
+from repro.workloads import make_database
 
 
 def brute_force_results(query: SWQuery, table: HeapTable) -> set[Window]:
@@ -282,3 +282,64 @@ class TestSearchBehaviour:
         expected = brute_force_results(query, tiny_db.table(tiny_dataset.name))
         assert {r.window for r in run.results} == expected
         assert run.stats.pruned_extensions > 0
+
+
+class TestWindowKeys:
+    """Packed integer dedup keys for the generated-windows set."""
+
+    @pytest.fixture()
+    def search(self, tiny_dataset, tiny_query):
+        db = make_database(tiny_dataset, "cluster")
+        engine = SWEngine(db, tiny_dataset.name, sample_fraction=0.2)
+        return engine.prepare(tiny_query)
+
+    def test_key_is_injective_over_the_grid(self, search):
+        seen = {}
+        for window in enumerate_windows(search.grid, max_lengths=(4, 4)):
+            key = search._window_key(window)
+            assert 0 <= key < search._key_bound
+            assert key not in seen, (window, seen.get(key))
+            seen[key] = window
+
+    def test_batch_keys_match_scalar_keys(self, search):
+        shape = search.grid.shape
+        lengths = (2, 3)
+        counts = tuple(s - l + 1 for s, l in zip(shape, lengths))
+        lows = np.indices(counts).reshape(len(shape), -1).T
+        batch = search._window_keys(lows, lengths)
+        for pos, key in zip(map(tuple, lows.tolist()), batch):
+            window = Window(pos, tuple(p + l for p, l in zip(pos, lengths)))
+            assert key == search._window_key(window)
+
+    def test_push_window_dedups(self, search):
+        window = Window((0, 0), (2, 2))
+        search._push_window(window)
+        generated = search.stats.generated
+        size = len(search.queue)
+        search._push_window(window)
+        assert search.stats.generated == generated
+        assert len(search.queue) == size
+
+    def test_batch_seed_dedups_against_scalar_pushes(self, search):
+        search._seed_start_windows()
+        generated = search.stats.generated
+        size = len(search.queue)
+        # Every seeded start window must already be in the generated set.
+        mins = search._min_lengths
+        window = Window((0, 0), tuple(mins))
+        search._push_window(window)
+        assert search.stats.generated == generated
+        assert len(search.queue) == size
+
+    def test_batch_and_scalar_seeding_mark_same_keys(self, tiny_dataset, tiny_query):
+        searches = []
+        for use_kernels in (True, False):
+            db = make_database(tiny_dataset, "cluster")
+            engine = SWEngine(
+                db, tiny_dataset.name, sample_fraction=0.2, use_kernels=use_kernels
+            )
+            search = engine.prepare(tiny_query)
+            search._seed_start_windows()
+            searches.append(search)
+        assert searches[0]._generated == searches[1]._generated
+        assert searches[0].stats.generated == searches[1].stats.generated

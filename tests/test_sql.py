@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ComparisonOp, SearchConfig, ShapeKind
+from repro.core import ComparisonOp, SearchConfig
 from repro.sql import (
     CompileError,
     LexError,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,11 +20,11 @@ from repro.core import (
 )
 from repro.distributed import DistributedConfig, OverlapMode, run_distributed
 from repro.distributed.coordinator import _build_worker
-from repro.distributed.messages import CellRequest, Network
+from repro.distributed.messages import Network
 from repro.distributed.partitioning import plan_partitions
 from repro.costs import DEFAULT_COST_MODEL
 from repro.sampling import StratifiedSampler
-from repro.storage import Database, HeapTable, TableSchema
+from repro.storage import HeapTable, TableSchema
 from repro.workloads import Dataset, make_database
 
 
