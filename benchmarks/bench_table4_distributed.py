@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.bench import bench_scale, format_seconds, get_synthetic, print_table
 from repro.core import SearchConfig
-from repro.distributed import DistributedConfig, run_distributed
+from repro.distributed import DistributedConfig, FaultPlan, run_distributed
 from repro.workloads import synthetic_query
 
 CASES = [
@@ -60,6 +60,21 @@ def _run_experiment() -> dict:
             skew=skew,
         )
         out["skew"][skew] = run_distributed(dataset, query, config)
+    # Fault overhead: the same 8-node run under a chaos plan (one crash,
+    # lossy channel, one straggler) — recovery cost shows up as extra
+    # total time; the result set must not move.
+    baseline = out["cases"][(8, "no_overlap")]
+    out["faults"] = {}
+    for seed in (1, 2):
+        config = DistributedConfig(
+            num_workers=8,
+            overlap="no_overlap",
+            placement="cluster",
+            search=SearchConfig(alpha=1.0),
+            sample_fraction=fraction,
+            faults=FaultPlan.chaos(seed, 8, crash_at_s=baseline.total_time_s / 3),
+        )
+        out["faults"][seed] = run_distributed(dataset, query, config)
     return out
 
 
@@ -93,6 +108,25 @@ def test_table4_distributed(benchmark):
         skew_rows,
     )
 
+    fault_rows = []
+    for seed, rep in out["faults"].items():
+        fault_rows.append(
+            [
+                f"chaos seed {seed}",
+                format_seconds(rep.total_time_s),
+                rep.num_results,
+                rep.retries,
+                rep.recovered_anchors,
+                rep.messages_lost,
+                "yes" if rep.is_degraded else "no",
+            ]
+        )
+    print_table(
+        "Fault overhead (8 nodes, no overlap, chaos plan: crash+loss+straggler)",
+        ["Plan", "Total time", "Results", "Retries", "Re-seeded anchors", "Lost msgs", "Degraded"],
+        fault_rows,
+    )
+
     cases = out["cases"]
     counts = {rep.num_results for rep in cases.values()}
     assert len(counts) == 1, f"distribution changed the result set: {counts}"
@@ -106,3 +140,8 @@ def test_table4_distributed(benchmark):
     assert cases[(8, "full_overlap")].messages_sent == 0
     # Skew hurts total time.
     assert out["skew"][0.6].total_time_s > out["skew"][0.0].total_time_s
+    # Chaos plans recover the identical result set, at a time cost.
+    expected = {r.window for r in cases[(8, "no_overlap")].results}
+    for rep in out["faults"].values():
+        assert not rep.is_degraded
+        assert {r.window for r in rep.results} == expected

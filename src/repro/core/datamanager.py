@@ -111,6 +111,7 @@ class DataManager:
         self.version = 0
         self.reads = 0
         self.cells_read = 0
+        self._retired_blocks_read = 0
 
         self.use_kernels = use_kernels
         self._kernels: DataKernels | None = None
@@ -280,6 +281,47 @@ class DataManager:
                     self.eff_max[key][idx] = st.maximum
 
     # -- distributed support -------------------------------------------------------------
+
+    @property
+    def blocks_read_cumulative(self) -> int:
+        """Disk blocks read across every table this manager has owned.
+
+        A worker that adopts a crashed peer's slab rebinds to a larger
+        table (:meth:`rebind_table`); this counter carries the retired
+        tables' reads forward so per-worker I/O reporting stays whole.
+        """
+        current = self._db.disk(self._table_name).blocks_read
+        return self._retired_blocks_read + current
+
+    def rebind_table(self, table) -> None:
+        """Swap the backing heap table for a larger one (anchor adoption).
+
+        The per-cell cache (read masks, exact values) carries over
+        unchanged — cached cells are exact, and the new table holds the
+        same tuples for them — so nothing already read is re-read.  The
+        old table's disk is retired; its read counter is preserved in
+        :attr:`blocks_read_cumulative`.
+        """
+        self._retired_blocks_read += self._db.disk(self._table_name).blocks_read
+        self._db.register(table)
+        self._table = table
+        self._table_name = table.name
+
+    def mark_region_empty(self, window: Window) -> None:
+        """Cache a region known to hold zero tuples as read-and-empty.
+
+        Used for workers whose slab contains no data: every local cell
+        is exact (empty) up front, so the worker quiesces without disk
+        reads yet can still answer peers' cell requests immediately.
+        """
+        box = self.box(window)
+        self.read_mask[box] = True
+        self.unread_count[box] = 0.0
+        for key in self._objectives:
+            self.eff_sum[key][box] = 0.0
+            self.eff_min[key][box] = np.inf
+            self.eff_max[key][box] = -np.inf
+        self.version += 1
 
     def is_cell_read(self, index: Sequence[int]) -> bool:
         """Whether a single cell is cached (used for remote requests)."""

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from ..costs import CostModel
+from ..errors import ConfigError
 from ..sampling.noise import NoiseModel
 from ..sampling.stratified import CellSample, StratifiedSampler
 from ..storage.database import Database
@@ -58,7 +59,9 @@ class SWEngine:
         use_kernels: bool = True,
     ) -> None:
         if sampler not in ("stratified", "uniform"):
-            raise ValueError(f"sampler must be 'stratified' or 'uniform', got {sampler!r}")
+            raise ConfigError(
+                f"sampler must be 'stratified' or 'uniform', got {sampler!r}"
+            )
         self.database = database
         self.table_name = table_name
         self.sample_fraction = sample_fraction

@@ -355,18 +355,29 @@ class DataKernels:
         objective: ContentObjective,
         lengths: Sequence[int],
         windows: Sequence[Window] | None = None,
+        anchor_slab: tuple[int, int] | None = None,
     ) -> np.ndarray:
         """Batch form of ``DataManager.estimate`` (noise included).
 
         Noise perturbation is keyed per window, so when a
         :class:`~repro.sampling.noise.NoiseModel` is attached the caller
         must pass the row-major ``windows`` list matching the placements.
+        ``anchor_slab=(lo, hi)`` restricts the placements to those whose
+        first-dimension anchor falls in ``[lo, hi)`` — the distributed
+        workers' per-slab seeding path; ``windows`` then lists only
+        those placements.
         """
-        values = self.placement_reduce(objective, lengths).reshape(-1)
+        values = self.placement_reduce(objective, lengths)
+        if anchor_slab is not None:
+            values = values[anchor_slab[0] : anchor_slab[1]]
+        values = values.reshape(-1)
         noise = self._data.noise
         if noise is None:
             return values
         if windows is None:
             raise ValueError("noise-model estimates need the placement windows")
-        unread = ~self.placement_fully_read(lengths).reshape(-1)
+        fully = self.placement_fully_read(lengths)
+        if anchor_slab is not None:
+            fully = fully[anchor_slab[0] : anchor_slab[1]]
+        unread = ~fully.reshape(-1)
         return noise.perturb_many(windows, values, unread)

@@ -31,6 +31,12 @@ class EventKind(Enum):
     JUMP = "jump"
     REINSERT = "reinsert"
     REFRESH = "refresh"
+    # Distributed fault-tolerance events (crash/drop/duplicate/delay are
+    # FAULTs; retransmissions are RETRYs; anchor reassignment after a
+    # failure detection is a RECOVERY).
+    FAULT = "fault"
+    RETRY = "retry"
+    RECOVERY = "recovery"
 
 
 @dataclass(frozen=True)
@@ -112,4 +118,7 @@ class SearchTrace:
             "refreshes": len(self.events(EventKind.REFRESH)),
             "prefetched_cells": self.prefetched_cells(),
             "max_result_delay_s": self.max_result_delay() or 0.0,
+            "faults": len(self.events(EventKind.FAULT)),
+            "retries": len(self.events(EventKind.RETRY)),
+            "recoveries": len(self.events(EventKind.RECOVERY)),
         }

@@ -126,19 +126,28 @@ class UtilityModel:
     # -- batch evaluation over all placements of a fixed shape ------------------
 
     def placement_profile(
-        self, lengths: Sequence[int], windows: Sequence[Window]
+        self,
+        lengths: Sequence[int],
+        windows: Sequence[Window],
+        anchor_slab: tuple[int, int] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(benefits, cost_terms)`` for every placement of one shape.
 
         ``windows`` is the row-major list of placements of ``lengths``
         (as produced by iterating lows with ``itertools.product``); both
-        returned arrays align with it.  Every entry is bitwise identical
-        to the scalar :meth:`benefit` / ``1 - min(cost/k, 1)`` pair — the
-        whole point of this path is cutting wall time without perturbing
-        a single utility value (see kernels.py's exactness contract).
+        returned arrays align with it.  ``anchor_slab=(lo, hi)`` limits
+        the placements to first-dimension anchors in ``[lo, hi)`` — the
+        distributed workers seed (and re-seed adopted) anchor slabs
+        through this.  Every entry is bitwise identical to the scalar
+        :meth:`benefit` / ``1 - min(cost/k, 1)`` pair — the whole point
+        of this path is cutting wall time without perturbing a single
+        utility value (see kernels.py's exactness contract).
         """
         kern = self.data.kernels
-        costs = kern.placement_unread(lengths).reshape(-1) * self._m / self._n
+        unread = kern.placement_unread(lengths)
+        if anchor_slab is not None:
+            unread = unread[anchor_slab[0] : anchor_slab[1]]
+        costs = unread.reshape(-1) * self._m / self._n
         cost_terms = 1.0 - np.minimum(costs / self._k, 1.0)
 
         # Shape benefits depend only on the window's shape, which is the
@@ -152,7 +161,7 @@ class UtilityModel:
         if shape_benefit > 0.0:
             for entry in self._content:
                 estimates = kern.placement_estimates(
-                    entry.condition.objective, lengths, windows
+                    entry.condition.objective, lengths, windows, anchor_slab
                 )
                 np.minimum(
                     benefits, self._content_benefits(entry, estimates), out=benefits

@@ -21,6 +21,15 @@ the system.  Defaults are chosen to mirror the hardware the paper used
   scanning blocks).
 * ``network_latency_ms`` / ``network_per_cell_us``: distributed-layer
   message costs (Section 5: workers interact via TCP/IP).
+* ``retry_timeout_ms`` / ``retry_backoff_cap_ms``: request-retransmission
+  policy of the fault-tolerant protocol — a :class:`CellRequest` that is
+  not answered within the timeout is re-sent, with the timeout doubling
+  per attempt up to the cap.  The base is set well above the round-trip
+  latency so that a perfect channel sees few spurious retries while a
+  lossy one recovers within a handful of simulated milliseconds.
+* ``heartbeat_timeout_ms``: how long the coordinator waits after a
+  worker's last sign of life before declaring it failed and reassigning
+  its anchors.
 
 All knobs are plain floats; experiments that need a different trade-off
 construct their own instance.
@@ -44,6 +53,9 @@ class CostModel:
     tuple_cpu_us: float = 0.1
     network_latency_ms: float = 0.5
     network_per_cell_us: float = 2.0
+    retry_timeout_ms: float = 20.0
+    retry_backoff_cap_ms: float = 640.0
+    heartbeat_timeout_ms: float = 30.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -54,6 +66,9 @@ class CostModel:
             "tuple_cpu_us",
             "network_latency_ms",
             "network_per_cell_us",
+            "retry_timeout_ms",
+            "retry_backoff_cap_ms",
+            "heartbeat_timeout_ms",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"cost model field {name} must be non-negative")
@@ -83,6 +98,15 @@ class CostModel:
     def network_s(self, cells: int = 0) -> float:
         """One network message carrying ``cells`` cell summaries."""
         return self.network_latency_ms / 1e3 + cells * self.network_per_cell_us / 1e6
+
+    def retry_timeout_s(self, attempt: int = 0) -> float:
+        """Retransmission timeout for the ``attempt``-th retry (capped)."""
+        timeout = self.retry_timeout_ms * (2.0 ** max(0, attempt))
+        return min(timeout, self.retry_backoff_cap_ms) / 1e3
+
+    def heartbeat_timeout_s(self) -> float:
+        """Silence after which the coordinator declares a worker dead."""
+        return self.heartbeat_timeout_ms / 1e3
 
     def with_overrides(self, **changes: float) -> "CostModel":
         """A copy with selected fields replaced."""

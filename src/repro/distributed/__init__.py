@@ -1,18 +1,29 @@
-"""Distributed SW execution: coordinator, workers, partitioning, network."""
+"""Distributed SW execution: coordinator, workers, partitioning, network.
+
+Includes the fault-tolerance layer: deterministic fault injection
+(:mod:`repro.distributed.faults`), an at-least-once-with-dedup message
+protocol, and coordinator-driven crash recovery via anchor reassignment.
+"""
 
 from .coordinator import DistributedConfig, DistributedReport, run_distributed
+from .faults import DegradedResult, FaultInjector, FaultPlan, WorkerCrash
 from .messages import CellRequest, CellResponse, Network
-from .partitioning import OverlapMode, PartitionPlan, plan_partitions
+from .partitioning import OverlapMode, OwnershipRouter, PartitionPlan, plan_partitions
 from .worker import Worker
 
 __all__ = [
     "DistributedConfig",
     "DistributedReport",
     "run_distributed",
+    "DegradedResult",
+    "FaultInjector",
+    "FaultPlan",
+    "WorkerCrash",
     "CellRequest",
     "CellResponse",
     "Network",
     "OverlapMode",
+    "OwnershipRouter",
     "PartitionPlan",
     "plan_partitions",
     "Worker",

@@ -8,10 +8,26 @@ the earliest actionable time, fast-forwarding idle workers to their next
 message arrival.  "The total query time is essentially dominated by the
 total disk time of the slowest worker" — which is exactly what the
 simulation yields.
+
+Fault tolerance (see DESIGN.md Section 9).  A :class:`FaultPlan` on the
+config turns the run into a chaos experiment: scheduled fail-stop worker
+crashes and probabilistic message drop/duplication/delay, all drawn from
+one seeded stream so a given plan replays bit-identically.  The
+coordinator reacts to a crash the way a heartbeat monitor would — the
+failure is *detected* one heartbeat timeout after the crash, at which
+point the dead worker's anchor slab is handed to its surviving neighbors
+(:class:`OwnershipRouter.reassign`) who re-seed and re-explore it from
+scratch.  Because the search is a deterministic exhaustive expansion from
+seeded anchors, re-seeding recovers exactly the windows the dead worker
+would have reported, so the merged result set of a recoverable run equals
+the fault-free one.  When a slab has no surviving neighbor (or resources
+run out), the run degrades instead of raising: the report carries a
+:class:`DegradedResult` naming the lost slabs, windows and workers.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,18 +35,26 @@ import numpy as np
 from ..clock import SimClock
 from ..core.query import ResultWindow, SWQuery
 from ..core.search import SearchConfig
+from ..core.trace import EventKind, SearchTrace
 from ..core.datamanager import DataManager
+from ..core.window import Window
 from ..costs import CostModel, DEFAULT_COST_MODEL
+from ..errors import ProtocolError, SimulationLimitError
 from ..sampling.stratified import StratifiedSampler
 from ..storage.database import Database
 from ..storage.placement import Placement, cell_flat_ids, order_rows
 from ..storage.table import HeapTable
 from ..workloads.base import Dataset
+from .faults import DegradedResult, FaultInjector, FaultPlan
 from .messages import Network
-from .partitioning import OverlapMode, PartitionPlan, plan_partitions
+from .partitioning import OverlapMode, OwnershipRouter, PartitionPlan, plan_partitions
 from .worker import Worker
 
 __all__ = ["DistributedConfig", "DistributedReport", "run_distributed"]
+
+# Event-kind priorities for the discrete-event loop: at equal timestamps a
+# crash happens before its detection, and both before any worker step.
+_CRASH, _DETECT, _STEP = 0, 1, 2
 
 
 @dataclass
@@ -48,6 +72,7 @@ class DistributedConfig:
     balance_by_data: bool = True
     skew: float = 0.0
     max_steps: int = 50_000_000
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.overlap, OverlapMode):
@@ -56,7 +81,13 @@ class DistributedConfig:
 
 @dataclass
 class DistributedReport:
-    """Merged outcome of a distributed run (paper Table 4 metrics)."""
+    """Merged outcome of a distributed run (paper Table 4 metrics).
+
+    Fault-injected runs additionally report the reliability-layer
+    activity (retries, ignored duplicates, injected faults) and — when
+    recovery was impossible — a :class:`DegradedResult` instead of an
+    exception, so callers always get the results that *were* found.
+    """
 
     results: list[ResultWindow] = field(default_factory=list)
     total_time_s: float = 0.0
@@ -68,6 +99,14 @@ class DistributedReport:
     worker_blocks_read: list[int] = field(default_factory=list)
     messages_sent: int = 0
     cells_shipped: int = 0
+    # Fault-tolerance accounting.
+    crashed_workers: list[int] = field(default_factory=list)
+    recovered_anchors: int = 0
+    retries: int = 0
+    duplicates_ignored: int = 0
+    messages_lost: int = 0
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    degraded: DegradedResult | None = None
 
     @property
     def num_results(self) -> int:
@@ -84,6 +123,11 @@ class DistributedReport:
         """Time at which the last result was found."""
         return self.results[-1].time if self.results else None
 
+    @property
+    def is_degraded(self) -> bool:
+        """True when the run could not recover everything it lost."""
+        return self.degraded is not None
+
 
 def run_distributed(
     dataset: Dataset,
@@ -91,6 +135,7 @@ def run_distributed(
     config: DistributedConfig,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     on_result=None,
+    trace: SearchTrace | None = None,
 ) -> DistributedReport:
     """Partition the data, run all workers to completion, merge results.
 
@@ -98,7 +143,12 @@ def run_distributed(
     qualifying window — the coordinator-side online stream (Section 5:
     the coordinator "collect[s] all results and present[s] them to the
     user").  Note that within the discrete-event simulation callbacks
-    arrive in per-worker causal order, not globally sorted by time.
+    arrive in per-worker causal order, not globally sorted by time; under
+    fault injection a crashed worker's streamed results may be superseded
+    by its adopters' re-discoveries (the merged report deduplicates).
+
+    ``trace`` (optional) records FAULT / RETRY / RECOVERY events with
+    simulated timestamps alongside the usual search events.
     """
     grid = query.grid
 
@@ -120,51 +170,270 @@ def run_distributed(
         skew=config.skew,
     )
 
-    network = Network(config.num_workers, cost_model)
+    injector = FaultInjector(config.faults) if config.faults is not None else None
+    network = Network(config.num_workers, cost_model, injector=injector)
+    router = OwnershipRouter(plan)
     workers = [
         _build_worker(
             wid, dataset, query, plan, sample, full_table, network, config,
-            cost_model, on_result
+            _worker_cost_model(cost_model, injector, wid), on_result,
+            router=router, trace=trace,
         )
         for wid in range(config.num_workers)
     ]
 
+    # Scheduled fault events: (time, priority, worker).
+    fault_events: list[tuple[float, int, int]] = []
+    if injector is not None:
+        for wid in range(config.num_workers):
+            crash_at = injector.crash_time(wid)
+            if crash_at is not None:
+                heapq.heappush(fault_events, (crash_at, _CRASH, wid))
+
+    done_at_crash: dict[int, bool] = {}
+    crashed: list[int] = []
+    reseeded: set[int] = set()
+    table_generation = 0
+
     steps = 0
+    exceeded = False
     while True:
         actionable = [
-            (t, wid) for wid, w in enumerate(workers) if (t := w.next_time()) is not None
+            (t, _STEP, wid)
+            for wid, w in enumerate(workers)
+            if (t := w.next_time()) is not None
         ]
-        if not actionable:
+        if not actionable and not fault_events:
             break
-        t, wid = min(actionable)
+        # Pending fault events must drain even when every worker is
+        # momentarily quiescent — a crash of an already-done worker still
+        # needs its detection and ownership hand-off to be recorded.
+        candidates = actionable + (fault_events[:1] if fault_events else [])
+        t, kind, wid = min(candidates)
         worker = workers[wid]
-        worker.advance_to(t)
-        worker.step()
-        steps += 1
-        if steps > config.max_steps:  # pragma: no cover - safety valve
-            raise RuntimeError("distributed simulation exceeded max_steps")
+        if kind == _CRASH:
+            heapq.heappop(fault_events)
+            done_at_crash[wid] = worker.is_done()
+            crashed.append(wid)
+            worker.crash()
+            network.mark_dead(wid)
+            if trace is not None:
+                trace.record(EventKind.FAULT, t, fault="crash", worker=wid)
+            heapq.heappush(
+                fault_events, (t + cost_model.heartbeat_timeout_s(), _DETECT, wid)
+            )
+        elif kind == _DETECT:
+            heapq.heappop(fault_events)
+            table_generation += 1
+            reseed = not done_at_crash.get(wid, False)
+            adopted = _handle_death(
+                wid, t, workers, router, plan, dataset, config,
+                reseed=reseed, generation=table_generation, trace=trace,
+            )
+            if reseed and adopted:
+                reseeded.add(wid)
+        else:
+            worker.advance_to(t)
+            worker.step()
+            steps += 1
+            if steps > config.max_steps:
+                if injector is None:
+                    raise SimulationLimitError(
+                        "distributed simulation exceeded max_steps"
+                    )
+                exceeded = True
+                break
 
-    stuck = [w.worker_id for w in workers if not w.is_done()]
-    if stuck:  # pragma: no cover - indicates a protocol bug
-        raise RuntimeError(f"workers {stuck} quiesced with unresolved work")
+    live = [w for w in workers if not w.crashed]
+    stuck = [w.worker_id for w in live if not w.is_done()]
+    if stuck and not exceeded and injector is None:
+        # pragma: no cover - indicates a protocol bug
+        raise ProtocolError(f"workers {stuck} quiesced with unresolved work")
 
+    # A crashed worker whose slab was re-seeded has its partial results
+    # superseded by its adopters' re-exploration; counting both would
+    # duplicate windows.  A worker that was already done when it crashed
+    # (or whose slab was lost outright) keeps what it found.
     results = sorted(
-        (r for w in workers for r in w.results), key=lambda r: r.time
+        (r for w in workers if w.worker_id not in reseeded for r in w.results),
+        key=lambda r: r.time,
     )
+
+    lost_slabs = router.lost_slabs()
+    lost_windows = sum(len(w.lost_windows) for w in live)
+    degraded: DegradedResult | None = None
+    if exceeded:
+        degraded = DegradedResult(
+            reason="simulation exceeded max_steps before quiescence",
+            lost_workers=tuple(crashed),
+            lost_slabs=lost_slabs,
+            lost_windows=lost_windows,
+            stuck_workers=tuple(w.worker_id for w in live if not w.is_done()),
+        )
+    elif lost_slabs or lost_windows:
+        degraded = DegradedResult(
+            reason="crashed slab had no surviving neighbor to adopt it",
+            lost_workers=tuple(crashed),
+            lost_slabs=lost_slabs,
+            lost_windows=lost_windows,
+        )
+    elif stuck:
+        degraded = DegradedResult(
+            reason="workers quiesced with unresolved work",
+            lost_workers=tuple(crashed),
+            stuck_workers=tuple(stuck),
+        )
+
     return DistributedReport(
         results=results,
-        total_time_s=max(w.now for w in workers),
+        total_time_s=max(w.now for w in (live or workers)),
         worker_times_s=[w.now for w in workers],
         worker_disk_times_s=[w.data.clock.now for w in workers],
         worker_result_counts=[len(w.results) for w in workers],
         worker_reads=[w.stats.reads for w in workers],
         worker_explored=[w.stats.explored for w in workers],
-        worker_blocks_read=[
-            w.data.database.disk(w.data.table_name).blocks_read for w in workers
-        ],
+        worker_blocks_read=[w.data.blocks_read_cumulative for w in workers],
         messages_sent=network.messages_sent,
         cells_shipped=network.cells_shipped,
+        crashed_workers=crashed,
+        recovered_anchors=sum(w.recovered_anchors for w in workers),
+        retries=sum(w.retries for w in workers),
+        duplicates_ignored=sum(w.duplicates_ignored for w in workers),
+        messages_lost=network.messages_lost,
+        faults_injected=(
+            {
+                "crashes": len(crashed),
+                "drops": injector.drops,
+                "duplicates": injector.duplicates,
+                "delays": injector.delays,
+            }
+            if injector is not None
+            else {}
+        ),
+        degraded=degraded,
     )
+
+
+def _handle_death(
+    dead: int,
+    now: float,
+    workers: list[Worker],
+    router: OwnershipRouter,
+    plan: PartitionPlan,
+    dataset: Dataset,
+    config: DistributedConfig,
+    reseed: bool,
+    generation: int,
+    trace: SearchTrace | None,
+) -> dict[int, tuple[int, int]]:
+    """Failure detection fired: reassign the dead worker's anchors.
+
+    Every survivor drops state tied to the dead peer (answers owed to it,
+    requests outstanding to it).  The dead slab is split between its live
+    neighbors; each adopter gets a rebuilt local table covering its
+    widened data range and — unless the dead worker had already finished
+    its slab — re-seeds the adopted anchors to re-explore them from
+    scratch.  Returns the adopter → anchor-range map.
+    """
+    adopted = router.reassign(dead)
+    for w in workers:
+        if not w.crashed and w.worker_id != dead:
+            w.on_peer_death(dead)
+    for adopter_id, (alo, ahi) in adopted.items():
+        adopter = workers[adopter_id]
+        new_lo = min(adopter.data_lo, alo)
+        new_hi = max(adopter.data_hi, min(ahi + plan.data_extension, plan.boundaries[-1]))
+        table, n_rows = _local_table(
+            dataset,
+            adopter.grid,
+            new_lo,
+            new_hi,
+            config,
+            seed=7 + adopter_id,
+            name=f"{dataset.name}@{adopter_id}.g{generation}",
+        )
+        if n_rows == 0:
+            table = None  # the widened range is empty too: keep the stub
+        adopter.adopt_anchors((alo, ahi), (new_lo, new_hi), table=table, seed=reseed)
+        if n_rows == 0:
+            _mark_empty_range(adopter.data, new_lo, new_hi)
+        if trace is not None:
+            trace.record(
+                EventKind.RECOVERY,
+                now,
+                worker=adopter_id,
+                dead=dead,
+                anchors=(alo, ahi),
+                reseeded=reseed,
+            )
+    if not adopted and trace is not None:
+        trace.record(EventKind.FAULT, now, fault="slab_lost", worker=dead)
+    return adopted
+
+
+def _worker_cost_model(
+    cost_model: CostModel, injector: FaultInjector | None, worker_id: int
+) -> CostModel:
+    """Apply the fault plan's per-worker disk slowdown, if any."""
+    if injector is None:
+        return cost_model
+    factor = injector.disk_factor(worker_id)
+    if factor == 1.0:
+        return cost_model
+    return cost_model.with_overrides(
+        seek_ms=cost_model.seek_ms * factor,
+        transfer_ms=cost_model.transfer_ms * factor,
+    )
+
+
+def _local_table(
+    dataset: Dataset,
+    grid,
+    lo: int,
+    hi: int,
+    config: DistributedConfig,
+    seed: int,
+    name: str | None = None,
+) -> tuple[HeapTable, int]:
+    """Build a worker-local heap table for dim-0 cell range ``[lo, hi)``.
+
+    Returns ``(table, row_count)``.  A range containing no dataset rows
+    yields a one-row *stub* table (heap tables cannot be empty) whose
+    single row lives outside the range — callers pre-mark the range as
+    read-and-empty so the stub is never actually scanned for it.
+    """
+    coords = dataset.coordinates()
+    flat = cell_flat_ids(coords, grid)
+    dim0 = np.where(flat >= 0, flat // int(np.prod(grid.shape[1:])), -1)
+    mask = (dim0 >= lo) & (dim0 < hi)
+    rows = np.nonzero(mask)[0]
+    n_rows = int(rows.size)
+    if n_rows == 0:
+        rows = np.array([0])
+    local_coords = coords[rows]
+    perm = order_rows(
+        config.placement, local_coords, grid=grid, axis_dim=0, seed=seed
+    )
+    columns = {
+        dname: values[rows][perm] for dname, values in dataset.columns.items()
+    }
+    table = HeapTable(
+        name if name is not None else dataset.name,
+        dataset.schema,
+        columns,
+        config.tuples_per_block,
+    )
+    return table, n_rows
+
+
+def _mark_empty_range(data: DataManager, lo: int, hi: int) -> None:
+    """Pre-mark a dim-0 cell range as read-and-empty (no rows live there)."""
+    shape = data.grid.shape
+    region = Window(
+        (lo,) + (0,) * (len(shape) - 1),
+        (hi,) + tuple(shape[1:]),
+    )
+    data.mark_region_empty(region)
 
 
 def _build_worker(
@@ -178,28 +447,15 @@ def _build_worker(
     config: DistributedConfig,
     cost_model: CostModel,
     on_result=None,
+    router: OwnershipRouter | None = None,
+    trace: SearchTrace | None = None,
 ) -> Worker:
     grid = query.grid
     lo, hi = plan.data_range(worker_id)
 
-    coords = dataset.coordinates()
-    flat = cell_flat_ids(coords, grid)
-    dim0 = np.where(flat >= 0, flat // int(np.prod(grid.shape[1:])), -1)
-    mask = (dim0 >= lo) & (dim0 < hi)
-    rows = np.nonzero(mask)[0]
-    if rows.size == 0:
-        raise ValueError(
-            f"worker {worker_id} received no data — partition too fine for "
-            f"this dataset"
-        )
-    local_coords = coords[rows]
-    perm = order_rows(
-        config.placement, local_coords, grid=grid, axis_dim=0, seed=7 + worker_id
+    table, n_rows = _local_table(
+        dataset, grid, lo, hi, config, seed=7 + worker_id
     )
-    columns = {
-        name: values[rows][perm] for name, values in dataset.columns.items()
-    }
-    table = HeapTable(dataset.name, dataset.schema, columns, config.tuples_per_block)
 
     db = Database(
         cost_model=cost_model,
@@ -215,6 +471,12 @@ def _build_worker(
         sample,
         sample_table=full_table,
     )
+    if n_rows == 0:
+        # A slab with no rows (extreme skew): the worker starts with its
+        # whole local range cached as empty, quiesces immediately unless
+        # neighbors need its (empty) cells, and stays eligible to adopt
+        # anchors after a peer failure.
+        _mark_empty_range(data, lo, hi)
     return Worker(
         worker_id,
         plan,
@@ -224,4 +486,6 @@ def _build_worker(
         config=config.search,
         cost_model=cost_model,
         on_result=on_result,
+        router=router,
+        trace=trace,
     )

@@ -1,0 +1,217 @@
+"""Deterministic fault injection for the distributed layer.
+
+The paper's Section 5 protocol assumes cooperating workers that never
+fail and a network that delivers every message exactly once.  This
+module supplies the *adversary* used to prove the fault-tolerant
+protocol correct: a seeded, schedule-driven :class:`FaultPlan` describing
+worker crashes, message drops/duplicates/delays and per-worker disk
+slowdowns, and the :class:`FaultInjector` that executes it inside the
+discrete-event simulation.
+
+Everything is deterministic: the injector draws from one
+``numpy`` generator seeded by the plan, and draws happen in simulation
+order (one draw sequence per message send), so the same plan over the
+same workload produces bit-identical fault schedules.  That determinism
+is what makes the chaos suite's headline invariant testable at all:
+
+    under any *recoverable* plan the merged result **set** equals the
+    fault-free run's; under an unrecoverable plan the run degrades into
+    a :class:`DegradedResult` that names exactly what was lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["WorkerCrash", "FaultPlan", "FaultInjector", "DegradedResult"]
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Kill one worker at a simulated time (fail-stop, no recovery)."""
+
+    worker: int
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigError(f"crash worker id must be >= 0, got {self.worker}")
+        if self.time_s < 0:
+            raise ConfigError(f"crash time must be >= 0, got {self.time_s}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of everything that will go wrong.
+
+    ``drop_prob`` / ``duplicate_prob`` / ``delay_prob`` apply per message
+    send; a delayed message arrives after an extra latency drawn
+    uniformly from ``[0, max_extra_delay_s]``.  ``disk_slowdowns`` maps a
+    worker id to a seek/transfer multiplier (a straggler's disk).
+    Crashes are fail-stop: the worker never steps at or after its crash
+    time, its inbox is discarded and every later message to it is lost.
+    """
+
+    seed: int = 0
+    crashes: tuple[WorkerCrash, ...] = ()
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_extra_delay_s: float = 0.01
+    disk_slowdowns: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "duplicate_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {p}")
+        if self.drop_prob + self.duplicate_prob + self.delay_prob > 1.0:
+            raise ConfigError("drop/duplicate/delay probabilities must sum to <= 1")
+        if self.max_extra_delay_s < 0:
+            raise ConfigError(
+                f"max_extra_delay_s must be >= 0, got {self.max_extra_delay_s}"
+            )
+        for worker, factor in self.disk_slowdowns:
+            if worker < 0 or factor < 1.0:
+                raise ConfigError(
+                    f"disk slowdown needs worker >= 0 and factor >= 1, "
+                    f"got ({worker}, {factor})"
+                )
+
+    def crash_time(self, worker: int) -> float | None:
+        """Earliest scheduled crash time of a worker, or ``None``."""
+        times = [c.time_s for c in self.crashes if c.worker == worker]
+        return min(times) if times else None
+
+    def disk_factor(self, worker: int) -> float:
+        """Seek/transfer multiplier for a worker's disk (1.0 = nominal)."""
+        factor = 1.0
+        for wid, f in self.disk_slowdowns:
+            if wid == worker:
+                factor = max(factor, f)
+        return factor
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        num_workers: int,
+        crash_at_s: float | None = None,
+        message_fault_rate: float = 0.3,
+    ) -> "FaultPlan":
+        """A randomized-but-seeded plan mixing every fault kind.
+
+        One non-coordinating worker crashes at ``crash_at_s`` (when
+        given), message faults split ``message_fault_rate`` evenly
+        between drops, duplicates and delays, and one surviving worker
+        gets a slow disk.  Recoverable whenever ``num_workers >= 2``.
+        """
+        rng = np.random.default_rng(seed)
+        crashes: tuple[WorkerCrash, ...] = ()
+        victim = None
+        if crash_at_s is not None and num_workers >= 2:
+            victim = int(rng.integers(num_workers))
+            crashes = (WorkerCrash(victim, crash_at_s),)
+        candidates = [w for w in range(num_workers) if w != victim]
+        slowdowns: tuple[tuple[int, float], ...] = ()
+        if candidates:
+            straggler = int(rng.choice(candidates))
+            slowdowns = ((straggler, float(rng.uniform(1.5, 3.0))),)
+        share = message_fault_rate / 3.0
+        return cls(
+            seed=seed,
+            crashes=crashes,
+            drop_prob=share,
+            duplicate_prob=share,
+            delay_prob=share,
+            max_extra_delay_s=0.02,
+            disk_slowdowns=slowdowns,
+        )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` deterministically.
+
+    The injector owns one seeded generator and is consulted once per
+    message send (:meth:`deliveries`); the coordinator asks it for crash
+    times and disk factors, which are pure reads of the plan.  Counters
+    feed the :class:`~repro.distributed.coordinator.DistributedReport`.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.drops = 0
+        self.duplicates = 0
+        self.delays = 0
+
+    def deliveries(self) -> list[float]:
+        """Extra-latency list for one send: one entry per delivered copy.
+
+        ``[]`` means the message is dropped; two entries mean it is
+        duplicated; a nonzero entry delays that copy.  Exactly one
+        uniform draw happens per send (plus one per extra effect), so
+        the sequence is a pure function of the plan seed and the send
+        order.
+        """
+        plan = self.plan
+        if plan.drop_prob + plan.duplicate_prob + plan.delay_prob == 0.0:
+            return [0.0]
+        roll = float(self._rng.random())
+        if roll < plan.drop_prob:
+            self.drops += 1
+            return []
+        roll -= plan.drop_prob
+        if roll < plan.duplicate_prob:
+            self.duplicates += 1
+            return [0.0, float(self._rng.uniform(0.0, plan.max_extra_delay_s))]
+        roll -= plan.duplicate_prob
+        if roll < plan.delay_prob:
+            self.delays += 1
+            return [float(self._rng.uniform(0.0, plan.max_extra_delay_s))]
+        return [0.0]
+
+    def crash_time(self, worker: int) -> float | None:
+        """Scheduled crash time of a worker, or ``None``."""
+        return self.plan.crash_time(worker)
+
+    def disk_factor(self, worker: int) -> float:
+        """Disk slowdown multiplier for a worker."""
+        return self.plan.disk_factor(worker)
+
+
+@dataclass
+class DegradedResult:
+    """What a degraded distributed run could not deliver, and why.
+
+    Attached to :class:`~repro.distributed.coordinator.DistributedReport`
+    instead of raising: results that *were* found are still returned, and
+    this record names the holes.  ``lost_slabs`` are anchor (dim-0 cell)
+    ranges whose windows may be missing because no surviving worker
+    could adopt them; ``lost_windows`` are individual candidate windows
+    abandoned because their remote cells became unobtainable.
+    """
+
+    reason: str
+    lost_workers: tuple[int, ...] = ()
+    lost_slabs: tuple[tuple[int, int], ...] = ()
+    lost_windows: int = 0
+    stuck_workers: tuple[int, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        """One-line human-readable account of the degradation."""
+        parts = [self.reason]
+        if self.lost_workers:
+            parts.append(f"lost workers {list(self.lost_workers)}")
+        if self.lost_slabs:
+            slabs = ", ".join(f"[{lo}, {hi})" for lo, hi in self.lost_slabs)
+            parts.append(f"unrecovered anchor slabs {slabs}")
+        if self.lost_windows:
+            parts.append(f"{self.lost_windows} abandoned windows")
+        if self.stuck_workers:
+            parts.append(f"stuck workers {list(self.stuck_workers)}")
+        return "; ".join(parts)

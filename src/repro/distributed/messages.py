@@ -4,6 +4,14 @@ Workers interact "between themselves and with the DBMS via TCP/IP"
 (Section 5).  We model the network as per-recipient inboxes with a
 delivery latency from the cost model; messages carry either a cell-data
 request or the cell summaries answering one.
+
+The channel is **lossy by contract**: with a
+:class:`~repro.distributed.faults.FaultInjector` attached, a send may be
+dropped, duplicated or delayed, and messages to crashed workers vanish.
+Reliability is layered on top by the workers (message ids, receiver-side
+dedup, timeout + retransmission), so delivery is effectively
+exactly-once even over this channel — without an injector the network
+behaves exactly as the original perfect-delivery model.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import Mapping
 
 from ..core.aggregates import CellStats
 from ..costs import CostModel
+from ..errors import ConfigError
 
 __all__ = ["CellRequest", "CellResponse", "Network"]
 
@@ -23,10 +32,16 @@ Cell = tuple[int, ...]
 
 @dataclass(frozen=True)
 class CellRequest:
-    """Ask the owner for exact summaries of the listed cells."""
+    """Ask the owner for exact summaries of the listed cells.
+
+    ``msg_id`` uniquely identifies one transmission (retries get fresh
+    ids); ``attempt`` is 0 for the original send and counts retries.
+    """
 
     requester: int
     cells: tuple[Cell, ...]
+    msg_id: int = -1
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -35,6 +50,7 @@ class CellResponse:
 
     responder: int
     payloads: Mapping[Cell, Mapping[str, CellStats]]
+    msg_id: int = -1
 
 
 @dataclass(order=True)
@@ -45,27 +61,63 @@ class _Envelope:
 
 
 class Network:
-    """Per-worker inboxes with cost-model latency."""
+    """Per-worker inboxes with cost-model latency and optional faults.
 
-    def __init__(self, num_workers: int, cost_model: CostModel) -> None:
+    Ties in arrival time are broken by send order (a monotone sequence
+    number), so delivery order is deterministic even at equal
+    timestamps and with zero-latency cost models.
+    """
+
+    def __init__(self, num_workers: int, cost_model: CostModel, injector=None) -> None:
         if num_workers < 1:
-            raise ValueError(f"need at least one worker, got {num_workers}")
+            raise ConfigError(f"need at least one worker, got {num_workers}")
         self._cost = cost_model
+        self._injector = injector
         self._inboxes: list[list[_Envelope]] = [[] for _ in range(num_workers)]
         self._seq = itertools.count()
+        self._msg_ids = itertools.count()
+        self._dead: set[int] = set()
         self.messages_sent = 0
         self.cells_shipped = 0
+        self.messages_lost = 0
+
+    def next_msg_id(self) -> int:
+        """A fresh unique message id for a sender to stamp."""
+        return next(self._msg_ids)
 
     def send(self, to: int, message: CellRequest | CellResponse, sent_at: float) -> None:
-        """Deliver a message after the modelled latency."""
+        """Deliver a message after the modelled latency (faults permitting)."""
         if isinstance(message, CellRequest):
             cells = len(message.cells)
         else:
             cells = len(message.payloads)
             self.cells_shipped += cells
-        arrival = sent_at + self._cost.network_s(cells)
-        heapq.heappush(self._inboxes[to], _Envelope(arrival, next(self._seq), message))
         self.messages_sent += 1
+        if to in self._dead:
+            # The TCP connection to a crashed worker is gone; the message
+            # is lost without the injector spending a draw on it.
+            self.messages_lost += 1
+            return
+        latency = self._cost.network_s(cells)
+        copies = [0.0] if self._injector is None else self._injector.deliveries()
+        if not copies:
+            self.messages_lost += 1
+            return
+        for extra in copies:
+            arrival = sent_at + latency + extra
+            heapq.heappush(
+                self._inboxes[to], _Envelope(arrival, next(self._seq), message)
+            )
+
+    def mark_dead(self, worker: int) -> None:
+        """Discard a crashed worker's inbox and all future mail to it."""
+        self._dead.add(worker)
+        self.messages_lost += len(self._inboxes[worker])
+        self._inboxes[worker].clear()
+
+    def is_dead(self, worker: int) -> bool:
+        """Whether the worker has been marked crashed."""
+        return worker in self._dead
 
     def earliest_arrival(self, worker: int) -> float | None:
         """Arrival time of the next message for a worker, or ``None``."""

@@ -31,8 +31,9 @@ from enum import Enum
 import numpy as np
 
 from ..core.grid import Grid
+from ..errors import PartitionError
 
-__all__ = ["OverlapMode", "PartitionPlan", "plan_partitions"]
+__all__ = ["OverlapMode", "OwnershipRouter", "PartitionPlan", "plan_partitions"]
 
 
 class OverlapMode(Enum):
@@ -67,7 +68,7 @@ class PartitionPlan:
         for worker in range(self.num_workers):
             if dim0_index < self.boundaries[worker + 1]:
                 return worker
-        raise ValueError(f"cell index {dim0_index} beyond grid ({self.boundaries[-1]})")
+        raise PartitionError(f"cell index {dim0_index} beyond grid ({self.boundaries[-1]})")
 
     def anchor_slab(self, worker: int) -> tuple[int, int]:
         """Anchor cell range ``[lo, hi)`` owned by a worker."""
@@ -81,7 +82,85 @@ class PartitionPlan:
 
     def _check_worker(self, worker: int) -> None:
         if not 0 <= worker < self.num_workers:
-            raise ValueError(f"worker {worker} out of range [0, {self.num_workers})")
+            raise PartitionError(f"worker {worker} out of range [0, {self.num_workers})")
+
+
+class OwnershipRouter:
+    """Mutable cell-ownership map that survives worker loss.
+
+    The static :class:`PartitionPlan` fixes the *initial* anchor slabs;
+    the router tracks which live worker currently owns each dim-0 cell
+    column, so remote cell requests keep routing correctly after the
+    coordinator reassigns a crashed worker's slab.  Each worker's owned
+    range stays contiguous: a dead slab is split between its immediate
+    live neighbors (midpoint when both exist, whole slab otherwise), and
+    a slab with no live neighbor becomes *lost* (owner ``None``).
+    """
+
+    _LOST = -1
+
+    def __init__(self, plan: PartitionPlan) -> None:
+        self.plan = plan
+        sizes = [
+            plan.boundaries[w + 1] - plan.boundaries[w]
+            for w in range(plan.num_workers)
+        ]
+        self._owners = np.repeat(np.arange(plan.num_workers), sizes)
+
+    def owner_of_cell(self, dim0_index: int) -> int | None:
+        """Current owner of a cell column; ``None`` if its slab is lost."""
+        if not 0 <= dim0_index < len(self._owners):
+            raise PartitionError(
+                f"cell index {dim0_index} beyond grid ({len(self._owners)})"
+            )
+        owner = int(self._owners[dim0_index])
+        return None if owner == self._LOST else owner
+
+    def owned_range(self, worker: int) -> tuple[int, int] | None:
+        """Contiguous ``[lo, hi)`` anchor range currently owned, or ``None``."""
+        cells = np.nonzero(self._owners == worker)[0]
+        if cells.size == 0:
+            return None
+        return int(cells[0]), int(cells[-1]) + 1
+
+    def lost_slabs(self) -> tuple[tuple[int, int], ...]:
+        """Contiguous anchor ranges that no live worker owns."""
+        lost = np.nonzero(self._owners == self._LOST)[0]
+        slabs: list[tuple[int, int]] = []
+        for cell in lost.tolist():
+            if slabs and slabs[-1][1] == cell:
+                slabs[-1] = (slabs[-1][0], cell + 1)
+            else:
+                slabs.append((cell, cell + 1))
+        return tuple(slabs)
+
+    def reassign(self, dead: int) -> dict[int, tuple[int, int]]:
+        """Hand a dead worker's slab to its live neighbors.
+
+        Returns ``{adopter: (lo, hi)}`` anchor ranges (empty when the
+        slab is lost — no live neighbor on either side).  The dead
+        worker must still own a contiguous range.
+        """
+        rng = self.owned_range(dead)
+        if rng is None:
+            return {}
+        lo, hi = rng
+        left = int(self._owners[lo - 1]) if lo > 0 else self._LOST
+        right = int(self._owners[hi]) if hi < len(self._owners) else self._LOST
+        adopted: dict[int, tuple[int, int]] = {}
+        if left != self._LOST and right != self._LOST:
+            mid = (lo + hi + 1) // 2
+            adopted[left] = (lo, mid)
+            adopted[right] = (mid, hi)
+        elif left != self._LOST:
+            adopted[left] = (lo, hi)
+        elif right != self._LOST:
+            adopted[right] = (lo, hi)
+        for adopter, (alo, ahi) in adopted.items():
+            self._owners[alo:ahi] = adopter
+        if not adopted:
+            self._owners[lo:hi] = self._LOST
+        return adopted
 
 
 def plan_partitions(
@@ -107,19 +186,19 @@ def plan_partitions(
     overlap = OverlapMode(overlap) if not isinstance(overlap, OverlapMode) else overlap
     size0 = grid.shape[0]
     if num_workers < 1:
-        raise ValueError(f"need at least one worker, got {num_workers}")
+        raise PartitionError(f"need at least one worker, got {num_workers}")
     if num_workers > size0:
-        raise ValueError(
+        raise PartitionError(
             f"cannot split {size0} cell columns among {num_workers} workers"
         )
     if not 0 <= skew < 1:
-        raise ValueError(f"skew must be in [0, 1), got {skew}")
+        raise PartitionError(f"skew must be in [0, 1), got {skew}")
 
     if overlap is OverlapMode.NONE:
         extension = 0
     else:
         if max_window_length_dim0 is None:
-            raise ValueError(
+            raise PartitionError(
                 f"{overlap.value} requires max_window_length_dim0 (shape "
                 f"conditions must bound window length in advance)"
             )
@@ -131,7 +210,7 @@ def plan_partitions(
     else:
         weights = np.asarray(cell_weights, dtype=float)
         if weights.shape != grid.shape:
-            raise ValueError(
+            raise PartitionError(
                 f"cell_weights shape {weights.shape} does not match grid {grid.shape}"
             )
         axes = tuple(range(1, grid.ndim))

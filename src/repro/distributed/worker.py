@@ -1,4 +1,4 @@
-"""A distributed SW worker (paper Section 5).
+"""A distributed SW worker (paper Section 5), hardened against faults.
 
 Each worker runs the heuristic search over the windows **anchored in its
 slab** of the search area, against its own PostgreSQL stand-in (its own
@@ -18,6 +18,21 @@ shape) window at its own anchor through extensions that keep the anchor
 fixed or move it within the slab, so seeding each worker with the anchors
 it owns partitions the search space exactly.
 
+On top of the paper's protocol sits a reliability layer that makes the
+exchange effectively exactly-once over a lossy channel:
+
+* every transmission carries a unique ``msg_id``; receivers drop
+  duplicates (re-deliveries and retransmissions alike);
+* every outstanding :class:`CellRequest` has a deadline; an unanswered
+  request is retransmitted with capped exponential backoff, re-routed
+  through the coordinator's ownership router (so retries chase anchors
+  reassigned after a crash);
+* cell installs are idempotent — a second response for an
+  already-cached cell is a no-op — so duplicated answers are harmless;
+* cells whose owning slab is *lost* (crashed with no surviving adopter)
+  move the windows needing them to ``lost_windows`` instead of waiting
+  forever; the coordinator reports them as degradation.
+
 Workers honour the core :class:`~repro.core.search.SearchConfig` knobs for
 utility weighting and prefetching; the diversification strategies and the
 periodic queue refresh are single-node concerns (the paper evaluates them
@@ -26,29 +41,36 @@ on one node only) and are not applied here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from ..core.datamanager import DataManager
 from ..core.prefetch import PrefetchState, prefetch_extend
 from ..core.pqueue import SpillableQueue
 from ..core.query import ResultWindow, SWQuery
 from ..core.search import SearchConfig, SearchStats
+from ..core.trace import EventKind, SearchTrace
 from ..core.utility import UtilityModel
 from ..core.window import Window
 from ..costs import CostModel
+from ..errors import ProtocolError
 from .messages import Cell, CellRequest, CellResponse, Network
-from .partitioning import PartitionPlan
+from .partitioning import OwnershipRouter, PartitionPlan
 
 __all__ = ["Worker"]
 
 
 @dataclass
-class _PendingRequest:
-    """An inbound request we cannot fully answer yet."""
+class _Outstanding:
+    """One in-flight cell request awaiting an answer (or a timeout)."""
 
-    requester: int
-    remaining: set[Cell] = field(default_factory=set)
+    owner: int
+    cells: set[Cell]
+    deadline: float
+    attempt: int = 0
 
 
 class Worker:
@@ -64,6 +86,8 @@ class Worker:
         config: SearchConfig | None = None,
         cost_model: CostModel | None = None,
         on_result: Callable[[int, ResultWindow], None] | None = None,
+        router: OwnershipRouter | None = None,
+        trace: SearchTrace | None = None,
     ) -> None:
         self.worker_id = worker_id
         self.plan = plan
@@ -72,6 +96,8 @@ class Worker:
         self.network = network
         self.config = config or SearchConfig()
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.router = router if router is not None else OwnershipRouter(plan)
+        self.trace = trace
         self.grid = query.grid
 
         self.anchor_lo, self.anchor_hi = plan.anchor_slab(worker_id)
@@ -96,8 +122,17 @@ class Worker:
         # Remote-cell machinery.
         self._waiting: dict[Window, set[Cell]] = {}
         self._requested: set[Cell] = set()
-        self._pending: list[_PendingRequest] = []
-        self._seed()
+        self._pending: dict[int, set[Cell]] = {}
+        # Reliability layer.
+        self.crashed = False
+        self.retries = 0
+        self.duplicates_ignored = 0
+        self.recovered_anchors = 0
+        self.lost_windows: dict[Window, set[Cell]] = {}
+        self._outstanding: dict[int, _Outstanding] = {}
+        self._seen_msg_ids: set[int] = set()
+        self._lost_cells: set[Cell] = set()
+        self._seed_range(self.anchor_lo, self.anchor_hi)
 
     # -- scheduling interface ---------------------------------------------------
 
@@ -112,29 +147,45 @@ class Worker:
 
     def next_time(self) -> float | None:
         """Earliest time this worker can act, or ``None`` if quiescent."""
+        if self.crashed:
+            return None
         arrival = self.network.earliest_arrival(self.worker_id)
         if arrival is not None and arrival <= self.now:
             return self.now
         if len(self.queue) > 0 or self._pending:
             return self.now
-        if arrival is not None:
-            return arrival
-        return None
+        times = [arrival] if arrival is not None else []
+        if self._outstanding:
+            times.append(min(o.deadline for o in self._outstanding.values()))
+        if not times:
+            return None
+        return max(self.now, min(times))
 
     def is_done(self) -> bool:
-        """No queue work, parked windows, pending requests, or in-flight mail."""
+        """No queue work, parked windows, pending requests, or in-flight mail.
+
+        Windows in ``lost_windows`` are deliberately excluded: they can
+        never complete and are accounted for by the coordinator's
+        degradation report instead of blocking quiescence.
+        """
         return (
             len(self.queue) == 0
             and not self._waiting
             and not self._pending
+            and not self._outstanding
             and self.network.pending(self.worker_id) == 0
         )
+
+    def crash(self) -> None:
+        """Fail-stop this worker (fault injection)."""
+        self.crashed = True
 
     # -- the step ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Process arrived messages, then explore at most one window."""
+        """Process arrived messages and timeouts, then explore one window."""
         self._process_inbox()
+        self._check_timeouts()
         popped = self.queue.pop()
         if popped is None:
             # Out of search work but peers still wait on our cells: read
@@ -158,28 +209,46 @@ class Worker:
 
     def _process_inbox(self) -> None:
         for message in self.network.receive(self.worker_id, self.now):
+            msg_id = getattr(message, "msg_id", -1)
+            if msg_id >= 0:
+                if msg_id in self._seen_msg_ids:
+                    self.duplicates_ignored += 1
+                    continue
+                self._seen_msg_ids.add(msg_id)
             if isinstance(message, CellRequest):
                 self._handle_request(message)
             elif isinstance(message, CellResponse):
                 self._handle_response(message)
             else:  # pragma: no cover - no other message kinds exist
-                raise TypeError(f"unexpected message {message!r}")
+                raise ProtocolError(f"unexpected message {message!r}")
 
     def _handle_request(self, request: CellRequest) -> None:
-        ready = [c for c in request.cells if self.data.is_cell_read(c)]
-        waiting = {c for c in request.cells if not self.data.is_cell_read(c)}
+        # Cells outside the local data range cannot be served truthfully
+        # (reading them locally would cache them as falsely empty); the
+        # requester's retransmission re-routes them.  This cannot happen
+        # under correct routing — ownership is always a subset of the
+        # local data range — but a lossy run is exactly when to be sure.
+        cells = [c for c in request.cells if self.data_lo <= c[0] < self.data_hi]
+        ready = [c for c in cells if self.data.is_cell_read(c)]
+        waiting = {c for c in cells if not self.data.is_cell_read(c)}
         if ready:
             self._respond(request.requester, ready)
         if waiting:
-            self._pending.append(_PendingRequest(request.requester, waiting))
+            self._pending.setdefault(request.requester, set()).update(waiting)
 
     def _handle_response(self, response: CellResponse) -> None:
         for cell, payload in response.payloads.items():
             if not self.data.is_cell_read(cell):
                 self.data.install_cell(cell, payload)
+        answered = set(response.payloads)
+        for msg_id in list(self._outstanding):
+            entry = self._outstanding[msg_id]
+            entry.cells -= answered
+            if not entry.cells:
+                del self._outstanding[msg_id]
         freed = []
         for window, missing in self._waiting.items():
-            missing -= set(response.payloads)
+            missing -= answered
             if not missing:
                 freed.append(window)
         for window in freed:
@@ -189,13 +258,15 @@ class Worker:
     def _respond(self, requester: int, cells: Iterable[Cell]) -> None:
         payloads = {tuple(c): self.data.cell_payload(c) for c in cells}
         if payloads:
-            self.network.send(requester, CellResponse(self.worker_id, payloads), self.now)
+            self.network.send(
+                requester,
+                CellResponse(self.worker_id, payloads, self.network.next_msg_id()),
+                self.now,
+            )
 
     def _read_for_pending(self) -> None:
         """Read the locally-owned cells that pending requests still need."""
-        needed = sorted(
-            {cell for pending in self._pending for cell in pending.remaining}
-        )
+        needed = sorted({cell for cells in self._pending.values() for cell in cells})
         for cell in needed:
             if not self.data.is_cell_read(cell):
                 self.data.read_window(Window(cell, tuple(c + 1 for c in cell)))
@@ -203,15 +274,153 @@ class Worker:
 
     def _flush_pending(self) -> None:
         """After a local read, answer whatever pending requests we now can."""
-        still_pending: list[_PendingRequest] = []
-        for pending in self._pending:
-            ready = [c for c in pending.remaining if self.data.is_cell_read(c)]
+        still_pending: dict[int, set[Cell]] = {}
+        for requester, cells in self._pending.items():
+            ready = [c for c in cells if self.data.is_cell_read(c)]
             if ready:
-                self._respond(pending.requester, ready)
-                pending.remaining -= set(ready)
-            if pending.remaining:
-                still_pending.append(pending)
+                self._respond(requester, ready)
+                cells -= set(ready)
+            if cells:
+                still_pending[requester] = cells
         self._pending = still_pending
+
+    # -- reliability layer -------------------------------------------------------------
+
+    def _check_timeouts(self) -> None:
+        """Retransmit outstanding requests whose deadline has passed."""
+        expired = [
+            msg_id
+            for msg_id, entry in self._outstanding.items()
+            if entry.deadline <= self.now
+        ]
+        for msg_id in expired:
+            entry = self._outstanding.pop(msg_id)
+            cells = {c for c in entry.cells if not self.data.is_cell_read(c)}
+            if not cells:
+                continue
+            self.retries += 1
+            if self.trace is not None:
+                self.trace.record(
+                    EventKind.RETRY,
+                    self.now,
+                    detail_worker=self.worker_id,
+                    owner=entry.owner,
+                    cells=len(cells),
+                    attempt=entry.attempt + 1,
+                )
+            self._dispatch_cells(cells, attempt=entry.attempt + 1)
+
+    def _dispatch_cells(self, cells: Iterable[Cell], attempt: int = 0) -> None:
+        """Route cell requests to current owners; handle local/lost cells.
+
+        The single funnel for both first sends and retransmissions: it
+        consults the (mutable) ownership router, so requests chase
+        anchors that were reassigned after a crash.
+        """
+        by_owner: dict[int, list[Cell]] = {}
+        lost: list[Cell] = []
+        local: list[Cell] = []
+        for cell in cells:
+            if self.data.is_cell_read(cell):
+                continue
+            if self.data_lo <= cell[0] < self.data_hi:
+                local.append(cell)
+                continue
+            owner = self.router.owner_of_cell(cell[0])
+            if owner is None:
+                lost.append(cell)
+            elif owner == self.worker_id:
+                local.append(cell)
+            else:
+                by_owner.setdefault(owner, []).append(cell)
+        if lost:
+            self._mark_cells_lost(lost)
+        if local:
+            self._unpark_windows_touching(local)
+        for owner, owned in by_owner.items():
+            msg_id = self.network.next_msg_id()
+            self.network.send(
+                owner,
+                CellRequest(self.worker_id, tuple(owned), msg_id, attempt),
+                self.now,
+            )
+            self._outstanding[msg_id] = _Outstanding(
+                owner=owner,
+                cells=set(owned),
+                deadline=self.now + self.cost_model.retry_timeout_s(attempt),
+                attempt=attempt,
+            )
+
+    def _mark_cells_lost(self, cells: Iterable[Cell]) -> None:
+        """Give up on cells whose owning slab has no surviving worker."""
+        self._lost_cells.update(cells)
+        doomed = [
+            window
+            for window, missing in self._waiting.items()
+            if missing & self._lost_cells
+        ]
+        for window in doomed:
+            self.lost_windows[window] = self._waiting.pop(window)
+
+    def _unpark_windows_touching(self, cells: Iterable[Cell]) -> None:
+        """Re-queue waiting windows whose missing cells became local."""
+        touched = set(cells)
+        freed = [
+            window
+            for window, missing in self._waiting.items()
+            if missing & touched
+        ]
+        for window in freed:
+            del self._waiting[window]
+            self.queue.push(self._utility(window), window, self.data.version)
+
+    def on_peer_death(self, dead: int) -> None:
+        """React to the coordinator declaring a peer failed.
+
+        Pending answers owed to the dead requester are dropped, and
+        outstanding requests to it become due immediately so the next
+        step re-routes them through the updated ownership map.
+        """
+        self._pending.pop(dead, None)
+        for entry in self._outstanding.values():
+            if entry.owner == dead:
+                entry.deadline = self.now
+
+    def adopt_anchors(
+        self,
+        anchor_range: tuple[int, int],
+        data_range: tuple[int, int],
+        table=None,
+        seed: bool = True,
+    ) -> int:
+        """Take over a dead peer's anchor slab (coordinator-directed).
+
+        ``table`` is the rebuilt local heap table covering the widened
+        ``data_range`` (``None`` keeps the current table, for pure
+        ownership transfers).  With ``seed=True`` the adopted anchors'
+        start windows are (re-)seeded — the dead worker's exploration
+        state died with it, so its slab is explored from scratch, which
+        is exactly what makes the recovered result set complete.
+        Returns the number of adopted anchor columns.
+        """
+        lo, hi = anchor_range
+        self.anchor_lo = min(self.anchor_lo, lo)
+        self.anchor_hi = max(self.anchor_hi, hi)
+        if table is not None:
+            self.data.rebind_table(table)
+        self.data_lo, self.data_hi = data_range
+        newly_local = [
+            cell
+            for window, missing in self._waiting.items()
+            for cell in missing
+            if self.data_lo <= cell[0] < self.data_hi
+        ]
+        if newly_local:
+            self._unpark_windows_touching(newly_local)
+        if seed:
+            self._seed_range(lo, hi)
+            self.recovered_anchors += hi - lo
+        return hi - lo
 
     # -- search mechanics ------------------------------------------------------------------
 
@@ -219,19 +428,58 @@ class Worker:
         benefit = self.utility_model.benefit(window)
         return (self.utility_model.utility_with_benefit(window, benefit), benefit)
 
-    def _seed(self) -> None:
+    def _seed_range(self, lo: int, hi: int) -> None:
+        """Seed start windows for every anchor column in ``[lo, hi)``."""
         shape = self.grid.shape
         mins = self._min_lengths
-        hi0 = min(self.anchor_hi, shape[0] - mins[0] + 1)
-        for a0 in range(self.anchor_lo, hi0):
+        hi0 = min(hi, shape[0] - mins[0] + 1)
+        if lo >= hi0:
+            return
+        if self.data.use_kernels and self._batch_seed(lo, hi0, mins):
+            return
+        for a0 in range(lo, hi0):
             spans = [range(a0, a0 + 1)] + [
                 range(shape[d] - mins[d] + 1) for d in range(1, self.grid.ndim)
             ]
             self._seed_spans(spans, mins)
 
-    def _seed_spans(self, spans, mins) -> None:
-        import itertools
+    def _batch_seed(self, lo: int, hi0: int, mins: Sequence[int]) -> bool:
+        """Vectorized seeding of one anchor slab (see ``HeuristicSearch``).
 
+        Same kernel batch as the single-node ``_batch_seed``, restricted
+        to placements anchored in ``[lo, hi0)`` via the profile's
+        ``anchor_slab`` — utilities and tie order come out identical to
+        the scalar loop's.
+        """
+        shape = self.grid.shape
+        ndim = self.grid.ndim
+        counts = (hi0 - lo,) + tuple(shape[d] - mins[d] + 1 for d in range(1, ndim))
+        lows = np.indices(counts).reshape(ndim, -1).T
+        lows[:, 0] += lo
+        his = lows + np.asarray(mins, dtype=lows.dtype)
+        unchecked = Window.unchecked
+        windows = [
+            unchecked(tuple(l), tuple(h))
+            for l, h in zip(lows.tolist(), his.tolist())
+        ]
+        benefits, cost_terms = self.utility_model.placement_profile(
+            tuple(int(m) for m in mins), windows, anchor_slab=(lo, hi0)
+        )
+        s = self.utility_model.s
+        utilities = s * benefits + (1.0 - s) * cost_terms
+
+        version = self.data.version
+        entries = []
+        for u, b, window in zip(utilities.tolist(), benefits.tolist(), windows):
+            if window in self._generated:
+                continue
+            self._generated.add(window)
+            entries.append(((u, b), window, version))
+        self.queue.push_many(entries)
+        self.stats.generated += len(entries)
+        return True
+
+    def _seed_spans(self, spans, mins) -> None:
         for position in itertools.product(*spans):
             window = Window(
                 tuple(position), tuple(p + l for p, l in zip(position, mins))
@@ -284,17 +532,16 @@ class Worker:
 
         remote = self._remote_cells(window)
         if remote:
-            self._waiting[window] = set(remote)
-            new_requests = [c for c in remote if c not in self._requested]
-            if new_requests:
-                self._requested.update(new_requests)
-                by_owner: dict[int, list[Cell]] = {}
-                for cell in new_requests:
-                    by_owner.setdefault(self.plan.owner_of_cell(cell[0]), []).append(cell)
-                for owner, cells in by_owner.items():
-                    self.network.send(
-                        owner, CellRequest(self.worker_id, tuple(cells)), self.now
-                    )
+            if any(cell in self._lost_cells for cell in remote):
+                # Some needed cells died with their slab — the window can
+                # never be validated; account for it instead of waiting.
+                self.lost_windows[window] = set(remote)
+            else:
+                self._waiting[window] = set(remote)
+                new_requests = [c for c in remote if c not in self._requested]
+                if new_requests:
+                    self._requested.update(new_requests)
+                    self._dispatch_cells(new_requests)
             if did_read:
                 self.prefetch_state.record_read(False)
                 self._last_read_region = read_region

@@ -1,0 +1,50 @@
+"""The exception hierarchy of the reproduction.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch "anything this system decided
+to reject" with one except clause.  Each concrete class additionally
+inherits the builtin exception it historically was (``ValueError`` /
+``RuntimeError``), keeping existing ``except ValueError`` call sites and
+tests working across the migration.
+
+The distributed layer's *recoverable* anomalies — worker crashes, lost
+messages, exhausted simulations under fault injection — deliberately do
+**not** raise: they degrade into a
+:class:`~repro.distributed.faults.DegradedResult` attached to the run's
+report.  The classes here cover the anomalies that indicate an actual
+bug or an invalid configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "PartitionError",
+    "ProtocolError",
+    "SimulationLimitError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid knob or parameter combination was supplied."""
+
+
+class PartitionError(ReproError, ValueError):
+    """Data/search-area partitioning could not be constructed as asked."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """The distributed message protocol reached a state it never should.
+
+    Raised only when no fault injection is active — with faults enabled,
+    protocol anomalies are expected and handled by the recovery layer.
+    """
+
+
+class SimulationLimitError(ReproError, RuntimeError):
+    """The discrete-event simulation exceeded its step safety valve."""

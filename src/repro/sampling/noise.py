@@ -36,14 +36,22 @@ class NoiseModel:
         self.seed = seed
 
     def perturb(self, window: Window, value: float) -> float:
-        """The noisy estimate ``v * (1 ± n/100)`` for this window."""
+        """The noisy estimate ``v * (1 ± n/100)`` for this window.
+
+        Clamped at zero: count-like objectives cannot go negative, and a
+        noise draw above 100 % must degrade the estimate to "nothing
+        here", not flip its sign (``v * (1 - n/100)`` with ``n > 100``
+        would otherwise invert the value and, with it, the comparison
+        against the condition threshold).
+        """
         if self.noise_pct == 0 and self.std_pct == 0:
             return value
         key = hash((self.seed, window.lo, window.hi)) & 0x7FFFFFFF
         rng = np.random.default_rng(key)
         n = rng.normal(self.noise_pct, self.std_pct)
         sign = 1.0 if rng.random() < 0.5 else -1.0
-        return value * (1.0 + sign * n / 100.0)
+        factor = max(0.0, 1.0 + sign * n / 100.0)
+        return value * factor
 
     def perturb_many(
         self,

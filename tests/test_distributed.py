@@ -254,3 +254,100 @@ class TestNarrowSlabRegression:
         assert {r.window for r in report.results} == {
             r.window for r in reference.results
         }
+
+
+class TestEmptySlabRegression:
+    def _skewed_workload(self):
+        """Every row lives in the right half of the grid: with equal-cell
+        slabs, the leftmost workers receive no data at all."""
+        import numpy as np
+
+        from repro.core import (
+            ComparisonOp,
+            ContentCondition,
+            ContentObjective,
+            Grid,
+            Rect,
+            ShapeCondition,
+            ShapeKind,
+            ShapeObjective,
+            SWQuery,
+            col,
+        )
+        from repro.storage import TableSchema
+        from repro.workloads import Dataset
+
+        rng = np.random.default_rng(31)
+        n = 300
+        x = rng.uniform(8.0, 16.0, n)  # grid covers [0, 16): left half empty
+        y = rng.uniform(0.0, 8.0, n)
+        v = rng.normal(25, 6, n)
+        grid = Grid(Rect.from_bounds([(0.0, 16.0), (0.0, 8.0)]), (1.0, 1.0))
+        dataset = Dataset(
+            name="skewed",
+            columns={"x": x, "y": y, "v": v},
+            schema=TableSchema(["x", "y", "v"], ["x", "y"]),
+            grid=grid,
+        )
+        query = SWQuery.build(
+            dimensions=("x", "y"),
+            area=[(0.0, 16.0), (0.0, 8.0)],
+            steps=(1.0, 1.0),
+            conditions=[
+                ShapeCondition(
+                    ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 6
+                ),
+                ContentCondition(
+                    ContentObjective.of("avg", col("v")), ComparisonOp.GT, 27.0
+                ),
+            ],
+        )
+        return dataset, query
+
+    def test_workers_with_empty_slabs_complete(self):
+        """Regression: a worker whose slab holds no rows used to abort the
+        whole run with "received no data"; it must instead come up with
+        an empty local cache, quiesce, and still serve (empty) cells."""
+        from repro.core import SWEngine
+        from repro.workloads import make_database
+
+        dataset, query = self._skewed_workload()
+        single = make_database(dataset, "cluster")
+        reference = {
+            r.window
+            for r in SWEngine(single, dataset.name, sample_fraction=0.5)
+            .execute(query)
+            .results
+        }
+        config = DistributedConfig(
+            num_workers=4, sample_fraction=0.5, balance_by_data=False
+        )
+        report = run_distributed(dataset, query, config)
+        assert {r.window for r in report.results} == reference
+        # The two left workers really were data-less.
+        assert report.worker_blocks_read[0] == 0
+        assert report.worker_reads[0] == 0
+
+    def test_empty_slab_worker_adopts_after_crash(self):
+        """An empty-slab worker stays a first-class recovery target."""
+        from repro.distributed import FaultPlan, WorkerCrash
+
+        dataset, query = self._skewed_workload()
+        config = DistributedConfig(
+            num_workers=4, sample_fraction=0.5, balance_by_data=False
+        )
+        baseline = run_distributed(dataset, query, config)
+        # Crash worker 2 (data-bearing) early: its left neighbor (1) owns
+        # an empty slab and must adopt part of the work.
+        faulty = DistributedConfig(
+            num_workers=4,
+            sample_fraction=0.5,
+            balance_by_data=False,
+            faults=FaultPlan(seed=2, crashes=(WorkerCrash(2, 0.0005),)),
+        )
+        report = run_distributed(dataset, query, faulty)
+        assert report.degraded is None
+        assert {r.window for r in report.results} == {
+            r.window for r in baseline.results
+        }
+        assert report.recovered_anchors > 0

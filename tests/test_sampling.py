@@ -199,6 +199,23 @@ class TestNoiseModel:
         ]
         assert np.mean(deviations) == pytest.approx(20.0, rel=0.05)
 
+    def test_large_noise_never_flips_sign(self):
+        """Regression: n > 100 used to turn ``1 - n/100`` negative.
+
+        A 150 % mean draw with the unlucky sign made the perturbed
+        estimate ``v * (1 - 1.5) = -0.5 v`` — a negative count — which
+        silently inverted comparisons against the condition threshold.
+        Perturbation must bottom out at zero instead.
+        """
+        noise = NoiseModel(150.0, std_pct=50.0, seed=3)
+        values = [
+            noise.perturb(Window((i, 0), (i + 1, 1)), 40.0) for i in range(300)
+        ]
+        assert min(values) >= 0.0
+        assert any(v == 0.0 for v in values)  # the clamp actually engages
+        # Draws below 100 % still perturb normally in both directions.
+        assert any(v > 40.0 for v in values) and any(0.0 < v < 40.0 for v in values)
+
     def test_validation(self):
         with pytest.raises(ValueError, match="non-negative"):
             NoiseModel(-1.0)

@@ -20,7 +20,7 @@ from repro.core import (
 )
 from repro.distributed import DistributedConfig, OverlapMode, run_distributed
 from repro.distributed.coordinator import _build_worker
-from repro.distributed.messages import Network
+from repro.distributed.messages import CellRequest, Network
 from repro.distributed.partitioning import plan_partitions
 from repro.costs import DEFAULT_COST_MODEL
 from repro.sampling import StratifiedSampler
@@ -160,3 +160,133 @@ class TestDistributedEqualsSingleNodeProperty:
             ),
         )
         assert {r.window for r in report.results} == reference
+
+
+class TestNetworkEdgeCases:
+    def _zero_latency(self):
+        from repro.costs import CostModel
+
+        return CostModel(network_latency_ms=0.0, network_per_cell_us=0.0)
+
+    def test_same_timestamp_delivery_is_send_order(self):
+        net = Network(2, self._zero_latency())
+        first = CellRequest(0, ((1, 1),), msg_id=net.next_msg_id())
+        second = CellRequest(0, ((2, 2),), msg_id=net.next_msg_id())
+        third = CellRequest(0, ((3, 3),), msg_id=net.next_msg_id())
+        for msg in (first, second, third):
+            net.send(1, msg, sent_at=0.5)
+        assert net.receive(1, 0.5) == [first, second, third]
+
+    def test_zero_latency_arrives_at_send_time(self):
+        net = Network(2, self._zero_latency())
+        net.send(1, CellRequest(0, ((1, 1),)), sent_at=1.25)
+        assert net.earliest_arrival(1) == 1.25
+        # Not yet visible strictly before the send instant.
+        assert net.receive(1, 1.2499) == []
+        assert len(net.receive(1, 1.25)) == 1
+
+    def test_inbox_drains_after_sender_completion(self):
+        # Messages already in flight remain deliverable even if the
+        # sender never acts again; a later poll drains them all at once.
+        net = Network(2, DEFAULT_COST_MODEL)
+        for i in range(4):
+            net.send(1, CellRequest(0, ((i, 0),)), sent_at=0.001 * i)
+        assert net.pending(1) == 4
+        drained = net.receive(1, now=10.0)
+        assert [m.cells[0][0] for m in drained] == [0, 1, 2, 3]
+        assert net.pending(1) == 0
+        assert net.earliest_arrival(1) is None
+
+    def test_needs_at_least_one_worker(self):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            Network(0, DEFAULT_COST_MODEL)
+        with pytest.raises(ValueError):  # backwards-compatible lineage
+            Network(0, DEFAULT_COST_MODEL)
+
+    def test_mail_to_dead_worker_is_lost(self):
+        net = Network(2, DEFAULT_COST_MODEL)
+        net.send(1, CellRequest(0, ((1, 1),)), sent_at=0.0)
+        net.mark_dead(1)
+        assert net.is_dead(1)
+        assert net.pending(1) == 0
+        net.send(1, CellRequest(0, ((2, 2),)), sent_at=0.1)
+        assert net.pending(1) == 0
+        assert net.messages_lost == 2
+
+
+class TestReliabilityLayer:
+    def _worker_pair(self):
+        dataset, query = make_dataset(1)
+        full_table = HeapTable(dataset.name, dataset.schema, dataset.columns, 8)
+        sample = StratifiedSampler(0.5, seed=3).sample(full_table, dataset.grid)
+        plan = plan_partitions(dataset.grid, 2)
+        network = Network(2, DEFAULT_COST_MODEL)
+        config = DistributedConfig(num_workers=2)
+        workers = [
+            _build_worker(
+                wid, dataset, query, plan, sample, full_table, network, config,
+                DEFAULT_COST_MODEL,
+            )
+            for wid in range(2)
+        ]
+        return workers, network, plan
+
+    def test_duplicate_delivery_is_ignored(self):
+        from repro.core import Window
+
+        (worker0, worker1), network, plan = self._worker_pair()
+        boundary = plan.boundaries[1]
+        window = Window((boundary - 1, 0), (boundary + 1, 1))
+        worker0._explore(window)
+        # Replay the exact same transmission (same msg_id) at the owner.
+        [envelope] = network._inboxes[1]
+        network._inboxes[1].append(
+            type(envelope)(envelope.arrival, 10_000, envelope.message)
+        )
+        worker1.advance_to(envelope.arrival)
+        worker1._process_inbox()
+        assert worker1.duplicates_ignored == 1
+        # The request itself was still handled exactly once.
+        assert sum(len(c) for c in worker1._pending.values()) == len(
+            envelope.message.cells
+        )
+
+    def test_unanswered_request_is_retransmitted_with_backoff(self):
+        from repro.core import Window
+
+        (worker0, worker1), network, plan = self._worker_pair()
+        boundary = plan.boundaries[1]
+        window = Window((boundary - 1, 0), (boundary + 1, 1))
+        worker0._explore(window)
+        assert len(worker0._outstanding) == 1
+        [entry] = worker0._outstanding.values()
+        first_deadline = entry.deadline
+        # Let the deadline lapse without an answer: a retry must go out
+        # with a fresh message id and a doubled timeout.
+        worker0.advance_to(first_deadline)
+        worker0._check_timeouts()
+        assert worker0.retries == 1
+        [entry2] = worker0._outstanding.values()
+        assert entry2.attempt == 1
+        assert entry2.deadline - first_deadline > (
+            first_deadline - 0.0
+        ) * 0.99  # doubled timeout (measured from the retry instant)
+        assert network.pending(1) == 2  # original + retransmission
+
+    def test_next_time_covers_retry_deadline(self):
+        from repro.core import Window
+
+        (worker0, _worker1), _network, plan = self._worker_pair()
+        boundary = plan.boundaries[1]
+        window = Window((boundary - 1, 0), (boundary + 1, 1))
+        worker0._explore(window)
+        list(worker0.queue.drain())
+        [entry] = worker0._outstanding.values()
+        # With an empty queue and nothing arriving, the worker must still
+        # wake up at its retransmission deadline rather than quiesce.
+        assert worker0.next_time() == entry.deadline
+        assert not worker0.is_done()
