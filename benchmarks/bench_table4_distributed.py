@@ -18,9 +18,10 @@ deliberately skewed split degrades total time (slowest worker dominates).
 
 from __future__ import annotations
 
-from repro.bench import bench_scale, format_seconds, get_synthetic, print_table
+from repro.bench import bench_scale, emit_json, format_seconds, get_synthetic, print_table
 from repro.core import SearchConfig
 from repro.distributed import DistributedConfig, FaultPlan, run_distributed
+from repro.obs import InvariantAuditor, MetricsRegistry
 from repro.workloads import synthetic_query
 
 CASES = [
@@ -40,7 +41,14 @@ def _run_experiment() -> dict:
     fraction = bench_scale().sample_fraction
     dataset = get_synthetic("high")
     query = synthetic_query(dataset)
-    out: dict = {"cases": {}, "skew": {}}
+    out: dict = {"cases": {}, "skew": {}, "registries": []}
+
+    def run(label: str, config: DistributedConfig):
+        registry = MetricsRegistry()
+        report = run_distributed(dataset, query, config, metrics=registry)
+        out["registries"].append((label, registry))
+        return report
+
     for nodes, overlap in CASES:
         config = DistributedConfig(
             num_workers=nodes,
@@ -49,7 +57,7 @@ def _run_experiment() -> dict:
             search=SearchConfig(alpha=1.0),
             sample_fraction=fraction,
         )
-        out["cases"][(nodes, overlap)] = run_distributed(dataset, query, config)
+        out["cases"][(nodes, overlap)] = run(f"{nodes}x_{overlap}", config)
     for skew in (0.0, 0.3, 0.6):
         config = DistributedConfig(
             num_workers=8,
@@ -59,7 +67,7 @@ def _run_experiment() -> dict:
             sample_fraction=fraction,
             skew=skew,
         )
-        out["skew"][skew] = run_distributed(dataset, query, config)
+        out["skew"][skew] = run(f"skew_{skew}", config)
     # Fault overhead: the same 8-node run under a chaos plan (one crash,
     # lossy channel, one straggler) — recovery cost shows up as extra
     # total time; the result set must not move.
@@ -74,7 +82,7 @@ def _run_experiment() -> dict:
             sample_fraction=fraction,
             faults=FaultPlan.chaos(seed, 8, crash_at_s=baseline.total_time_s / 3),
         )
-        out["faults"][seed] = run_distributed(dataset, query, config)
+        out["faults"][seed] = run(f"chaos_{seed}", config)
     return out
 
 
@@ -145,3 +153,19 @@ def test_table4_distributed(benchmark):
     for rep in out["faults"].values():
         assert not rep.is_degraded
         assert {r.window for r in rep.results} == expected
+
+    # Every run — all overlaps, skews, and chaos plans — must pass the
+    # accounting-identity audit over its merged coordinator registry.
+    merged = MetricsRegistry()
+    for label, registry in out["registries"]:
+        audit = InvariantAuditor(registry).report()
+        assert audit["ok"], f"{label}: invariant audit failed: {audit['violations']}"
+        merged.merge(registry)
+    emit_json(
+        "table4_distributed",
+        {
+            "no_overlap_total_s": {n: no[n] for n in (1, 2, 4, 8)},
+            "runs_audited": len(out["registries"]),
+        },
+        metrics=merged,
+    )

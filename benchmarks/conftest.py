@@ -1,0 +1,26 @@
+"""Benchmark-suite fixtures: every bench run ships its metrics block.
+
+``repro.bench.fresh_database`` attaches a fresh :class:`MetricsRegistry`
+to each database it builds.  The autouse fixture below drains whatever a
+test accumulated and emits it as one ``BENCH_JSON`` record per test, so
+observability data rides along with every benchmark without each file
+calling ``emit_json`` itself.  Tests that already emit records (the
+hotpath suite) drain the pool themselves; the fixture then has nothing
+left to ship.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import drain_session_metrics, emit_json
+
+
+@pytest.fixture(autouse=True)
+def _ship_metrics_block(request):
+    drain_session_metrics()  # drop leftovers from collection/imports
+    yield
+    snapshot = drain_session_metrics()
+    if snapshot is not None:
+        safe = request.node.name.replace("[", "_").replace("]", "")
+        emit_json(f"metrics_{safe}", {"metrics": snapshot}, metrics=None)

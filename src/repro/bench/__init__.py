@@ -2,11 +2,19 @@
 
 from .configs import BenchScale, bench_scale
 from .reporting import emit_json, format_seconds, format_table, online_series, print_table
-from .runner import fresh_database, get_sdss, get_stock, get_synthetic, get_table
+from .runner import (
+    drain_session_metrics,
+    fresh_database,
+    get_sdss,
+    get_stock,
+    get_synthetic,
+    get_table,
+)
 
 __all__ = [
     "BenchScale",
     "bench_scale",
+    "drain_session_metrics",
     "emit_json",
     "format_seconds",
     "format_table",

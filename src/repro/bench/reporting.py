@@ -58,7 +58,7 @@ def online_series(
     return [(f, run.time_to_fraction(f)) for f in fractions]
 
 
-def emit_json(name: str, payload: dict) -> str:
+def emit_json(name: str, payload: dict, metrics: object = "auto") -> str:
     """Emit one machine-readable benchmark record.
 
     Prints a single ``BENCH_JSON {...}`` line to stdout (greppable from
@@ -66,7 +66,20 @@ def emit_json(name: str, payload: dict) -> str:
     runs) and, when the ``REPRO_BENCH_JSON`` environment variable names a
     directory, also writes ``<name>.json`` there.  Returns the serialized
     record.
+
+    ``metrics`` controls the record's observability block: the default
+    ``"auto"`` drains the registries :func:`~repro.bench.runner.fresh_database`
+    attached since the last emit and embeds their merged snapshot; pass a
+    registry/snapshot to embed it explicitly, or ``None`` to omit.
     """
+    if metrics == "auto":
+        from .runner import drain_session_metrics
+
+        metrics = drain_session_metrics()
+    elif hasattr(metrics, "snapshot"):
+        metrics = metrics.snapshot()
+    if metrics is not None and "metrics" not in payload:
+        payload = {**payload, "metrics": metrics}
     record = json.dumps({"benchmark": name, **payload}, sort_keys=True, default=float)
     print(f"{JSON_MARKER} {record}")
     out_dir = os.environ.get(BENCH_JSON_DIR_ENV)

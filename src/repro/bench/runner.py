@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from ..clock import SimClock
 from ..costs import DEFAULT_COST_MODEL, CostModel
+from ..obs.metrics import MetricsRegistry
 from ..storage.database import Database
 from ..storage.table import HeapTable
 from ..workloads.base import Dataset, make_table
@@ -25,10 +26,14 @@ __all__ = [
     "get_stock",
     "get_table",
     "fresh_database",
+    "drain_session_metrics",
 ]
 
 _DATASETS: dict[tuple, Dataset] = {}
 _TABLES: dict[tuple, HeapTable] = {}
+# Registries attached by fresh_database since the last drain; emit_json
+# folds them into each benchmark record's "metrics" block.
+_SESSION_REGISTRIES: list[MetricsRegistry] = []
 
 
 def get_synthetic(spread: str = "high") -> Dataset:
@@ -76,8 +81,37 @@ def fresh_database(
     table: HeapTable,
     buffer_fraction: float = 0.15,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    metrics: bool = True,
 ) -> Database:
-    """A brand-new database (clock, disk, buffer) around a cached table."""
+    """A brand-new database (clock, disk, buffer) around a cached table.
+
+    By default the database gets its own observability registry, bound to
+    its clock and picked up automatically by :class:`SWEngine` — so every
+    benchmark run ships a metrics block for free.  Timing-sensitive
+    sections that measure the *uninstrumented* hot path pass
+    ``metrics=False`` for a registry-free database.
+    """
     db = Database(cost_model=cost_model, clock=SimClock(), buffer_fraction=buffer_fraction)
+    if metrics:
+        registry = MetricsRegistry()
+        db.attach_metrics(registry)
+        _SESSION_REGISTRIES.append(registry)
     db.register(table)
     return db
+
+
+def drain_session_metrics() -> dict | None:
+    """Merged snapshot of registries created since the last drain.
+
+    Fold order does not matter (registry merge is commutative and
+    associative).  Returns ``None`` when no instrumented database was
+    created since the previous call — drained registries keep
+    accumulating on their databases but are not reported twice.
+    """
+    if not _SESSION_REGISTRIES:
+        return None
+    merged = MetricsRegistry()
+    for registry in _SESSION_REGISTRIES:
+        merged.merge(registry)
+    _SESSION_REGISTRIES.clear()
+    return merged.snapshot()

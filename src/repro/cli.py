@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     python -m repro sql --workload sdss "SELECT LB(ra), UB(ra), ... HAVING ..."
     python -m repro optimize --workload synth-high "SELECT ... MAXIMIZE AVG(value)"
     python -m repro baseline --workload synth-high
+    python -m repro metrics --workload synth-high --json metrics.json
     python -m repro info
 
 The CLI wires the bundled workload generators to the engine; it exists so
@@ -106,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     base = sub.add_parser("baseline", help="run the blocking complex-SQL baseline")
     common(base)
 
+    met = sub.add_parser(
+        "metrics",
+        help="run the canonical query with full observability and audit it",
+    )
+    common(met)
+    met.add_argument("--alpha", type=float, default=1.0, help="prefetch aggressiveness")
+    met.add_argument("--json", metavar="PATH", default=None, help="write the snapshot as JSON")
+    met.add_argument(
+        "--no-audit", action="store_true", help="skip the invariant audit (report only)"
+    )
+
     sub.add_parser("info", help="print version and cost-model constants")
     return parser
 
@@ -143,6 +155,8 @@ def _dispatch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         return _cmd_optimize(args, database, out)
     if args.command == "baseline":
         return _cmd_baseline(args, database, dataset, query, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, database, dataset, query, out)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 
@@ -200,6 +214,52 @@ def _cmd_optimize(args, database: Database, out) -> int:
         f"{result.windows_evaluated:,} windows ({result.completion_time_s:.2f}s)"
     )
     return 0
+
+
+def _cmd_metrics(args, database: Database, dataset, query: SWQuery, out) -> int:
+    """Run the canonical query with a registry attached; print and audit."""
+    from .io import write_metrics_json
+    from .obs import InvariantAuditor, MetricsRegistry
+
+    registry = MetricsRegistry()
+    database.attach_metrics(registry)
+    engine = SWEngine(database, dataset.name, sample_fraction=args.sample_fraction)
+    report = engine.execute(query, SearchConfig(alpha=args.alpha))
+    out(
+        f"-- {len(report.results)} results in "
+        f"{report.run.completion_time_s:.2f}s simulated"
+    )
+
+    snapshot = registry.snapshot()
+    for section in ("counters", "gauges"):
+        values = snapshot[section]
+        if not values:
+            continue
+        out(f"\n{section}:")
+        for name, value in values.items():
+            out(f"  {name:<40} {value:>14g}")
+    if snapshot["histograms"]:
+        out("\nhistograms:")
+        for name, payload in snapshot["histograms"].items():
+            n = sum(payload["counts"])
+            mean = payload["total"] / n if n else 0.0
+            out(f"  {name:<40} n={n:<8d} mean={mean:g}")
+
+    if args.json is not None:
+        path = write_metrics_json(registry, args.json)
+        out(f"\nwrote {path}")
+
+    if args.no_audit:
+        return 0
+    audit = InvariantAuditor(snapshot)
+    outcome = audit.report()
+    if outcome["ok"]:
+        out(f"\naudit: {outcome['checked']} identities checked, all hold")
+        return 0
+    out(f"\naudit: {len(outcome['violations'])} violation(s):")
+    for violation in outcome["violations"]:
+        out(f"  {violation}")
+    return 1
 
 
 def _cmd_baseline(args, database: Database, dataset, query: SWQuery, out) -> int:

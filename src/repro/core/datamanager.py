@@ -102,7 +102,9 @@ class DataManager:
         self.eff_min: dict[str, np.ndarray] = {}
         self.eff_max: dict[str, np.ndarray] = {}
         for key, obj in self._objectives.items():
-            grids = build_objective_grids(self._sample_table, grid, sample, obj)
+            grids = build_objective_grids(
+                self._sample_table, grid, sample, obj, metrics=database.metrics
+            )
             self._grids[key] = grids
             self.eff_sum[key] = grids.scaled_sum.copy()
             self.eff_min[key] = grids.sample_min.copy()
@@ -115,6 +117,14 @@ class DataManager:
 
         self.use_kernels = use_kernels
         self._kernels: DataKernels | None = None
+        # Optional observability (repro.obs); see attach_metrics.
+        self.metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Route cache/read accounting into a registry (``None`` detaches)."""
+        self.metrics = registry
+        if registry is not None and registry.clock is None:
+            registry.clock = self._db.clock
 
     @property
     def kernels(self) -> DataKernels:
@@ -246,13 +256,31 @@ class DataManager:
         Returns the :class:`~repro.storage.database.CellScan`, or ``None``
         when the window was fully cached (no DBMS call).
         """
+        m = self.metrics
+        if m is not None:
+            requested = window.cardinality
+            misses = int((~self.read_mask[self.box(window)]).sum())
+            m.inc("dm.cell_requests", float(requested))
+            m.inc("dm.cache_hit_cells", float(requested - misses))
+            m.inc("dm.cache_miss_cells", float(misses))
         target = self.unread_box(window)
         if target is None:
             return None
         rect = target.rect(self.grid)
-        scan = self._db.range_cell_aggregates(
-            self._table_name, self.grid, rect.lower, rect.upper, list(self._objectives.values())
-        )
+        if m is not None:
+            with m.span("read", self._db.clock):
+                scan = self._db.range_cell_aggregates(
+                    self._table_name, self.grid, rect.lower, rect.upper,
+                    list(self._objectives.values()),
+                )
+            m.inc("dm.reads")
+            m.inc("dm.cells_read", float(target.cardinality))
+            m.histogram("dm.cells_per_read").observe(float(target.cardinality))
+        else:
+            scan = self._db.range_cell_aggregates(
+                self._table_name, self.grid, rect.lower, rect.upper,
+                list(self._objectives.values()),
+            )
         self._apply_scan(target, scan.cells)
         self.version += 1
         self.reads += 1
@@ -347,6 +375,8 @@ class DataManager:
     def install_cell(self, index: Sequence[int], payload: Mapping[str, CellStats]) -> None:
         """Install a peer-provided exact cell into the cache."""
         idx = tuple(index)
+        if self.metrics is not None:
+            self.metrics.inc("dist.cells_installed")
         self.read_mask[idx] = True
         self.unread_count[idx] = 0.0
         for key in self._objectives:

@@ -79,12 +79,16 @@ class SWEngine:
 
     # -- sample management -------------------------------------------------------
 
-    def sample_for(self, query: SWQuery) -> CellSample:
+    def sample_for(self, query: SWQuery, metrics=None) -> CellSample:
         """The precomputed stratified sample for this query's grid.
 
         Samples are built offline in the paper's protocol, so this charges
-        no simulated time; they are cached per grid geometry.
+        no simulated time; they are cached per grid geometry.  Sample
+        construction counters land in ``metrics`` (defaulting to the
+        database's registry) only when the sample is actually built.
         """
+        if metrics is None:
+            metrics = self.database.metrics
         key = (
             query.grid.area.lower,
             query.grid.area.upper,
@@ -98,11 +102,17 @@ class SWEngine:
                 from ..sampling.stratified import uniform_sample
 
                 self._sample_cache[key] = uniform_sample(
-                    table, query.grid, self.sample_fraction, seed=self.sample_seed
+                    table,
+                    query.grid,
+                    self.sample_fraction,
+                    seed=self.sample_seed,
+                    metrics=metrics,
                 )
             else:
                 sampler = StratifiedSampler(self.sample_fraction, seed=self.sample_seed)
-                self._sample_cache[key] = sampler.sample(table, query.grid)
+                self._sample_cache[key] = sampler.sample(table, query.grid, metrics=metrics)
+        elif metrics is not None:
+            metrics.inc("sample.cache_hits")
         return self._sample_cache[key]
 
     # -- execution -----------------------------------------------------------------
@@ -113,6 +123,7 @@ class SWEngine:
         config: SearchConfig | None = None,
         trace=None,
         reuse_cache: bool = False,
+        metrics=None,
     ) -> HeuristicSearch:
         """Build the search machinery for a query without running it.
 
@@ -122,7 +133,17 @@ class SWEngine:
         say — re-reads nothing that was already fetched.  This is sound:
         cached cell values are exact, and the cost model already treats
         cached cells as free.
+
+        ``metrics`` opts the execution into the observability layer
+        (:mod:`repro.obs`).  Omitted, it falls back to the registry
+        attached to the database (if any); passing one explicitly also
+        attaches it to the database so storage counters accrue to the
+        same registry.  Without a registry anywhere, nothing is paid.
         """
+        if metrics is None:
+            metrics = self.database.metrics
+        elif self.database.metrics is not metrics:
+            self.database.attach_metrics(metrics)
         objectives = query.conditions.content_objectives()
         key = (
             query.grid.area.lower,
@@ -138,14 +159,14 @@ class SWEngine:
                 self.table_name,
                 query.grid,
                 objectives,
-                self.sample_for(query),
+                self.sample_for(query, metrics=metrics),
                 noise=self.noise,
                 use_kernels=self.use_kernels,
             )
             if reuse_cache and self.noise is None:
                 self._data_cache[key] = data
         return HeuristicSearch(
-            query, data, config, cost_model=self.cost_model, trace=trace
+            query, data, config, cost_model=self.cost_model, trace=trace, metrics=metrics
         )
 
     def execute(
@@ -155,20 +176,30 @@ class SWEngine:
         on_result: Callable[[ResultWindow], None] | None = None,
         trace=None,
         reuse_cache: bool = False,
+        metrics=None,
     ) -> ExecutionReport:
         """Run a query to completion and return results plus I/O deltas.
 
         Pass a :class:`~repro.core.trace.SearchTrace` as ``trace`` to
         record the execution timeline; ``reuse_cache=True`` keeps the
-        exact cell cache warm across queries on the same grid.
+        exact cell cache warm across queries on the same grid; a
+        ``metrics`` registry records the full accounting of the run
+        (defaulting to the database's attached registry, if any).
         """
-        search = self.prepare(query, config, trace=trace, reuse_cache=reuse_cache)
+        search = self.prepare(
+            query, config, trace=trace, reuse_cache=reuse_cache, metrics=metrics
+        )
         disk = self.database.disk(self.table_name)
         buffer = self.database.buffer(self.table_name)
         before = disk.stats()
         hits0, misses0 = buffer.hits, buffer.misses
 
-        run = search.run(on_result=on_result)
+        registry = search.metrics
+        if registry is not None:
+            with registry.span("query", self.database.clock):
+                run = search.run(on_result=on_result)
+        else:
+            run = search.run(on_result=on_result)
 
         after = disk.stats()
         additive = ("total_time_s", "blocks_read", "blocks_reread", "requests", "seeks")
@@ -189,8 +220,8 @@ class SWEngine:
         )
 
     def execute_iter(
-        self, query: SWQuery, config: SearchConfig | None = None
+        self, query: SWQuery, config: SearchConfig | None = None, metrics=None
     ) -> Iterator[ResultWindow]:
         """Stream results online (human-in-the-loop form of :meth:`execute`)."""
-        search = self.prepare(query, config)
+        search = self.prepare(query, config, metrics=metrics)
         yield from search.iter_results()

@@ -18,7 +18,7 @@ the same DBMS request, trading online delay against total completion time:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
@@ -38,11 +38,18 @@ class PrefetchStrategy(Enum):
 
 @dataclass
 class PrefetchState:
-    """Tracks consecutive false positives and yields the current size."""
+    """Tracks consecutive false positives and yields the current size.
+
+    ``metrics`` (optional, excluded from equality) feeds the progress
+    signal into the observability layer: positive/negative read counters
+    plus a gauge of the worst false-positive streak seen, the input the
+    paper's dynamic strategy reacts to.
+    """
 
     alpha: float = 0.0
     strategy: PrefetchStrategy = PrefetchStrategy.DYNAMIC
     fp_reads: int = 0
+    metrics: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -65,6 +72,12 @@ class PrefetchState:
             self.fp_reads = 0
         else:
             self.fp_reads += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("prefetch.positive_reads" if positive else "prefetch.negative_reads")
+            streak = m.gauge("prefetch.max_fp_streak")
+            if self.fp_reads > streak.value:
+                streak.value = float(self.fp_reads)
 
 
 def prefetch_extend(

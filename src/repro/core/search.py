@@ -35,6 +35,7 @@ from typing import Callable, Iterator, Sequence
 import numpy as np
 
 from ..costs import CostModel, DEFAULT_COST_MODEL
+from ..obs.metrics import DEFAULT_TIME_BOUNDS
 from .clusters import ClusterTracker
 from .conditions import ContentCondition
 from .datamanager import DataManager
@@ -164,6 +165,7 @@ class HeuristicSearch:
         config: SearchConfig | None = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         trace: SearchTrace | None = None,
+        metrics=None,
     ) -> None:
         self.query = query
         self.data = data
@@ -180,6 +182,30 @@ class HeuristicSearch:
         self.policy = self._make_policy()
         self.queue = self._make_queue()
         self.stats = SearchStats()
+
+        # Observability (repro.obs) — opt-in like the trace.  The search
+        # attaches the registry to its Data Manager and prefetch state so
+        # the cross-layer accounting identities hold, and caches Counter
+        # objects so the steady-state cost per event is one float add.
+        self.metrics = metrics
+        if metrics is not None:
+            data.attach_metrics(metrics)
+            self.prefetch_state.metrics = metrics
+            self._mc_estimates = metrics.counter("search.estimates")
+            self._mc_generated = metrics.counter("search.windows_generated")
+            self._mc_explored = metrics.counter("search.windows_explored")
+            self._mc_results = metrics.counter("search.results")
+            self._mc_reads = metrics.counter("search.reads")
+            self._mc_cold = metrics.counter("search.cold_reads")
+            self._mc_prefetched = metrics.counter("search.prefetch_reads")
+            self._mc_cells_window = metrics.counter("search.cells_requested_window")
+            self._mc_cells_prefetch = metrics.counter("search.cells_requested_prefetch")
+            self._mh_result_delay = metrics.histogram(
+                "search.result_delay_s", DEFAULT_TIME_BOUNDS
+            )
+        else:
+            self._mc_estimates = None
+        self._last_result_time = 0.0
 
         shape = self.grid.shape
         self._min_lengths = query.conditions.min_lengths(shape)
@@ -222,6 +248,8 @@ class HeuristicSearch:
     def _utility(self, window: Window) -> tuple[float, float]:
         """(utility, benefit) queue priority — benefit breaks exact ties."""
         self.stats.estimates += 1
+        if self._mc_estimates is not None:
+            self._mc_estimates.value += 1.0
         benefit = self.utility_model.benefit(window)
         benefit = self.policy.modified_benefit(window, benefit)
         return (self.utility_model.utility_with_benefit(window, benefit), benefit)
@@ -265,6 +293,8 @@ class HeuristicSearch:
                 if top is not None and utility < top:
                     self.queue.push(utility, window, self.data.version)
                     self.stats.lazy_reinserts += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("search.lazy_reinserts")
                     if self.trace is not None:
                         self.trace.record(
                             EventKind.REINSERT, clock.now - self._start_time, window
@@ -279,6 +309,8 @@ class HeuristicSearch:
                 )
                 if jumped:
                     self.stats.jumps += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("search.jumps")
                     if self.trace is not None:
                         self.trace.record(
                             EventKind.JUMP,
@@ -316,6 +348,13 @@ class HeuristicSearch:
 
     def _seed_start_windows(self) -> None:
         """StartWindows(): all placements of the minimal qualifying shape."""
+        if self.metrics is not None:
+            with self.metrics.span("seed"):
+                self._seed_impl()
+        else:
+            self._seed_impl()
+
+    def _seed_impl(self) -> None:
         shape = self.grid.shape
         mins = self._min_lengths
         if self.data.use_kernels and self._batch_seed(mins):
@@ -355,6 +394,8 @@ class HeuristicSearch:
 
         benefits, cost_terms = self.utility_model.placement_profile(mins, windows)
         self.stats.estimates += len(windows)
+        if self._mc_estimates is not None:
+            self._mc_estimates.value += float(len(windows))
         modified = modifier(benefits)
         s = self.utility_model.s
         utilities = s * modified + (1.0 - s) * cost_terms
@@ -367,6 +408,8 @@ class HeuristicSearch:
         ]
         self.queue.push_many(entries)
         self.stats.generated += len(entries)
+        if self._mc_estimates is not None:
+            self._mc_generated.value += float(len(entries))
         return True
 
     def _batch_benefit_modifier(self):
@@ -413,18 +456,43 @@ class HeuristicSearch:
         self._generated.add(key)
         self.queue.push(self._utility(window), window, self.data.version)
         self.stats.generated += 1
+        if self._mc_estimates is not None:
+            self._mc_generated.value += 1.0
 
     def _explore(self, window: Window, jumped: bool) -> ResultWindow | None:
+        if self.metrics is not None:
+            with self.metrics.span("expand"):
+                return self._explore_impl(window, jumped)
+        return self._explore_impl(window, jumped)
+
+    def _explore_impl(self, window: Window, jumped: bool) -> ResultWindow | None:
         clock = self.data.clock
         clock.advance(self.cost_model.sw_window_s())
         self.stats.explored += 1
+        metrics = self.metrics
+        if metrics is not None:
+            self._mc_explored.value += 1.0
 
         did_read = False
         read_region: Window | None = None
         if not self.data.is_read(window):
-            region = prefetch_extend(
-                window, self.prefetch_state.size(), self.grid, self.utility_model.cost
-            )
+            if metrics is not None:
+                with metrics.span("prefetch"):
+                    region = prefetch_extend(
+                        window,
+                        self.prefetch_state.size(),
+                        self.grid,
+                        self.utility_model.cost,
+                    )
+            else:
+                region = prefetch_extend(
+                    window, self.prefetch_state.size(), self.grid, self.utility_model.cost
+                )
+            if metrics is not None:
+                self._mc_cells_window.value += float(window.cardinality)
+                self._mc_cells_prefetch.value += float(
+                    region.cardinality - window.cardinality
+                )
             scan = self.data.read_window(region)
             self.stats.prefetched_cells += region.cardinality - window.cardinality
             # A request that touched no heap pages (empty region under a
@@ -433,11 +501,21 @@ class HeuristicSearch:
                 self.stats.reads += 1
                 did_read = True
                 read_region = region
+                if metrics is not None:
+                    self._mc_reads.value += 1.0
+                    if region == window:
+                        self._mc_cold.value += 1.0
+                    else:
+                        self._mc_prefetched.value += 1.0
 
         result = self._check_window(window)
         if result is not None:
             self._results.append(result)
             self.tracker.add(window)
+            if metrics is not None:
+                self._mc_results.value += 1.0
+                self._mh_result_delay.observe(result.time - self._last_result_time)
+                self._last_result_time = result.time
             if self.trace is not None:
                 self.trace.record(EventKind.RESULT, result.time, window)
             if not did_read and self._last_read_region is not None:
@@ -510,6 +588,13 @@ class HeuristicSearch:
         interval = self.config.refresh_reads
         if interval <= 0 or self.stats.reads % interval != 0:
             return
+        if self.metrics is not None:
+            with self.metrics.span("estimate"):
+                self._refresh_impl()
+        else:
+            self._refresh_impl()
+
+    def _refresh_impl(self) -> None:
         version = self.data.version
         entries = list(self.queue.drain())
         self.queue.push_many(
@@ -521,6 +606,8 @@ class HeuristicSearch:
             for priority, window, entry_version in entries
         )
         self.stats.refreshes += 1
+        if self.metrics is not None:
+            self.metrics.inc("search.refreshes")
         if self.trace is not None:
             self.trace.record(
                 EventKind.REFRESH,

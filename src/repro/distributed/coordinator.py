@@ -40,6 +40,7 @@ from ..core.datamanager import DataManager
 from ..core.window import Window
 from ..costs import CostModel, DEFAULT_COST_MODEL
 from ..errors import ProtocolError, SimulationLimitError
+from ..obs.metrics import MetricsRegistry
 from ..sampling.stratified import StratifiedSampler
 from ..storage.database import Database
 from ..storage.placement import Placement, cell_flat_ids, order_rows
@@ -107,6 +108,10 @@ class DistributedReport:
     messages_lost: int = 0
     faults_injected: dict[str, int] = field(default_factory=dict)
     degraded: DegradedResult | None = None
+    # Observability (populated only when run with a metrics registry):
+    # the merged snapshot plus each worker's own, in worker-id order.
+    metrics: dict | None = None
+    worker_metrics: list[dict] = field(default_factory=list)
 
     @property
     def num_results(self) -> int:
@@ -136,6 +141,7 @@ def run_distributed(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     on_result=None,
     trace: SearchTrace | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> DistributedReport:
     """Partition the data, run all workers to completion, merge results.
 
@@ -149,6 +155,13 @@ def run_distributed(
 
     ``trace`` (optional) records FAULT / RETRY / RECOVERY events with
     simulated timestamps alongside the usual search events.
+
+    ``metrics`` (optional) is the coordinator's registry: channel and
+    recovery counters accrue to it during the run, each worker gets its
+    own registry bound to its own clock, and at the end the per-worker
+    registries are folded in (counters add, gauges max, histograms
+    bucket-wise) so the caller sees one global accounting.  The report
+    then carries the merged snapshot plus the per-worker ones.
     """
     grid = query.grid
 
@@ -158,7 +171,7 @@ def run_distributed(
         dataset.name, dataset.schema, dataset.columns, config.tuples_per_block
     )
     sampler = StratifiedSampler(config.sample_fraction, seed=config.sample_seed)
-    sample = sampler.sample(full_table, grid)
+    sample = sampler.sample(full_table, grid, metrics=metrics)
 
     max_len0 = query.conditions.max_lengths(grid.shape)[0]
     plan = plan_partitions(
@@ -172,12 +185,18 @@ def run_distributed(
 
     injector = FaultInjector(config.faults) if config.faults is not None else None
     network = Network(config.num_workers, cost_model, injector=injector)
+    if metrics is not None:
+        network.metrics = metrics
     router = OwnershipRouter(plan)
+    worker_registries = [
+        MetricsRegistry() if metrics is not None else None
+        for _ in range(config.num_workers)
+    ]
     workers = [
         _build_worker(
             wid, dataset, query, plan, sample, full_table, network, config,
             _worker_cost_model(cost_model, injector, wid), on_result,
-            router=router, trace=trace,
+            router=router, trace=trace, metrics=worker_registries[wid],
         )
         for wid in range(config.num_workers)
     ]
@@ -217,6 +236,8 @@ def run_distributed(
             crashed.append(wid)
             worker.crash()
             network.mark_dead(wid)
+            if metrics is not None:
+                metrics.inc("dist.crashes")
             if trace is not None:
                 trace.record(EventKind.FAULT, t, fault="crash", worker=wid)
             heapq.heappush(
@@ -230,6 +251,8 @@ def run_distributed(
                 wid, t, workers, router, plan, dataset, config,
                 reseed=reseed, generation=table_generation, trace=trace,
             )
+            if metrics is not None:
+                metrics.inc("dist.adoptions", float(len(adopted)))
             if reseed and adopted:
                 reseeded.add(wid)
         else:
@@ -284,6 +307,23 @@ def run_distributed(
             stuck_workers=tuple(stuck),
         )
 
+    merged_snapshot: dict | None = None
+    worker_snapshots: list[dict] = []
+    if metrics is not None:
+        # Fold the per-worker registries into the coordinator's, under a
+        # "merge" span.  Merging is coordinator-side bookkeeping: it
+        # advances no worker clock, so the span records the phase count
+        # with zero simulated elapsed time.
+        if metrics.clock is None:
+            clock = SimClock()
+            clock.advance_to(max(w.now for w in workers))
+            metrics.clock = clock
+        worker_snapshots = [reg.snapshot() for reg in worker_registries]
+        with metrics.span("merge"):
+            for reg in worker_registries:
+                metrics.merge(reg)
+        merged_snapshot = metrics.snapshot()
+
     return DistributedReport(
         results=results,
         total_time_s=max(w.now for w in (live or workers)),
@@ -311,6 +351,8 @@ def run_distributed(
             else {}
         ),
         degraded=degraded,
+        metrics=merged_snapshot,
+        worker_metrics=worker_snapshots,
     )
 
 
@@ -449,6 +491,7 @@ def _build_worker(
     on_result=None,
     router: OwnershipRouter | None = None,
     trace: SearchTrace | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> Worker:
     grid = query.grid
     lo, hi = plan.data_range(worker_id)
@@ -462,6 +505,10 @@ def _build_worker(
         clock=SimClock(),
         buffer_fraction=config.buffer_fraction,
     )
+    if metrics is not None:
+        # Bind the worker registry to the worker clock *before* anything
+        # is registered so storage and estimation counters route to it.
+        db.attach_metrics(metrics)
     db.register(table)
     data = DataManager(
         db,
@@ -488,4 +535,5 @@ def _build_worker(
         on_result=on_result,
         router=router,
         trace=trace,
+        metrics=metrics,
     )

@@ -80,6 +80,9 @@ class Network:
         self.messages_sent = 0
         self.cells_shipped = 0
         self.messages_lost = 0
+        # Optional observability (repro.obs): the coordinator attaches its
+        # registry here so channel-level counters land in the merged view.
+        self.metrics = None
 
     def next_msg_id(self) -> int:
         """A fresh unique message id for a sender to stamp."""
@@ -87,21 +90,30 @@ class Network:
 
     def send(self, to: int, message: CellRequest | CellResponse, sent_at: float) -> None:
         """Deliver a message after the modelled latency (faults permitting)."""
+        m = self.metrics
         if isinstance(message, CellRequest):
             cells = len(message.cells)
         else:
             cells = len(message.payloads)
             self.cells_shipped += cells
+            if m is not None:
+                m.inc("net.cells_shipped", float(cells))
         self.messages_sent += 1
+        if m is not None:
+            m.inc("net.messages_sent")
         if to in self._dead:
             # The TCP connection to a crashed worker is gone; the message
             # is lost without the injector spending a draw on it.
             self.messages_lost += 1
+            if m is not None:
+                m.inc("net.messages_lost")
             return
         latency = self._cost.network_s(cells)
         copies = [0.0] if self._injector is None else self._injector.deliveries()
         if not copies:
             self.messages_lost += 1
+            if m is not None:
+                m.inc("net.messages_lost")
             return
         for extra in copies:
             arrival = sent_at + latency + extra
@@ -112,7 +124,10 @@ class Network:
     def mark_dead(self, worker: int) -> None:
         """Discard a crashed worker's inbox and all future mail to it."""
         self._dead.add(worker)
-        self.messages_lost += len(self._inboxes[worker])
+        dropped = len(self._inboxes[worker])
+        self.messages_lost += dropped
+        if self.metrics is not None and dropped:
+            self.metrics.inc("net.messages_lost", float(dropped))
         self._inboxes[worker].clear()
 
     def is_dead(self, worker: int) -> bool:

@@ -88,6 +88,7 @@ class Worker:
         on_result: Callable[[int, ResultWindow], None] | None = None,
         router: OwnershipRouter | None = None,
         trace: SearchTrace | None = None,
+        metrics=None,
     ) -> None:
         self.worker_id = worker_id
         self.plan = plan
@@ -132,6 +133,26 @@ class Worker:
         self._outstanding: dict[int, _Outstanding] = {}
         self._seen_msg_ids: set[int] = set()
         self._lost_cells: set[Cell] = set()
+
+        # Observability (repro.obs) — a per-worker registry bound to this
+        # worker's clock; the coordinator merges all of them at the end.
+        # Same opt-in contract as the single-node search.
+        self.metrics = metrics
+        if metrics is not None:
+            data.attach_metrics(metrics)
+            self.prefetch_state.metrics = metrics
+            self._mc_estimates = metrics.counter("search.estimates")
+            self._mc_generated = metrics.counter("search.windows_generated")
+            self._mc_explored = metrics.counter("search.windows_explored")
+            self._mc_results = metrics.counter("search.results")
+            self._mc_reads = metrics.counter("search.reads")
+            self._mc_cold = metrics.counter("search.cold_reads")
+            self._mc_prefetched = metrics.counter("search.prefetch_reads")
+            self._mc_cells_window = metrics.counter("search.cells_requested_window")
+            self._mc_cells_prefetch = metrics.counter("search.cells_requested_prefetch")
+        else:
+            self._mc_estimates = None
+
         self._seed_range(self.anchor_lo, self.anchor_hi)
 
     # -- scheduling interface ---------------------------------------------------
@@ -202,19 +223,28 @@ class Worker:
             if top is not None and utility < top:
                 self.queue.push(utility, window, self.data.version)
                 self.stats.lazy_reinserts += 1
+                if self.metrics is not None:
+                    self.metrics.inc("search.lazy_reinserts")
                 return
         self._explore(window)
 
     # -- message handling --------------------------------------------------------------
 
     def _process_inbox(self) -> None:
+        metrics = self.metrics
         for message in self.network.receive(self.worker_id, self.now):
+            if metrics is not None:
+                metrics.inc("net.messages_received")
             msg_id = getattr(message, "msg_id", -1)
             if msg_id >= 0:
                 if msg_id in self._seen_msg_ids:
                     self.duplicates_ignored += 1
+                    if metrics is not None:
+                        metrics.inc("net.duplicates_ignored")
                     continue
                 self._seen_msg_ids.add(msg_id)
+            if metrics is not None:
+                metrics.inc("net.messages_unique")
             if isinstance(message, CellRequest):
                 self._handle_request(message)
             elif isinstance(message, CellResponse):
@@ -254,6 +284,8 @@ class Worker:
         for window in freed:
             del self._waiting[window]
             self.queue.push(self._utility(window), window, self.data.version)
+            if self.metrics is not None:
+                self.metrics.inc("dist.unparked_windows")
 
     def _respond(self, requester: int, cells: Iterable[Cell]) -> None:
         payloads = {tuple(c): self.data.cell_payload(c) for c in cells}
@@ -269,6 +301,8 @@ class Worker:
         needed = sorted({cell for cells in self._pending.values() for cell in cells})
         for cell in needed:
             if not self.data.is_cell_read(cell):
+                if self.metrics is not None:
+                    self.metrics.inc("dist.pending_cell_requests")
                 self.data.read_window(Window(cell, tuple(c + 1 for c in cell)))
         self._flush_pending()
 
@@ -299,6 +333,8 @@ class Worker:
             if not cells:
                 continue
             self.retries += 1
+            if self.metrics is not None:
+                self.metrics.inc("dist.retries")
             if self.trace is not None:
                 self.trace.record(
                     EventKind.RETRY,
@@ -361,6 +397,8 @@ class Worker:
         ]
         for window in doomed:
             self.lost_windows[window] = self._waiting.pop(window)
+            if self.metrics is not None:
+                self.metrics.inc("dist.lost_windows")
 
     def _unpark_windows_touching(self, cells: Iterable[Cell]) -> None:
         """Re-queue waiting windows whose missing cells became local."""
@@ -373,6 +411,8 @@ class Worker:
         for window in freed:
             del self._waiting[window]
             self.queue.push(self._utility(window), window, self.data.version)
+            if self.metrics is not None:
+                self.metrics.inc("dist.unparked_windows")
 
     def on_peer_death(self, dead: int) -> None:
         """React to the coordinator declaring a peer failed.
@@ -418,18 +458,33 @@ class Worker:
         if newly_local:
             self._unpark_windows_touching(newly_local)
         if seed:
-            self._seed_range(lo, hi)
+            if self.metrics is not None:
+                with self.metrics.span("recover"):
+                    self._seed_range(lo, hi)
+                self.metrics.inc("dist.recovered_anchors", float(hi - lo))
+            else:
+                self._seed_range(lo, hi)
             self.recovered_anchors += hi - lo
         return hi - lo
 
     # -- search mechanics ------------------------------------------------------------------
 
     def _utility(self, window: Window) -> tuple[float, float]:
+        self.stats.estimates += 1
+        if self._mc_estimates is not None:
+            self._mc_estimates.value += 1.0
         benefit = self.utility_model.benefit(window)
         return (self.utility_model.utility_with_benefit(window, benefit), benefit)
 
     def _seed_range(self, lo: int, hi: int) -> None:
         """Seed start windows for every anchor column in ``[lo, hi)``."""
+        if self.metrics is not None:
+            with self.metrics.span("seed"):
+                self._seed_range_impl(lo, hi)
+        else:
+            self._seed_range_impl(lo, hi)
+
+    def _seed_range_impl(self, lo: int, hi: int) -> None:
         shape = self.grid.shape
         mins = self._min_lengths
         hi0 = min(hi, shape[0] - mins[0] + 1)
@@ -465,6 +520,9 @@ class Worker:
         benefits, cost_terms = self.utility_model.placement_profile(
             tuple(int(m) for m in mins), windows, anchor_slab=(lo, hi0)
         )
+        self.stats.estimates += len(windows)
+        if self._mc_estimates is not None:
+            self._mc_estimates.value += float(len(windows))
         s = self.utility_model.s
         utilities = s * benefits + (1.0 - s) * cost_terms
 
@@ -477,6 +535,8 @@ class Worker:
             entries.append(((u, b), window, version))
         self.queue.push_many(entries)
         self.stats.generated += len(entries)
+        if self._mc_estimates is not None:
+            self._mc_generated.value += float(len(entries))
         return True
 
     def _seed_spans(self, spans, mins) -> None:
@@ -492,6 +552,8 @@ class Worker:
         self._generated.add(window)
         self.queue.push(self._utility(window), window, self.data.version)
         self.stats.generated += 1
+        if self._mc_estimates is not None:
+            self._mc_generated.value += 1.0
 
     def _local_part(self, window: Window) -> Window | None:
         """The sub-window whose cells live in this worker's local data."""
@@ -511,23 +573,54 @@ class Worker:
         return cells
 
     def _explore(self, window: Window) -> None:
+        if self.metrics is not None:
+            with self.metrics.span("expand"):
+                self._explore_impl(window)
+        else:
+            self._explore_impl(window)
+
+    def _explore_impl(self, window: Window) -> None:
         self.data.clock.advance(self.cost_model.sw_window_s())
         self.stats.explored += 1
+        metrics = self.metrics
+        if metrics is not None:
+            self._mc_explored.value += 1.0
 
         local = self._local_part(window)
         did_read = False
         read_region: Window | None = None
         if local is not None and not self.data.is_read(local):
-            region = prefetch_extend(
-                local, self.prefetch_state.size(), self.grid, self.utility_model.cost
-            )
+            if metrics is not None:
+                with metrics.span("prefetch"):
+                    region = prefetch_extend(
+                        local,
+                        self.prefetch_state.size(),
+                        self.grid,
+                        self.utility_model.cost,
+                    )
+            else:
+                region = prefetch_extend(
+                    local, self.prefetch_state.size(), self.grid, self.utility_model.cost
+                )
             region = self._clip_to_data(region)
+            if metrics is not None:
+                local_cells = min(local.cardinality, region.cardinality)
+                self._mc_cells_window.value += float(local_cells)
+                self._mc_cells_prefetch.value += float(
+                    region.cardinality - local_cells
+                )
             scan = self.data.read_window(region)
             self.stats.prefetched_cells += region.cardinality - local.cardinality
             if scan is not None and scan.blocks_touched > 0:
                 self.stats.reads += 1
                 did_read = True
                 read_region = region
+                if metrics is not None:
+                    self._mc_reads.value += 1.0
+                    if region == local:
+                        self._mc_cold.value += 1.0
+                    else:
+                        self._mc_prefetched.value += 1.0
             self._flush_pending()
 
         remote = self._remote_cells(window)
@@ -536,6 +629,8 @@ class Worker:
                 # Some needed cells died with their slab — the window can
                 # never be validated; account for it instead of waiting.
                 self.lost_windows[window] = set(remote)
+                if metrics is not None:
+                    metrics.inc("dist.lost_windows")
             else:
                 self._waiting[window] = set(remote)
                 new_requests = [c for c in remote if c not in self._requested]
@@ -545,6 +640,15 @@ class Worker:
             if did_read:
                 self.prefetch_state.record_read(False)
                 self._last_read_region = read_region
+                if self.trace is not None:
+                    self.trace.record(
+                        EventKind.READ,
+                        self.now,
+                        read_region,
+                        positive=False,
+                        prefetched=read_region.cardinality - local.cardinality,
+                        worker=self.worker_id,
+                    )
             # Neighbors are generated now — waiting only defers validation.
             self._neighbors(window)
             return
@@ -552,6 +656,12 @@ class Worker:
         result = self._validate(window)
         if result is not None:
             self.results.append(result)
+            if metrics is not None:
+                self._mc_results.value += 1.0
+            if self.trace is not None:
+                self.trace.record(
+                    EventKind.RESULT, result.time, window, worker=self.worker_id
+                )
             if self._on_result is not None:
                 self._on_result(self.worker_id, result)
             if not did_read and self._last_read_region is not None:
@@ -560,6 +670,15 @@ class Worker:
         if did_read:
             self.prefetch_state.record_read(result is not None)
             self._last_read_region = read_region
+            if self.trace is not None:
+                self.trace.record(
+                    EventKind.READ,
+                    self.now,
+                    read_region,
+                    positive=result is not None,
+                    prefetched=read_region.cardinality - local.cardinality,
+                    worker=self.worker_id,
+                )
         self._neighbors(window)
 
     def _clip_to_data(self, window: Window) -> Window:

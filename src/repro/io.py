@@ -28,7 +28,15 @@ from .core.window import Window
 from .storage.table import TableSchema
 from .workloads.base import Dataset
 
-__all__ = ["save_dataset", "load_dataset", "results_to_rows", "write_results_csv"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "results_to_rows",
+    "write_results_csv",
+    "metrics_to_json",
+    "write_metrics_json",
+    "read_metrics_json",
+]
 
 _FORMAT_VERSION = 1
 
@@ -111,6 +119,31 @@ def write_results_csv(
         writer.writerow(header)
         writer.writerows(rows)
     return path
+
+
+def metrics_to_json(metrics, indent: int | None = 2) -> str:
+    """Serialize a metrics registry or snapshot dict to deterministic JSON.
+
+    Key order inside each section is already sorted by
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; ``sort_keys``
+    pins the outer sections too, so equal registries serialize to equal
+    bytes (what lets the golden corpus diff metrics blocks literally).
+    """
+    snapshot = metrics.snapshot() if hasattr(metrics, "snapshot") else metrics
+    return json.dumps(_jsonable(snapshot), indent=indent, sort_keys=True)
+
+
+def write_metrics_json(metrics, path: str | Path) -> Path:
+    """Write a metrics snapshot as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(metrics_to_json(metrics) + "\n")
+    return path
+
+
+def read_metrics_json(path: str | Path) -> dict:
+    """Load a snapshot written by :func:`write_metrics_json`."""
+    with open(path) as handle:
+        return json.load(handle)
 
 
 def _jsonable(value):

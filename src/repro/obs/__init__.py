@@ -1,0 +1,38 @@
+"""``repro.obs`` — the zero-dependency observability subsystem.
+
+Aggregate metrics (counters, gauges, fixed-bucket histograms), simulated-
+time profiling spans, and the invariant auditor that cross-checks the
+accounting identities the instrumented layers promise each other.  See
+DESIGN.md Section 10 for the metric taxonomy and the full invariant list.
+
+Everything here follows the :class:`~repro.core.trace.SearchTrace`
+contract: opt-in, pay-nothing when no registry is attached, and strictly
+observational — attaching a registry never changes a single simulated
+decision, which is what lets the golden-trace corpus pin both the event
+timeline and the metrics block byte-for-byte.
+"""
+
+from .audit import InvariantAuditor, InvariantViolation
+from .metrics import (
+    DEFAULT_CELL_BOUNDS,
+    DEFAULT_TIME_BOUNDS,
+    PHASES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .span import Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "PHASES",
+    "DEFAULT_CELL_BOUNDS",
+    "DEFAULT_TIME_BOUNDS",
+]

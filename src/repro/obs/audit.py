@@ -1,0 +1,224 @@
+"""Accounting-identity audits over a metrics snapshot.
+
+The instrumentation wired through the engine, storage and distributed
+layers is only trustworthy if its counters stay mutually consistent — a
+new code path that reads cells without charging ``dm.cell_requests``
+silently poisons every benchmark built on top.  The
+:class:`InvariantAuditor` cross-checks the identities the layers promise
+each other at query end:
+
+* every cell requested was either a cache hit or a cache miss;
+* every block fetched from disk was either a buffer miss or part of the
+  baseline's sequential scan;
+* every disk read the search performed was classified cold or prefetch,
+  and fed the prefetch controller exactly once;
+* distributed message flow only shrinks: sends >= receives >=
+  dedup-unique receives;
+* span time accounting is conserved (``self_s`` never exceeds
+  ``total_s``, nothing is negative).
+
+Identities whose counter families are absent from the snapshot are
+skipped, so the auditor works on serial runs, distributed runs, and
+partial registries alike.  The test harness runs every suite query
+through :meth:`verify`; benchmarks may do the same cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ReproError
+from .metrics import MetricsRegistry
+
+__all__ = ["InvariantViolation", "InvariantAuditor"]
+
+_EPS = 1e-9
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A metrics accounting identity did not hold at audit time."""
+
+
+class InvariantAuditor:
+    """Cross-checks accounting identities over one registry or snapshot."""
+
+    def __init__(self, metrics: MetricsRegistry | Mapping) -> None:
+        snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        self._counters: dict[str, float] = dict(snapshot.get("counters", {}))
+        self._histograms: dict[str, Mapping] = dict(snapshot.get("histograms", {}))
+        self.checked: list[str] = []
+
+    # -- identity plumbing ------------------------------------------------------
+
+    def _c(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def _has(self, *names: str) -> bool:
+        return any(name in self._counters for name in names)
+
+    def _equal(self, label: str, lhs: float, rhs: float, out: list[str]) -> None:
+        self.checked.append(label)
+        if abs(lhs - rhs) > _EPS:
+            out.append(f"{label}: {lhs:g} != {rhs:g} (delta {lhs - rhs:g})")
+
+    def _at_least(self, label: str, lhs: float, rhs: float, out: list[str]) -> None:
+        self.checked.append(label)
+        if lhs < rhs - _EPS:
+            out.append(f"{label}: {lhs:g} < {rhs:g}")
+
+    # -- the identities ---------------------------------------------------------
+
+    def violations(self) -> list[str]:
+        """Evaluate every applicable identity; returns the failures."""
+        c, out = self._c, []
+        self.checked = []
+
+        if self._has("dm.cell_requests"):
+            self._equal(
+                "cache accounting: cell_requests == cache_hits + cache_misses",
+                c("dm.cell_requests"),
+                c("dm.cache_hit_cells") + c("dm.cache_miss_cells"),
+                out,
+            )
+            # The DBMS is asked for the *bounding box* of the unread cells,
+            # so it can only ever read at least the missed cells.
+            self._at_least(
+                "read amplification: cells_read >= cache_misses",
+                c("dm.cells_read"),
+                c("dm.cache_miss_cells"),
+                out,
+            )
+
+        if self._has("search.cells_requested_window", "dist.pending_cell_requests"):
+            self._equal(
+                "request provenance: window + prefetch + pending-serve == cell_requests",
+                c("search.cells_requested_window")
+                + c("search.cells_requested_prefetch")
+                + c("dist.pending_cell_requests"),
+                c("dm.cell_requests"),
+                out,
+            )
+
+        if self._has("disk.blocks_read"):
+            self._equal(
+                "block accounting: blocks_read == buffer misses + sequential scans",
+                c("disk.blocks_read"),
+                c("buffer.miss_blocks") + c("disk.blocks_read_sequential"),
+                out,
+            )
+        if self._has("buffer.block_accesses"):
+            self._equal(
+                "buffer accounting: accesses == hits + misses",
+                c("buffer.block_accesses"),
+                c("buffer.hit_blocks") + c("buffer.miss_blocks"),
+                out,
+            )
+
+        if self._has("search.reads"):
+            self._equal(
+                "read classification: reads == cold_reads + prefetch_reads",
+                c("search.reads"),
+                c("search.cold_reads") + c("search.prefetch_reads"),
+                out,
+            )
+            self._equal(
+                "prefetch feedback: every read fed the controller once",
+                c("prefetch.positive_reads") + c("prefetch.negative_reads"),
+                c("search.reads"),
+                out,
+            )
+
+        if self._has("search.windows_explored"):
+            # Distributed workers park windows awaiting remote cells and
+            # explore them again once unparked, so each unpark licenses
+            # one extra exploration of an already-generated window.
+            self._at_least(
+                "exploration: explored <= generated + unparked",
+                c("search.windows_generated") + c("dist.unparked_windows"),
+                c("search.windows_explored"),
+                out,
+            )
+            self._at_least(
+                "results: results <= explored",
+                c("search.windows_explored"),
+                c("search.results"),
+                out,
+            )
+            if self._has("span.expand.count"):
+                self._equal(
+                    "span cross-check: expand spans == windows explored",
+                    c("span.expand.count"),
+                    c("search.windows_explored"),
+                    out,
+                )
+        if self._has("span.read.count"):
+            self._equal(
+                "span cross-check: read spans == DBMS reads",
+                c("span.read.count"),
+                c("dm.reads"),
+                out,
+            )
+
+        if self._has("net.messages_sent"):
+            self._at_least(
+                "network: sends >= receives",
+                c("net.messages_sent"),
+                c("net.messages_received"),
+                out,
+            )
+            self._at_least(
+                "network: receives >= dedup-unique",
+                c("net.messages_received"),
+                c("net.messages_unique"),
+                out,
+            )
+            self._equal(
+                "network: unique == received - duplicates",
+                c("net.messages_unique"),
+                c("net.messages_received") - c("net.duplicates_ignored"),
+                out,
+            )
+            self._at_least(
+                "network: cells shipped >= cells installed",
+                c("net.cells_shipped"),
+                c("dist.cells_installed"),
+                out,
+            )
+
+        for name in sorted(self._counters):
+            if name.startswith("span.") and name.endswith(".total_s"):
+                phase = name[len("span."):-len(".total_s")]
+                total = c(name)
+                self_s = c(f"span.{phase}.self_s")
+                self._at_least(f"span[{phase}]: total_s >= 0", total, 0.0, out)
+                self._at_least(f"span[{phase}]: self_s >= 0", self_s, 0.0, out)
+                self._at_least(f"span[{phase}]: total_s >= self_s", total, self_s, out)
+
+        if "dm.cells_per_read" in self._histograms and self._has("dm.reads"):
+            observed = float(sum(self._histograms["dm.cells_per_read"]["counts"]))
+            self._equal(
+                "histogram conservation: cells_per_read observations == dm.reads",
+                observed,
+                c("dm.reads"),
+                out,
+            )
+
+        return out
+
+    def verify(self) -> None:
+        """Raise :class:`InvariantViolation` if any identity fails."""
+        failures = self.violations()
+        if failures:
+            raise InvariantViolation(
+                f"{len(failures)} invariant(s) violated "
+                f"({len(self.checked)} checked):\n  " + "\n  ".join(failures)
+            )
+
+    def report(self) -> dict:
+        """Machine-readable outcome: checked identities and violations."""
+        failures = self.violations()
+        return {
+            "checked": len(self.checked),
+            "violations": list(failures),
+            "ok": not failures,
+        }

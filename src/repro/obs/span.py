@@ -1,0 +1,86 @@
+"""Profiling spans: charge elapsed *simulated* time to named phases.
+
+A :class:`Span` brackets a region of code and, on exit, charges the
+simulated seconds that elapsed on its :class:`~repro.clock.SimClock` to
+three counters of its registry::
+
+    span.<name>.count    — times the phase was entered
+    span.<name>.total_s  — wall (simulated) time inside the phase
+    span.<name>.self_s   — total minus time spent in *child* spans
+
+Nesting semantics (the fix for concurrent spans over one shared clock):
+
+* spans form a stack per registry; a span entered while another is open
+  becomes its child;
+* on exit, a child's elapsed time is added to the parent's child
+  accumulator, so the parent's ``self_s`` bucket **never double-counts**
+  time the child already claimed — ``sum(self_s)`` over all phases of a
+  query equals the query's elapsed time exactly;
+* **reentrant** spans (a phase nested inside itself, e.g. a ``read``
+  issued while recovering inside another ``read``) charge ``count`` and
+  ``self_s`` but skip ``total_s`` — the enclosing same-name span already
+  covers that wall time, so ``total_s`` stays a true per-phase wall
+  clock instead of inflating with the nesting depth.
+
+Spans only observe the clock; they never advance it.  Like everything in
+``repro.obs`` they are opt-in: code paths create spans only when a
+registry is attached.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Span"]
+
+
+class Span:
+    """One profiling scope; use as a context manager or enter/exit pair."""
+
+    __slots__ = ("registry", "name", "clock", "start", "child_s", "reentrant", "_open")
+
+    def __init__(self, registry, name: str, clock) -> None:
+        self.registry = registry
+        self.name = name
+        self.clock = clock
+        self.start = 0.0
+        self.child_s = 0.0
+        self.reentrant = False
+        self._open = False
+
+    def __enter__(self) -> "Span":
+        stack = self.registry._span_stack
+        self.start = self.clock.now
+        self.child_s = 0.0
+        self.reentrant = any(span.name == self.name for span in stack)
+        self._open = True
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Charge the elapsed time; idempotent."""
+        if not self._open:
+            return
+        self._open = False
+        stack = self.registry._span_stack
+        # Close abandoned children first (an exception unwound past them).
+        # Each child pops itself, so it still finds its parent on the
+        # stack and attributes its elapsed time there — popping it here
+        # first would double-count the time in both self_s buckets.
+        while stack and stack[-1] is not self:
+            stack[-1].close()
+        if stack:
+            stack.pop()
+        elapsed = self.clock.now - self.start
+        if stack:
+            stack[-1].child_s += elapsed
+        registry = self.registry
+        registry.counter(f"span.{self.name}.count").value += 1.0
+        registry.counter(f"span.{self.name}.self_s").value += elapsed - self.child_s
+        if not self.reentrant:
+            registry.counter(f"span.{self.name}.total_s").value += elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self._open else "closed"
+        return f"Span({self.name}, {state})"

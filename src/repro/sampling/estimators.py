@@ -49,9 +49,21 @@ class ObjectiveGrids:
 
 
 def build_objective_grids(
-    table: HeapTable, grid: Grid, sample: CellSample, objective: ContentObjective
+    table: HeapTable,
+    grid: Grid,
+    sample: CellSample,
+    objective: ContentObjective,
+    metrics=None,
 ) -> ObjectiveGrids:
-    """Evaluate one objective over the sample and grid the summaries."""
+    """Evaluate one objective over the sample and grid the summaries.
+
+    ``metrics`` (optional observability registry) counts grid builds and
+    the sampled tuples scanned to produce them; estimation setup is
+    offline, so no simulated time is involved.
+    """
+    if metrics is not None:
+        metrics.inc("sample.objective_grids")
+        metrics.inc("sample.grid_rows_scanned", float(sample.size))
     m = grid.num_cells
     shape = grid.shape
     scaled_sum = np.zeros(m, dtype=float)

@@ -72,11 +72,13 @@ class StratifiedSampler:
         self.fraction = fraction
         self.seed = seed
 
-    def sample(self, table: HeapTable, grid: Grid) -> CellSample:
+    def sample(self, table: HeapTable, grid: Grid, metrics=None) -> CellSample:
         """Draw the stratified sample for ``table`` under ``grid``.
 
         Tuples outside the search area are excluded from both the budget
-        and the sample (they cannot belong to any window).
+        and the sample (they cannot belong to any window).  ``metrics``
+        (optional) records sample-construction counters; building is an
+        offline step, so no simulated time is charged either way.
         """
         coords = table.coordinates()
         flat = cell_flat_ids(coords, grid)
@@ -110,7 +112,7 @@ class StratifiedSampler:
             sample_rows = np.empty(0, dtype=np.int64)
             sample_cells = np.empty(0, dtype=np.int64)
 
-        return CellSample(
+        out = CellSample(
             rows=sample_rows,
             cells=sample_cells,
             cell_true_counts=true_counts.reshape(grid.shape).astype(np.int64),
@@ -118,6 +120,9 @@ class StratifiedSampler:
             .reshape(grid.shape)
             .astype(np.int64),
         )
+        if metrics is not None:
+            _record_sample_metrics(metrics, out)
+        return out
 
 
 def allocate_budget(cell_counts: np.ndarray, budget: int) -> np.ndarray:
@@ -152,7 +157,22 @@ def allocate_budget(cell_counts: np.ndarray, budget: int) -> np.ndarray:
     return quotas
 
 
-def uniform_sample(table: HeapTable, grid: Grid, fraction: float = 0.01, seed: int = 17) -> CellSample:
+def _record_sample_metrics(metrics, sample: CellSample) -> None:
+    """Charge sample-construction counters to an observability registry."""
+    metrics.inc("sample.builds")
+    metrics.inc("sample.rows", float(sample.size))
+    metrics.inc(
+        "sample.populated_cells", float(np.count_nonzero(sample.cell_sample_counts))
+    )
+
+
+def uniform_sample(
+    table: HeapTable,
+    grid: Grid,
+    fraction: float = 0.01,
+    seed: int = 17,
+    metrics=None,
+) -> CellSample:
     """Plain SRS over the whole table (the ablation baseline to stratified).
 
     Returned in the same :class:`CellSample` shape; per-cell true counts
@@ -170,7 +190,7 @@ def uniform_sample(table: HeapTable, grid: Grid, fraction: float = 0.01, seed: i
     pick = rng.choice(rows_inside.size, size=min(budget, rows_inside.size), replace=False)
     pick.sort()
     m = grid.num_cells
-    return CellSample(
+    out = CellSample(
         rows=rows_inside[pick],
         cells=cells_inside[pick],
         cell_true_counts=np.bincount(cells_inside, minlength=m).reshape(grid.shape).astype(np.int64),
@@ -178,3 +198,6 @@ def uniform_sample(table: HeapTable, grid: Grid, fraction: float = 0.01, seed: i
         .reshape(grid.shape)
         .astype(np.int64),
     )
+    if metrics is not None:
+        _record_sample_metrics(metrics, out)
+    return out

@@ -36,6 +36,8 @@ class BufferPool:
         self._blocks: OrderedDict[int, None] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        # Optional observability (repro.obs): attached by Database.
+        self.metrics = None
 
     @property
     def capacity(self) -> int:
@@ -82,12 +84,21 @@ class BufferPool:
                 if b in cached:
                     cached.move_to_end(b)
         elapsed = 0.0
+        evicted = 0
         if missing:
             elapsed = self._disk.read(np.asarray(missing, dtype=np.int64))
             for b in missing:
                 cached[b] = None
                 if len(cached) > self._capacity:
                     cached.popitem(last=False)
+                    evicted += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("buffer.block_accesses", float(ids.size))
+            m.inc("buffer.hit_blocks", float(hit_count))
+            m.inc("buffer.miss_blocks", float(len(missing)))
+            if evicted:
+                m.inc("buffer.evictions", float(evicted))
         return elapsed
 
     def reset(self) -> None:

@@ -84,6 +84,8 @@ class Database:
         self._tables: dict[str, HeapTable] = {}
         self._disks: dict[str, SimulatedDisk] = {}
         self._buffers: dict[str, BufferPool] = {}
+        # Optional observability (repro.obs); see attach_metrics.
+        self.metrics = None
 
     # -- catalog ----------------------------------------------------------------
 
@@ -96,6 +98,28 @@ class Database:
         capacity = max(self._min_buffer_blocks, int(table.num_blocks * self._buffer_fraction))
         self._disks[table.name] = disk
         self._buffers[table.name] = BufferPool(capacity, disk)
+        if self.metrics is not None:
+            disk.metrics = self.metrics
+            self._buffers[table.name].metrics = self.metrics
+
+    # -- observability -----------------------------------------------------------
+
+    def attach_metrics(self, registry) -> None:
+        """Route storage-level counters into a metrics registry.
+
+        Attaches the registry to this database and to every current (and
+        future) disk and buffer pool; binds the registry to this
+        database's clock if it has none, so profiling spans charge the
+        right simulated time.  Pass ``None`` to detach everywhere —
+        detached components pay nothing again.
+        """
+        self.metrics = registry
+        if registry is not None and registry.clock is None:
+            registry.clock = self.clock
+        for disk in self._disks.values():
+            disk.metrics = registry
+        for buffer in self._buffers.values():
+            buffer.metrics = registry
 
     def table(self, name: str) -> HeapTable:
         """Look up a table by name."""
@@ -143,6 +167,9 @@ class Database:
         # The executor still inspects every tuple on the fetched pages.
         tuples_scanned = int(blocks.size) * table.tuples_per_block
         self.clock.advance(self.cost_model.tuples_s(tuples_scanned))
+        if self.metrics is not None:
+            self.metrics.inc("db.range_queries")
+            self.metrics.inc("db.tuples_scanned", float(tuples_scanned))
 
         cells = self._aggregate_rows(table, grid, matching_rows, lows, highs, objectives)
         return CellScan(
@@ -168,6 +195,9 @@ class Database:
         start = self.clock.now
         self._disks[table_name].sequential_scan()
         self.clock.advance(self.cost_model.tuples_s(table.num_rows))
+        if self.metrics is not None:
+            self.metrics.inc("db.full_scans")
+            self.metrics.inc("db.tuples_scanned", float(table.num_rows))
         rows = np.arange(table.num_rows, dtype=np.int64)
         cells = self._aggregate_rows(
             table, grid, rows, grid.area.lower, grid.area.upper, objectives

@@ -54,6 +54,8 @@ class SimulatedDisk:
         self._total_time = 0.0
         self._requests = 0
         self._seeks = 0
+        # Optional observability (repro.obs): attached by Database.
+        self.metrics = None
 
     @property
     def num_blocks(self) -> int:
@@ -79,20 +81,34 @@ class SimulatedDisk:
                 f"block ids out of range [0, {self._num_blocks}): {ids[0]}..{ids[-1]}"
             )
         elapsed = 0.0
+        seeks = 0
         for start, count in coalesce_runs(ids):
             if start != self._head + 1 or self._head < 0:
                 elapsed += self._cost.seek_s()
-                self._seeks += 1
+                seeks += 1
             elapsed += self._cost.transfer_s(count)
             self._head = start + count - 1
+        self._seeks += seeks
         self._read_counts[ids] += 1
         self._requests += 1
         self._total_time += elapsed
         self._clock.advance(elapsed)
+        m = self.metrics
+        if m is not None:
+            m.inc("disk.blocks_read", float(ids.size))
+            m.inc("disk.requests")
+            m.inc("disk.seeks", float(seeks))
+            m.inc("disk.time_s", elapsed)
+            m.histogram("disk.blocks_per_request").observe(float(ids.size))
         return elapsed
 
     def sequential_scan(self) -> float:
         """Read the whole device front to back (the SQL baseline's plan)."""
+        if self.metrics is not None:
+            # Sequential scans bypass the buffer pool; the block-accounting
+            # invariant (blocks_read == buffer misses + sequential blocks)
+            # needs them charged to their own counter.
+            self.metrics.inc("disk.blocks_read_sequential", float(self._num_blocks))
         return self.read(np.arange(self._num_blocks, dtype=np.int64))
 
     # -- statistics ----------------------------------------------------------

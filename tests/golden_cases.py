@@ -1,0 +1,137 @@
+"""Golden-trace corpus: the four seeded queries pinned under tests/golden/.
+
+Each case builder runs one small deterministic query — synthetic and
+SDSS, serial and 2-worker distributed — with a :class:`SearchTrace` and a
+:class:`MetricsRegistry` attached, and returns a JSON-safe payload:
+result set, timeline of trace events, and the full metrics snapshot.
+
+``tools/regen_golden.py`` writes these payloads to ``tests/golden/`` and
+``tests/test_golden_trace.py`` replays them event-by-event against the
+pinned files, so any behavior drift in the search, storage, or
+distributed layers shows up as a concrete first-divergence, not a flaky
+aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import SearchConfig, SWEngine
+from repro.core.trace import SearchTrace, TraceEvent
+from repro.core.window import Window
+from repro.distributed import DistributedConfig, run_distributed
+from repro.obs import MetricsRegistry
+from repro.workloads import (
+    make_database,
+    sdss_dataset,
+    sdss_query,
+    synthetic_dataset,
+    synthetic_query,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _jsonable(value):
+    """Trace/result values to JSON-safe structures (Windows as [lo, hi])."""
+    if isinstance(value, Window):
+        return {"lo": list(value.lo), "hi": list(value.hi)}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    return repr(value)
+
+
+def event_jsonable(event: TraceEvent) -> dict:
+    """One trace event as a stable dict (kind, time, window, detail)."""
+    return {
+        "kind": event.kind.value,
+        "time": event.time,
+        "window": _jsonable(event.window),
+        "detail": {k: _jsonable(v) for k, v in sorted(event.detail.items())},
+    }
+
+
+def results_jsonable(results) -> list[dict]:
+    """Result windows as stable dicts (window, bounds, objectives, time)."""
+    return [
+        {
+            "window": _jsonable(r.window),
+            "bounds": {"lower": list(r.bounds.lower), "upper": list(r.bounds.upper)},
+            "objectives": {k: v for k, v in sorted(r.objective_values.items())},
+            "time": r.time,
+        }
+        for r in results
+    ]
+
+
+def _workload(kind: str):
+    if kind == "synth":
+        dataset = synthetic_dataset("high", scale=0.2, seed=5)
+        return dataset, synthetic_query(dataset)
+    dataset = sdss_dataset(scale=0.1, seed=301)
+    return dataset, sdss_query(dataset, "high")
+
+
+def _serial_case(kind: str) -> dict:
+    dataset, query = _workload(kind)
+    database = make_database(dataset, "cluster")
+    registry = MetricsRegistry()
+    database.attach_metrics(registry)
+    trace = SearchTrace()
+    engine = SWEngine(database, dataset.name, sample_fraction=0.1)
+    report = engine.execute(query, SearchConfig(alpha=1.0), trace=trace)
+    return {
+        "mode": "serial",
+        "workload": kind,
+        "completion_time_s": report.run.completion_time_s,
+        "results": results_jsonable(report.results),
+        "trace": [event_jsonable(e) for e in trace],
+        "metrics": registry.snapshot(),
+    }
+
+
+def _distributed_case(kind: str) -> dict:
+    dataset, query = _workload(kind)
+    registry = MetricsRegistry()
+    trace = SearchTrace()
+    config = DistributedConfig(
+        num_workers=2,
+        overlap="no_overlap",
+        placement="cluster",
+        search=SearchConfig(alpha=1.0),
+        sample_fraction=0.1,
+    )
+    report = run_distributed(dataset, query, config, trace=trace, metrics=registry)
+    return {
+        "mode": "distributed",
+        "workload": kind,
+        "total_time_s": report.total_time_s,
+        "messages_sent": report.messages_sent,
+        "cells_shipped": report.cells_shipped,
+        "results": results_jsonable(report.results),
+        "trace": [event_jsonable(e) for e in trace],
+        "metrics": report.metrics,
+        "worker_metrics": report.worker_metrics,
+    }
+
+
+CASES = {
+    "synth_serial": lambda: _serial_case("synth"),
+    "synth_distributed": lambda: _distributed_case("synth"),
+    "sdss_serial": lambda: _serial_case("sdss"),
+    "sdss_distributed": lambda: _distributed_case("sdss"),
+}
+
+
+def serialize(payload: dict) -> str:
+    """Deterministic JSON text for a case payload."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"

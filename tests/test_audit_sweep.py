@@ -1,0 +1,58 @@
+"""Invariant audit sweep: every suite workload's canonical query.
+
+The tentpole contract — metrics that stay mutually consistent — is only
+credible if it holds across the whole workload matrix, not just the
+queries the other tests happen to run.  This sweep executes each bundled
+workload's canonical query (the same pairs the CLI exposes) fully
+instrumented and requires a clean :class:`InvariantAuditor` report, plus
+a distributed pass over the synthetic workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _load_workload
+from repro.core import SearchConfig, SWEngine
+from repro.distributed import DistributedConfig, run_distributed
+from repro.obs import InvariantAuditor, MetricsRegistry
+from repro.workloads import make_database
+
+WORKLOADS = ("synth-low", "synth-medium", "synth-high", "sdss", "stocks")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_serial_suite_query_audits_clean(workload):
+    dataset, query = _load_workload(workload, scale=0.2, seed=101)
+    database = make_database(dataset, "cluster")
+    registry = MetricsRegistry()
+    database.attach_metrics(registry)
+    engine = SWEngine(database, dataset.name, sample_fraction=0.1)
+    engine.execute(query, SearchConfig(alpha=1.0))
+    report = InvariantAuditor(registry).report()
+    assert report["ok"], f"{workload}: {report['violations']}"
+    assert report["checked"] >= 15
+
+
+@pytest.mark.parametrize("num_workers", (2, 4))
+def test_distributed_suite_query_audits_clean(num_workers):
+    dataset, query = _load_workload("synth-high", scale=0.2, seed=101)
+    registry = MetricsRegistry()
+    report = run_distributed(
+        dataset,
+        query,
+        DistributedConfig(
+            num_workers=num_workers,
+            overlap="no_overlap",
+            placement="cluster",
+            search=SearchConfig(alpha=1.0),
+            sample_fraction=0.1,
+        ),
+        metrics=registry,
+    )
+    merged = InvariantAuditor(registry).report()
+    assert merged["ok"], f"merged: {merged['violations']}"
+    # Each worker's own registry must audit clean in isolation too.
+    for wid, snapshot in enumerate(report.worker_metrics):
+        worker = InvariantAuditor(snapshot).report()
+        assert worker["ok"], f"worker {wid}: {worker['violations']}"

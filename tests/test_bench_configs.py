@@ -58,3 +58,42 @@ class TestFixtureCaching:
         db1.disk(table.name).read(np.array([0]))
         assert db2.disk(table.name).blocks_read == 0
         assert db1.clock is not db2.clock
+
+
+class TestSessionMetrics:
+    def test_fresh_database_attaches_registry(self, monkeypatch):
+        import numpy as np
+
+        from repro.bench import drain_session_metrics
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        table = get_table(get_synthetic("high"), "cluster")
+        drain_session_metrics()  # clear what other tests accumulated
+        instrumented = fresh_database(table)
+        bare = fresh_database(table, metrics=False)
+        assert instrumented.metrics is not None
+        assert instrumented.metrics.clock is instrumented.clock
+        assert bare.metrics is None
+        instrumented.disk(table.name).read(np.array([0]))
+        snapshot = drain_session_metrics()
+        assert snapshot["counters"]["disk.blocks_read"] >= 1.0
+        # A drain empties the pool; registries are never reported twice.
+        assert drain_session_metrics() is None
+
+    def test_emit_json_ships_and_drains_metrics_block(self, monkeypatch, capsys):
+        import json
+
+        from repro.bench import drain_session_metrics, emit_json
+
+        monkeypatch.delenv("REPRO_BENCH_JSON", raising=False)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        drain_session_metrics()
+        fresh_database(get_table(get_synthetic("high"), "cluster"))
+        record = json.loads(emit_json("bench_configs_probe", {"x": 1}))
+        assert record["x"] == 1
+        assert set(record["metrics"]) == {"counters", "gauges", "histograms"}
+        again = json.loads(emit_json("bench_configs_probe", {"x": 2}))
+        assert "metrics" not in again
+        explicit = json.loads(emit_json("bench_configs_probe", {"x": 3}, metrics=None))
+        assert "metrics" not in explicit
+        capsys.readouterr()  # swallow the BENCH_JSON stdout lines

@@ -98,3 +98,44 @@ class TestCommands:
         )
         assert code == 2
         assert any("error:" in line for line in lines)
+
+
+class TestMetricsCommand:
+    def test_metrics_runs_and_audits(self):
+        code, lines = run_cli(
+            "metrics", "--workload", "synth-high", "--scale", "0.2",
+            "--sample-fraction", "0.3",
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "counters:" in text
+        assert "search.results" in text
+        assert "histograms:" in text
+        assert any("identities checked, all hold" in line for line in lines)
+
+    def test_metrics_json_export(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        code, lines = run_cli(
+            "metrics", "--workload", "synth-high", "--scale", "0.2",
+            "--sample-fraction", "0.3", "--json", str(target),
+        )
+        assert code == 0
+        from repro.io import read_metrics_json
+
+        snapshot = read_metrics_json(target)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["search.results"] > 0
+
+    def test_metrics_no_audit_skips_report(self):
+        code, lines = run_cli(
+            "metrics", "--workload", "synth-high", "--scale", "0.2",
+            "--sample-fraction", "0.3", "--no-audit",
+        )
+        assert code == 0
+        assert not any("identities checked" in line for line in lines)
+
+    def test_metrics_parser_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.workload == "synth-high"
+        assert args.json is None
+        assert not args.no_audit

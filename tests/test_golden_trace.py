@@ -1,0 +1,71 @@
+"""Golden-trace regression: replay the pinned corpus event by event.
+
+Each case in :mod:`tests.golden_cases` reruns its seeded query and must
+reproduce the pinned ``tests/golden/*.json`` payload exactly — the trace
+timeline diffed event by event (so a drift reports its first divergence,
+not a blob mismatch), the metrics block byte-for-byte through the JSON
+exporter, and the result set in full.  After an intentional behavior
+change, regenerate with ``python tools/regen_golden.py`` and review the
+diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io import metrics_to_json
+from repro.obs import InvariantAuditor
+
+from .golden_cases import CASES, golden_path, serialize
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    """Each case executed once; the expensive part of the module."""
+    return {name: build() for name, build in CASES.items()}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_case_matches(name, payloads):
+    path = golden_path(name)
+    assert path.exists(), f"missing {path}; run: python tools/regen_golden.py {name}"
+    golden = json.loads(path.read_text())
+    fresh = json.loads(serialize(payloads[name]))
+
+    # Event-by-event: the first divergence is the useful signal.
+    golden_trace, fresh_trace = golden.pop("trace"), fresh.pop("trace")
+    for i, (want, got) in enumerate(zip(golden_trace, fresh_trace)):
+        assert got == want, (
+            f"{name}: trace diverges at event {i}/{len(golden_trace)}:\n"
+            f"  golden: {want}\n  fresh:  {got}"
+        )
+    assert len(fresh_trace) == len(golden_trace), (
+        f"{name}: trace length {len(fresh_trace)} != golden {len(golden_trace)}"
+    )
+
+    # Metrics: byte equality through the deterministic JSON exporter.
+    golden_metrics, fresh_metrics = golden.pop("metrics"), fresh.pop("metrics")
+    assert metrics_to_json(fresh_metrics) == metrics_to_json(golden_metrics), (
+        f"{name}: metrics snapshot drifted"
+    )
+
+    # Everything else (results, headline numbers, worker snapshots).
+    assert fresh == golden
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_case_passes_audit(name, payloads):
+    report = InvariantAuditor(payloads[name]["metrics"]).report()
+    assert report["ok"], f"{name}: {report['violations']}"
+    assert report["checked"] >= 15
+
+
+def test_golden_files_are_canonical():
+    """Pinned files are exactly what serialize() emits (no hand edits)."""
+    for name in CASES:
+        text = golden_path(name).read_text()
+        assert text == serialize(json.loads(text)), f"{name}: not canonical JSON"

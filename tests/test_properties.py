@@ -175,3 +175,82 @@ class TestPartitionProperties:
         # of slack per boundary (cell-aligned splits cannot do better).
         ideal = col_weights.sum() / workers
         assert max(loads) <= ideal + 2 * col_weights.max()
+
+
+# --- metrics registry algebra ---------------------------------------------------
+
+metric_names = st.sampled_from(
+    ["dm.reads", "search.results", "net.messages_sent", "buffer.hit_blocks"]
+)
+# Integer-valued amounts: what counters carry in practice, and exactly
+# representable so merge associativity is bit-exact (float addition is
+# only associative up to rounding for arbitrary reals).
+finite = st.integers(min_value=0, max_value=2**40).map(float)
+
+
+@st.composite
+def registries(draw):
+    """A registry with random counters, gauges, histogram observations."""
+    from repro.obs import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for name in draw(st.lists(metric_names, max_size=4, unique=True)):
+        reg.inc(name, draw(finite))
+    for name in draw(st.lists(st.sampled_from(["g.depth", "g.streak"]), max_size=2, unique=True)):
+        reg.gauge(name).set(draw(finite))
+    for value in draw(st.lists(st.integers(0, 5000).map(float), max_size=8)):
+        reg.histogram("h.cells").observe(value)
+    return reg
+
+
+def _merged(*regs):
+    from repro.obs import MetricsRegistry
+
+    out = MetricsRegistry()
+    for reg in regs:
+        out.merge(reg)
+    return out
+
+
+class TestMetricsAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(registries(), registries())
+    def test_merge_commutative(self, a, b):
+        assert _merged(a, b).snapshot() == _merged(b, a).snapshot()
+
+    @settings(max_examples=60, deadline=None)
+    @given(registries(), registries(), registries())
+    def test_merge_associative(self, a, b, c):
+        left = _merged(_merged(a, b), c).snapshot()
+        right = _merged(a, _merged(b, c)).snapshot()
+        assert left == right
+
+    @settings(max_examples=60, deadline=None)
+    @given(registries(), registries())
+    def test_histogram_counts_conserved_under_merge(self, a, b):
+        merged = _merged(a, b).snapshot()["histograms"]
+        for name in merged:
+            want_counts = sum(
+                sum(reg.snapshot()["histograms"].get(name, {"counts": []})["counts"])
+                for reg in (a, b)
+            )
+            want_total = sum(
+                reg.snapshot()["histograms"].get(name, {"total": 0.0})["total"]
+                for reg in (a, b)
+            )
+            assert sum(merged[name]["counts"]) == want_counts
+            assert merged[name]["total"] == pytest.approx(want_total)
+
+    @settings(max_examples=60, deadline=None)
+    @given(registries())
+    def test_snapshot_round_trips_through_json(self, reg):
+        import json
+
+        from repro.io import metrics_to_json
+        from repro.obs import MetricsRegistry
+
+        snapshot = reg.snapshot()
+        decoded = json.loads(metrics_to_json(reg))
+        rebuilt = MetricsRegistry.from_snapshot(decoded)
+        assert rebuilt.snapshot() == snapshot
+        assert metrics_to_json(rebuilt) == metrics_to_json(snapshot)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Line-coverage measurement without coverage.py (sys.settrace based).
+
+The CI coverage job uses ``pytest-cov``; this tool exists so the
+``--cov-fail-under`` floor it enforces can be (re)measured in
+environments where that plugin is not installed::
+
+    python tools/measure_coverage.py [pytest args...]
+
+It traces every line executed in ``src/repro`` while running the test
+suite (default args: ``-q -m "not chaos"``), then reports per-module and
+total line coverage.  Executable lines are taken from the compiled code
+objects (``co_lines``), the same ground truth the tracer can ever
+observe, so the percentage is self-consistent; coverage.py's number may
+differ by a point or two, which is why the CI floor is pinned below the
+measured value.
+
+A frame whose code object is already fully covered opts out of line
+tracing, so the run converges to near-normal speed after warmup.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src" / "repro")
+sys.path.insert(0, str(REPO / "src"))
+
+_seen: dict[str, set[int]] = {}          # filename -> executed lines
+_full: set = set()                       # code objects known fully covered
+_lines: dict = {}                        # code object -> its line numbers
+
+
+def _code_lines(code) -> set[int]:
+    lines = _lines.get(code)
+    if lines is None:
+        lines = {line for _, _, line in code.co_lines() if line is not None}
+        _lines[code] = lines
+    return lines
+
+
+def _tracer(frame, event, arg):
+    code = frame.f_code
+    if not code.co_filename.startswith(SRC):
+        return None
+    if code in _full:
+        return None
+    if event == "line":
+        _seen.setdefault(code.co_filename, set()).add(frame.f_lineno)
+        if _code_lines(code) <= _seen[code.co_filename]:
+            _full.add(code)
+            return None
+    return _tracer
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """All traceable lines of a module: co_lines of every code object."""
+    out: set[int] = set()
+    todo = [compile(path.read_text(), str(path), "exec")]
+    while todo:
+        code = todo.pop()
+        out |= _code_lines(code)
+        todo.extend(c for c in code.co_consts if hasattr(c, "co_lines"))
+    # Module-level def/class lines execute at import; drop line 0 artifacts.
+    out.discard(0)
+    return out
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    args = argv or ["-q", "-m", "not chaos"]
+    sys.settrace(_tracer)
+    # threading tracing too, in case tests spawn workers.
+    import threading
+
+    threading.settrace(_tracer)
+    exit_code = pytest.main(args)
+    sys.settrace(None)
+    if exit_code not in (0, pytest.ExitCode.OK):
+        print(f"pytest exited {exit_code}; coverage numbers below are partial")
+
+    total_exec = total_hit = 0
+    rows = []
+    for path in sorted(Path(SRC).rglob("*.py")):
+        executable = _executable_lines(path)
+        hit = _seen.get(str(path), set()) & executable
+        total_exec += len(executable)
+        total_hit += len(hit)
+        pct = 100.0 * len(hit) / len(executable) if executable else 100.0
+        rows.append((str(path.relative_to(REPO / "src")), len(hit), len(executable), pct))
+
+    width = max(len(r[0]) for r in rows)
+    for name, hit, executable, pct in rows:
+        print(f"{name:<{width}}  {hit:>5}/{executable:<5}  {pct:6.1f}%")
+    pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"{'TOTAL':<{width}}  {total_hit:>5}/{total_exec:<5}  {pct:6.1f}%")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace corpus under tests/golden/.
+
+Run after an *intentional* behavior change, review the diff, and commit
+the updated files together with the change that caused them::
+
+    PYTHONPATH=src python tools/regen_golden.py [case ...]
+
+With no arguments every case is rebuilt; otherwise only the named ones
+(see ``tests.golden_cases.CASES``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO))
+sys.path.insert(0, str(REPO / "src"))
+
+from tests.golden_cases import CASES, GOLDEN_DIR, golden_path, serialize  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    names = argv or sorted(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        print(f"unknown case(s) {unknown}; choose from {sorted(CASES)}")
+        return 2
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in names:
+        payload = CASES[name]()
+        text = serialize(payload)
+        path = golden_path(name)
+        changed = not path.exists() or path.read_text() != text
+        path.write_text(text)
+        print(f"{'wrote' if changed else 'unchanged'} {path} "
+              f"({len(payload['results'])} results, {len(payload['trace'])} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
