@@ -114,6 +114,10 @@ class DataManager:
         self.reads = 0
         self.cells_read = 0
         self._retired_blocks_read = 0
+        # Flat ids of grid cells whose aggregates lost tuples to
+        # quarantined (unrepairable) heap pages; empty without an
+        # integrity layer.  Feeds the execution report's degradation flag.
+        self.degraded_cells: set[int] = set()
 
         self.use_kernels = use_kernels
         self._kernels: DataKernels | None = None
@@ -282,6 +286,8 @@ class DataManager:
                 list(self._objectives.values()),
             )
         self._apply_scan(target, scan.cells)
+        if scan.degraded_cells:
+            self.degraded_cells.update(scan.degraded_cells)
         self.version += 1
         self.reads += 1
         self.cells_read += target.cardinality
@@ -350,6 +356,46 @@ class DataManager:
             self.eff_min[key][box] = np.inf
             self.eff_max[key][box] = -np.inf
         self.version += 1
+
+    # -- checkpoint support ---------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Exact cache state (numpy arrays by reference-copy) for a checkpoint.
+
+        ``true_count`` and the initial sample grids are pure functions of
+        the dataset and sample seed, so only the mutable overlays are
+        captured.  The kernels rebuild lazily after restore.
+        """
+        return {
+            "read_mask": self.read_mask.copy(),
+            "unread_count": self.unread_count.copy(),
+            "eff_sum": {k: v.copy() for k, v in self.eff_sum.items()},
+            "eff_min": {k: v.copy() for k, v in self.eff_min.items()},
+            "eff_max": {k: v.copy() for k, v in self.eff_max.items()},
+            "version": self.version,
+            "reads": self.reads,
+            "cells_read": self.cells_read,
+            "retired_blocks_read": self._retired_blocks_read,
+            "degraded_cells": sorted(self.degraded_cells),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` capture onto this manager."""
+        self.read_mask[...] = state["read_mask"]
+        self.unread_count[...] = state["unread_count"]
+        for family, store in (
+            ("eff_sum", self.eff_sum),
+            ("eff_min", self.eff_min),
+            ("eff_max", self.eff_max),
+        ):
+            for key, arr in state[family].items():
+                store[key][...] = arr
+        self.version = int(state["version"])
+        self.reads = int(state["reads"])
+        self.cells_read = int(state["cells_read"])
+        self._retired_blocks_read = int(state["retired_blocks_read"])
+        self.degraded_cells = {int(c) for c in state["degraded_cells"]}
+        self._kernels = None  # rebuilt lazily against the restored arrays
 
     def is_cell_read(self, index: Sequence[int]) -> bool:
         """Whether a single cell is cached (used for remote requests)."""

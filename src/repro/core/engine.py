@@ -23,6 +23,7 @@ from ..errors import ConfigError
 from ..sampling.noise import NoiseModel
 from ..sampling.stratified import CellSample, StratifiedSampler
 from ..storage.database import Database
+from ..storage.integrity import StorageDegradation
 from .datamanager import DataManager
 from .query import ResultWindow, SWQuery
 from .search import HeuristicSearch, SearchConfig, SearchRun
@@ -32,17 +33,29 @@ __all__ = ["ExecutionReport", "SWEngine"]
 
 @dataclass
 class ExecutionReport:
-    """One query execution: the search run plus storage-level deltas."""
+    """One query execution: the search run plus storage-level deltas.
+
+    ``degradation`` is ``None`` for a clean run; under an attached storage
+    fault plan it records unrepairable corruption the query survived —
+    quarantined pages and the grid cells whose aggregates may be missing
+    tuples.  Results are still exact over every page that *was* readable.
+    """
 
     run: SearchRun
     disk_stats: dict[str, float] = field(default_factory=dict)
     buffer_hits: int = 0
     buffer_misses: int = 0
+    degradation: StorageDegradation | None = None
 
     @property
     def results(self) -> list[ResultWindow]:
         """Shortcut to the qualifying windows."""
         return self.run.results
+
+    @property
+    def degraded(self) -> bool:
+        """Whether storage corruption degraded this execution."""
+        return self.degradation is not None
 
 
 class SWEngine:
@@ -165,9 +178,13 @@ class SWEngine:
             )
             if reuse_cache and self.noise is None:
                 self._data_cache[key] = data
-        return HeuristicSearch(
+        search = HeuristicSearch(
             query, data, config, cost_model=self.cost_model, trace=trace, metrics=metrics
         )
+        budget = search.config.memory_budget_blocks
+        if budget is not None:
+            self.database.buffer(self.table_name).resize(budget)
+        return search
 
     def execute(
         self,
@@ -217,6 +234,7 @@ class SWEngine:
             disk_stats=delta,
             buffer_hits=buffer.hits - hits0,
             buffer_misses=buffer.misses - misses0,
+            degradation=self.degradation_of(search),
         )
 
     def execute_iter(
@@ -225,3 +243,40 @@ class SWEngine:
         """Stream results online (human-in-the-loop form of :meth:`execute`)."""
         search = self.prepare(query, config, metrics=metrics)
         yield from search.iter_results()
+
+    # -- resilience ----------------------------------------------------------------
+
+    def degradation_of(self, search: HeuristicSearch) -> StorageDegradation | None:
+        """The storage degradation a search accumulated, if any."""
+        integ = self.database.integrity(self.table_name)
+        degraded_cells = search.data.degraded_cells
+        if integ is None or (not integ.quarantined and not degraded_cells):
+            return None
+        return StorageDegradation(
+            reason="unrepairable block corruption",
+            table=self.table_name,
+            lost_blocks=tuple(sorted(integ.quarantined)),
+            degraded_cells=tuple(sorted(degraded_cells)),
+        )
+
+    def resume(
+        self,
+        query: SWQuery,
+        state: dict,
+        config: SearchConfig | None = None,
+        trace=None,
+        metrics=None,
+    ) -> HeuristicSearch:
+        """Rebuild a search from a checkpoint and park it ready to run.
+
+        ``state`` is a :meth:`HeuristicSearch.checkpoint_state` capture
+        (possibly round-tripped through
+        :func:`repro.io.write_checkpoint` / ``read_checkpoint``).  The
+        engine must be fresh — same dataset, placement and sample seed as
+        the checkpointing run, with its simulated clock not yet past the
+        capture point.  Continue with ``run()`` or ``iter_results()``;
+        the completed execution is byte-identical to an uninterrupted one.
+        """
+        search = self.prepare(query, config, trace=trace, metrics=metrics)
+        search.restore_state(state)
+        return search

@@ -164,6 +164,73 @@ class SpillableQueue:
         entries.sort(key=_entry_order)
         yield from entries
 
+    # -- checkpoint support ------------------------------------------------
+
+    def state(self) -> dict:
+        """Exact queue state for a checkpoint.
+
+        The heap is captured verbatim **including its seq stamps** — ties
+        between equal priorities are broken by insertion order, so
+        re-stamping on restore would change pop order versus the
+        uninterrupted run.  The seq counter's position is preserved the
+        same way.
+        """
+        next_seq = next(self._seq)
+        self._seq = itertools.count(next_seq)
+        return {
+            "capacity": self._capacity,
+            "num_buckets": self._num_buckets,
+            "heap": [
+                [neg_u, neg_b, seq, [list(w.lo), list(w.hi)], version]
+                for neg_u, neg_b, seq, w, version in self._heap
+            ],
+            "buckets": [
+                [
+                    [[p[0], p[1]], [list(w.lo), list(w.hi)], version]
+                    for p, w, version in bucket
+                ]
+                for bucket in self._buckets
+            ],
+            "spilled": self._spilled,
+            "threshold": list(self._threshold),
+            "next_seq": next_seq,
+            "spill_events": self._spill_events,
+            "promote_events": self._promote_events,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` capture onto this queue."""
+        unchecked = Window.unchecked
+        self._capacity = int(state["capacity"])
+        self._num_buckets = int(state["num_buckets"])
+        self._heap = [
+            (
+                float(neg_u),
+                float(neg_b),
+                int(seq),
+                unchecked(tuple(int(x) for x in lo), tuple(int(x) for x in hi)),
+                int(version),
+            )
+            for neg_u, neg_b, seq, (lo, hi), version in state["heap"]
+        ]
+        # A verbatim heap capture is already a valid heap layout.
+        self._buckets = [
+            [
+                (
+                    (float(p[0]), float(p[1])),
+                    unchecked(tuple(int(x) for x in lo), tuple(int(x) for x in hi)),
+                    int(version),
+                )
+                for p, (lo, hi), version in bucket
+            ]
+            for bucket in state["buckets"]
+        ]
+        self._spilled = int(state["spilled"])
+        self._threshold = (float(state["threshold"][0]), float(state["threshold"][1]))
+        self._seq = itertools.count(int(state["next_seq"]))
+        self._spill_events = int(state["spill_events"])
+        self._promote_events = int(state["promote_events"])
+
     # -- internals ---------------------------------------------------------
 
     def _bucket_of(self, priority: Priority) -> int:

@@ -27,6 +27,7 @@ approximate.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
 from dataclasses import dataclass, field
@@ -68,6 +69,17 @@ class SearchConfig:
     ``assume_nonnegative`` activates anti-monotone pruning for eligible
     content conditions (caller asserts values are non-negative).
 
+    Lifecycle knobs: ``time_limit_s`` bounds one run's duration (relative
+    to its start), while ``deadline_s`` is an *absolute* simulated-clock
+    deadline that survives checkpoint/resume.  ``step_limit`` caps the
+    cumulative number of explored windows (the deterministic kill point
+    the checkpoint tests use).  ``memory_budget_entries`` caps the queue
+    head (spilling the tail to buckets) and ``memory_budget_blocks``
+    shrinks the table's buffer pool for the duration of the query.
+    ``scrub_blocks_per_step`` > 0 advances the background integrity
+    scrubber by that many blocks after each exploration (requires a
+    storage fault plan attached to the database).
+
     The default benefit weight follows the paper's guidance that "it is
     better to first explore windows with high benefits and use the cost as
     a tie-breaker": s = 0.8.
@@ -85,6 +97,11 @@ class SearchConfig:
     assume_nonnegative: bool = False
     head_capacity: int = 1_000_000
     time_limit_s: float | None = None
+    deadline_s: float | None = None
+    step_limit: int | None = None
+    memory_budget_entries: int | None = None
+    memory_budget_blocks: int | None = None
+    scrub_blocks_per_step: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.prefetch, str):
@@ -97,6 +114,29 @@ class SearchConfig:
             raise ValueError(f"alpha must be non-negative, got {self.alpha}")
         if self.refresh_reads < 0:
             raise ValueError(f"refresh_reads must be >= 0, got {self.refresh_reads}")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if self.step_limit is not None and self.step_limit < 1:
+            raise ValueError(f"step_limit must be >= 1, got {self.step_limit}")
+        if self.memory_budget_entries is not None and self.memory_budget_entries < 2:
+            raise ValueError(
+                f"memory_budget_entries must be >= 2, got {self.memory_budget_entries}"
+            )
+        if self.memory_budget_blocks is not None and self.memory_budget_blocks < 1:
+            raise ValueError(
+                f"memory_budget_blocks must be >= 1, got {self.memory_budget_blocks}"
+            )
+        if self.scrub_blocks_per_step < 0:
+            raise ValueError(
+                f"scrub_blocks_per_step must be >= 0, got {self.scrub_blocks_per_step}"
+            )
+
+    @property
+    def effective_head_capacity(self) -> int:
+        """Queue head capacity after applying the memory budget."""
+        if self.memory_budget_entries is None:
+            return self.head_capacity
+        return min(self.head_capacity, self.memory_budget_entries)
 
 
 @dataclass
@@ -129,6 +169,7 @@ class SearchRun:
     completion_time_s: float = 0.0
     stats: SearchStats = field(default_factory=SearchStats)
     interrupted: bool = False
+    interrupt_reason: str | None = None
 
     @property
     def num_results(self) -> int:
@@ -220,6 +261,9 @@ class HeuristicSearch:
         self._last_read_region: Window | None = None
         self._results: list[ResultWindow] = []
         self._start_time = 0.0
+        self._cancelled = False
+        self._restored = False
+        self._scrubber = self._make_scrubber()
 
     # -- setup ----------------------------------------------------------------
 
@@ -232,11 +276,21 @@ class HeuristicSearch:
         return JumpPolicy(self.tracker)
 
     def _make_queue(self):
+        capacity = self.config.effective_head_capacity
         if self.config.diversification is Diversification.STATIC:
-            return SubAreaQueues(
-                self.config.static_subareas, self.grid.shape, self.config.head_capacity
-            )
-        return SpillableQueue(self.config.head_capacity)
+            return SubAreaQueues(self.config.static_subareas, self.grid.shape, capacity)
+        return SpillableQueue(capacity)
+
+    def _make_scrubber(self):
+        if self.config.scrub_blocks_per_step <= 0:
+            return None
+        from ..storage.integrity import Scrubber
+
+        return Scrubber(
+            self.data.database,
+            self.data.table_name,
+            blocks_per_step=self.config.scrub_blocks_per_step,
+        )
 
     def _anti_monotone_conditions(self) -> tuple[ContentCondition, ...]:
         if not self.config.assume_nonnegative:
@@ -265,22 +319,52 @@ class HeuristicSearch:
         run.completion_time_s = self.data.clock.now - self._start_time
         return run
 
+    def cancel(self) -> None:
+        """Request cooperative cancellation.
+
+        Safe to call from an ``on_result`` callback or between generator
+        steps; the loop stops cleanly before its next pop, leaving the
+        search checkpointable.
+        """
+        self._cancelled = True
+
+    def _interruption(self, clock) -> str | None:
+        """Why the loop should stop now, or ``None`` to keep going."""
+        if self._cancelled:
+            return "cancelled"
+        limit = self.config.time_limit_s
+        if limit is not None and clock.now - self._start_time > limit:
+            return "time_limit"
+        deadline = self.config.deadline_s
+        if deadline is not None and clock.now >= deadline:
+            return "deadline"
+        steps = self.config.step_limit
+        if steps is not None and self.stats.explored >= steps:
+            return "step_limit"
+        return None
+
     def iter_results(self, run: SearchRun | None = None) -> Iterator[ResultWindow]:
         """Generator form: yields results online as they are discovered."""
         clock = self.data.clock
-        self._start_time = clock.now
-        self._seed_start_windows()
+        if self._restored:
+            # Resuming from a checkpoint: the frontier, caches and start
+            # time were restored verbatim — re-seeding would duplicate work.
+            self._restored = False
+        else:
+            self._start_time = clock.now
+            self._seed_start_windows()
 
         use_jumps = self.config.diversification in (
             Diversification.UTILITY_JUMPS,
             Diversification.DIST_JUMPS,
         )
-        limit = self.config.time_limit_s
 
         while True:
-            if limit is not None and clock.now - self._start_time > limit:
+            reason = self._interruption(clock)
+            if reason is not None:
                 if run is not None:
                     run.interrupted = True
+                    run.interrupt_reason = reason
                 break
             popped = self.queue.pop()
             if popped is None:
@@ -320,6 +404,8 @@ class HeuristicSearch:
                         )
 
             result = self._explore(window, jumped)
+            if self._scrubber is not None:
+                self._scrubber.step()
             if result is not None:
                 yield result
 
@@ -343,6 +429,162 @@ class HeuristicSearch:
             "reads": self.stats.reads,
             "data_read_fraction": 1.0 - (unread / total if total > 0 else 0.0),
         }
+
+    # -- checkpoint/resume ----------------------------------------------------------------
+
+    def _config_fingerprint(self) -> dict:
+        """The knobs that must match between capture and resume.
+
+        Lifecycle limits (time/deadline/steps) are deliberately excluded —
+        resuming with a higher step limit is the whole point — but
+        anything that alters exploration order or simulated time is in.
+        """
+        cfg = self.config
+        return {
+            "s": cfg.s,
+            "alpha": cfg.alpha,
+            "prefetch": cfg.prefetch.value,
+            "diversification": cfg.diversification.value,
+            "refresh_reads": cfg.refresh_reads,
+            "lazy_updates": cfg.lazy_updates,
+            "assume_nonnegative": cfg.assume_nonnegative,
+            "head_capacity": cfg.effective_head_capacity,
+            "scrub_blocks_per_step": cfg.scrub_blocks_per_step,
+            "grid_shape": list(self.grid.shape),
+            "table": self.data.table_name,
+            "objectives": sorted(
+                repr(c.objective) for c in self.query.conditions.content_conditions
+            ),
+        }
+
+    def checkpoint_state(self) -> dict:
+        """Capture the full search state for a later byte-identical resume.
+
+        Meant to be taken while the loop is parked (after ``run()``
+        returned interrupted, or between ``iter_results`` steps).  The
+        capture spans the frontier, the dedup set, the cell cache, the
+        storage substrate (disk head, buffer pool, integrity layer
+        including its fault-injection RNG stream) and — when attached —
+        the trace timeline and a metrics snapshot.
+
+        The CHECKPOINT trace event is recorded *after* the capture, on
+        the capturing run only, so it never appears in a resumed trace.
+        No metrics counter is incremented: a counter created by the
+        capture would linger as a zero-valued key after an in-place
+        restore and break snapshot byte-identity with the uninterrupted
+        run.
+        """
+        from ..errors import CheckpointError
+        from . import checkpoint as ckpt
+
+        if self.config.diversification is not Diversification.NONE:
+            raise CheckpointError(
+                "checkpointing supports diversification=NONE only; "
+                f"got {self.config.diversification.value!r}"
+            )
+        db = self.data.database
+        table = self.data.table_name
+        clock = self.data.clock
+        integ = db.integrity(table)
+        state = {
+            "format_version": ckpt.CHECKPOINT_FORMAT_VERSION,
+            "config": self._config_fingerprint(),
+            "clock_now": clock.now,
+            "start_time": self._start_time,
+            "last_result_time": self._last_result_time,
+            "last_read_region": ckpt.window_to_state(self._last_read_region),
+            "stats": dataclasses.asdict(self.stats),
+            "generated": sorted(self._generated),
+            "queue": self.queue.state(),
+            "results": ckpt.results_to_state(self._results),
+            "prefetch_fp_reads": self.prefetch_state.fp_reads,
+            "data": self.data.state(),
+            "disk": db.disk(table).state(),
+            "buffer": db.buffer(table).state(),
+            "integrity": integ.state() if integ is not None else None,
+            "scrubber": self._scrubber.state() if self._scrubber is not None else None,
+            "trace": ckpt.trace_to_state(self.trace) if self.trace is not None else None,
+            "metrics": self.metrics.snapshot() if self.metrics is not None else None,
+        }
+        if self.trace is not None:
+            self.trace.record(
+                EventKind.CHECKPOINT,
+                clock.now - self._start_time,
+                results=len(self._results),
+                frontier=len(self.queue),
+            )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` capture onto a fresh search.
+
+        The search must be freshly prepared over the same database,
+        query and configuration; the next ``run()`` / ``iter_results``
+        continues exactly where the capture stopped (seeding is skipped).
+        """
+        from ..errors import CheckpointError
+        from . import checkpoint as ckpt
+
+        if state.get("format_version") != ckpt.CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint format {state.get('format_version')!r} "
+                f"(expected {ckpt.CHECKPOINT_FORMAT_VERSION})"
+            )
+        fingerprint = self._config_fingerprint()
+        if state["config"] != fingerprint:
+            mismatched = sorted(
+                k
+                for k in set(state["config"]) | set(fingerprint)
+                if state["config"].get(k) != fingerprint.get(k)
+            )
+            raise CheckpointError(
+                f"checkpoint was taken under a different configuration; "
+                f"mismatched keys: {mismatched}"
+            )
+        db = self.data.database
+        table = self.data.table_name
+        clock = self.data.clock
+        target_now = float(state["clock_now"])
+        if clock.now > target_now:
+            raise CheckpointError(
+                f"simulated clock ({clock.now:g}s) is already past the "
+                f"checkpoint ({target_now:g}s); restore onto a fresh engine"
+            )
+        integ = db.integrity(table)
+        if (integ is None) != (state["integrity"] is None):
+            raise CheckpointError(
+                "storage fault plan attachment differs between the "
+                "checkpointing and the resuming run"
+            )
+        clock.advance_to(target_now)
+        self.data.restore_state(state["data"])
+        db.disk(table).restore_state(state["disk"])
+        db.buffer(table).restore_state(state["buffer"])
+        if integ is not None:
+            integ.restore_state(state["integrity"])
+        if self._scrubber is not None and state["scrubber"] is not None:
+            self._scrubber.restore_state(state["scrubber"])
+        self.queue.restore_state(state["queue"])
+        self._generated = {int(k) for k in state["generated"]}
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
+        self._results[:] = ckpt.results_from_state(state["results"], self.grid)
+        # The cluster tracker is a pure fold over the result windows in
+        # emission order; rebuild it and repoint the policy at it.
+        self.tracker = ClusterTracker(self.grid)
+        for result in self._results:
+            self.tracker.add(result.window)
+        self.policy.tracker = self.tracker
+        self.prefetch_state.fp_reads = int(state["prefetch_fp_reads"])
+        self._start_time = float(state["start_time"])
+        self._last_result_time = float(state["last_result_time"])
+        self._last_read_region = ckpt.window_from_state(state["last_read_region"])
+        if self.trace is not None and state["trace"] is not None:
+            ckpt.load_trace_state(self.trace, state["trace"])
+        if self.metrics is not None and state["metrics"] is not None:
+            self.metrics.load_snapshot(state["metrics"])
+        self._cancelled = False
+        self._restored = True
 
     # -- pieces of the loop ---------------------------------------------------------------
 

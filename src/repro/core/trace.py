@@ -37,6 +37,13 @@ class EventKind(Enum):
     FAULT = "fault"
     RETRY = "retry"
     RECOVERY = "recovery"
+    # Storage-integrity and query-lifecycle events: a checksum mismatch is
+    # a CORRUPT; each repair attempt's outcome is a REPAIR; a scrub pass
+    # over a block range is a SCRUB; a state capture is a CHECKPOINT.
+    CORRUPT = "corrupt"
+    REPAIR = "repair"
+    SCRUB = "scrub"
+    CHECKPOINT = "checkpoint"
 
 
 @dataclass(frozen=True)
@@ -121,4 +128,8 @@ class SearchTrace:
             "faults": len(self.events(EventKind.FAULT)),
             "retries": len(self.events(EventKind.RETRY)),
             "recoveries": len(self.events(EventKind.RECOVERY)),
+            "corruptions": len(self.events(EventKind.CORRUPT)),
+            "repairs": len(self.events(EventKind.REPAIR)),
+            "scrubs": len(self.events(EventKind.SCRUB)),
+            "checkpoints": len(self.events(EventKind.CHECKPOINT)),
         }

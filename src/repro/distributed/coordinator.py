@@ -33,13 +33,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..clock import SimClock
+from ..core import checkpoint as ckpt
 from ..core.query import ResultWindow, SWQuery
 from ..core.search import SearchConfig
 from ..core.trace import EventKind, SearchTrace
 from ..core.datamanager import DataManager
 from ..core.window import Window
 from ..costs import CostModel, DEFAULT_COST_MODEL
-from ..errors import ProtocolError, SimulationLimitError
+from ..errors import CheckpointError, ProtocolError, SimulationLimitError
 from ..obs.metrics import MetricsRegistry
 from ..sampling.stratified import StratifiedSampler
 from ..storage.database import Database
@@ -74,10 +75,19 @@ class DistributedConfig:
     skew: float = 0.0
     max_steps: int = 50_000_000
     faults: FaultPlan | None = None
+    # Stop after this many coordinator steps and capture a resumable
+    # checkpoint on the report (the deterministic distributed kill point).
+    # Mutually exclusive with fault injection: a run whose recovery
+    # machinery is mid-flight is deliberately not serializable.
+    checkpoint_after_steps: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.overlap, OverlapMode):
             self.overlap = OverlapMode(self.overlap)
+        if self.checkpoint_after_steps is not None and self.checkpoint_after_steps < 1:
+            raise CheckpointError(
+                f"checkpoint_after_steps must be >= 1, got {self.checkpoint_after_steps}"
+            )
 
 
 @dataclass
@@ -108,6 +118,11 @@ class DistributedReport:
     messages_lost: int = 0
     faults_injected: dict[str, int] = field(default_factory=dict)
     degraded: DegradedResult | None = None
+    # Lifecycle: a run stopped at ``checkpoint_after_steps`` reports
+    # ``interrupted=True`` with the resumable capture in ``checkpoint``
+    # (pass it back as ``run_distributed(..., resume_from=...)``).
+    interrupted: bool = False
+    checkpoint: dict | None = None
     # Observability (populated only when run with a metrics registry):
     # the merged snapshot plus each worker's own, in worker-id order.
     metrics: dict | None = None
@@ -142,8 +157,16 @@ def run_distributed(
     on_result=None,
     trace: SearchTrace | None = None,
     metrics: MetricsRegistry | None = None,
+    resume_from: dict | None = None,
 ) -> DistributedReport:
     """Partition the data, run all workers to completion, merge results.
+
+    ``resume_from`` continues a run from a checkpoint captured by a
+    previous invocation with ``config.checkpoint_after_steps`` set (see
+    :class:`DistributedReport.checkpoint`); the completed execution is
+    byte-identical to an uninterrupted one.  Checkpoint and resume are
+    fault-free-only: combining either with ``config.faults`` raises
+    :class:`~repro.errors.CheckpointError`.
 
     ``on_result(worker_id, result)`` is invoked as each worker discovers a
     qualifying window — the coordinator-side online stream (Section 5:
@@ -163,6 +186,13 @@ def run_distributed(
     bucket-wise) so the caller sees one global accounting.  The report
     then carries the merged snapshot plus the per-worker ones.
     """
+    if config.faults is not None and (
+        config.checkpoint_after_steps is not None or resume_from is not None
+    ):
+        raise CheckpointError(
+            "distributed checkpoint/resume requires a fault-free run; "
+            "detach config.faults first"
+        )
     grid = query.grid
 
     # Full table (generation order) — the sampling substrate; building it
@@ -215,7 +245,13 @@ def run_distributed(
     table_generation = 0
 
     steps = 0
+    if resume_from is not None:
+        steps = _restore_distributed(
+            resume_from, config, network, workers, trace, metrics
+        )
     exceeded = False
+    interrupted = False
+    checkpoint_state: dict | None = None
     while True:
         actionable = [
             (t, _STEP, wid)
@@ -266,10 +302,19 @@ def run_distributed(
                     )
                 exceeded = True
                 break
+            if (
+                config.checkpoint_after_steps is not None
+                and steps >= config.checkpoint_after_steps
+            ):
+                checkpoint_state = _capture_distributed(
+                    config, steps, network, workers, trace, metrics
+                )
+                interrupted = True
+                break
 
     live = [w for w in workers if not w.crashed]
     stuck = [w.worker_id for w in live if not w.is_done()]
-    if stuck and not exceeded and injector is None:
+    if stuck and not exceeded and not interrupted and injector is None:
         # pragma: no cover - indicates a protocol bug
         raise ProtocolError(f"workers {stuck} quiesced with unresolved work")
 
@@ -300,7 +345,7 @@ def run_distributed(
             lost_slabs=lost_slabs,
             lost_windows=lost_windows,
         )
-    elif stuck:
+    elif stuck and not interrupted:
         degraded = DegradedResult(
             reason="workers quiesced with unresolved work",
             lost_workers=tuple(crashed),
@@ -351,9 +396,136 @@ def run_distributed(
             else {}
         ),
         degraded=degraded,
+        interrupted=interrupted,
+        checkpoint=checkpoint_state,
         metrics=merged_snapshot,
         worker_metrics=worker_snapshots,
     )
+
+
+def _distributed_fingerprint(config: DistributedConfig) -> dict:
+    """The distributed knobs that must match between capture and resume.
+
+    Lifecycle knobs (``checkpoint_after_steps``, ``max_steps``) are
+    deliberately excluded — resuming with a different kill point is the
+    whole point — but anything that alters partitioning, placement,
+    sampling or exploration order is in.
+    """
+    s = config.search
+    placement = (
+        config.placement.value
+        if isinstance(config.placement, Placement)
+        else str(config.placement)
+    )
+    return {
+        "num_workers": config.num_workers,
+        "overlap": config.overlap.value,
+        "placement": placement,
+        "tuples_per_block": config.tuples_per_block,
+        "buffer_fraction": config.buffer_fraction,
+        "sample_fraction": config.sample_fraction,
+        "sample_seed": config.sample_seed,
+        "balance_by_data": config.balance_by_data,
+        "skew": config.skew,
+        "search": {
+            "s": s.s,
+            "alpha": s.alpha,
+            "prefetch": s.prefetch.value,
+            "diversification": s.diversification.value,
+            "refresh_reads": s.refresh_reads,
+            "lazy_updates": s.lazy_updates,
+            "assume_nonnegative": s.assume_nonnegative,
+            "head_capacity": s.effective_head_capacity,
+            "scrub_blocks_per_step": s.scrub_blocks_per_step,
+        },
+    }
+
+
+def _capture_distributed(
+    config: DistributedConfig,
+    steps: int,
+    network: Network,
+    workers: list[Worker],
+    trace: SearchTrace | None,
+    metrics: MetricsRegistry | None,
+) -> dict:
+    """Snapshot a quiescent-at-step-boundary fault-free distributed run.
+
+    Coordinator loop state reduces to the step counter: with no fault
+    plan there are no fault events, no crashed workers and no adoption
+    history, so the workers plus the in-flight mail *are* the execution.
+    The CHECKPOINT trace event is recorded after the capture (live-only,
+    like the serial path) and no metrics counter is touched, preserving
+    snapshot byte-identity with an uninterrupted run.
+    """
+    state = {
+        "format_version": ckpt.CHECKPOINT_FORMAT_VERSION,
+        "kind": "distributed",
+        "config": _distributed_fingerprint(config),
+        "steps": steps,
+        "network": network.state(),
+        "workers": [w.state() for w in workers],
+        "trace": ckpt.trace_to_state(trace) if trace is not None else None,
+        "metrics": metrics.snapshot() if metrics is not None else None,
+    }
+    if trace is not None:
+        trace.record(
+            EventKind.CHECKPOINT,
+            max(w.now for w in workers),
+            steps=steps,
+            workers=len(workers),
+        )
+    return state
+
+
+def _restore_distributed(
+    state: dict,
+    config: DistributedConfig,
+    network: Network,
+    workers: list[Worker],
+    trace: SearchTrace | None,
+    metrics: MetricsRegistry | None,
+) -> int:
+    """Load a :func:`_capture_distributed` snapshot onto fresh machinery.
+
+    Returns the restored step counter.  The workers must have been built
+    under the same config (enforced via the fingerprint) with their
+    clocks not yet past the capture point (enforced per worker).
+    """
+    if state.get("format_version") != ckpt.CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint format {state.get('format_version')!r} "
+            f"(expected {ckpt.CHECKPOINT_FORMAT_VERSION})"
+        )
+    if state.get("kind") != "distributed":
+        raise CheckpointError(
+            f"expected a distributed checkpoint, got kind={state.get('kind')!r}"
+        )
+    fingerprint = _distributed_fingerprint(config)
+    saved = state["config"]
+    if saved != fingerprint:
+        mismatched = sorted(
+            k
+            for k in set(saved) | set(fingerprint)
+            if saved.get(k) != fingerprint.get(k)
+        )
+        raise CheckpointError(
+            f"checkpoint was taken under a different distributed "
+            f"configuration; mismatched keys: {mismatched}"
+        )
+    worker_states = state["workers"]
+    if len(worker_states) != len(workers):  # pragma: no cover - fingerprint covers
+        raise CheckpointError(
+            f"checkpoint has {len(worker_states)} workers, run has {len(workers)}"
+        )
+    network.restore_state(state["network"])
+    for worker, wstate in zip(workers, worker_states):
+        worker.restore_state(wstate)
+    if trace is not None and state.get("trace") is not None:
+        ckpt.load_trace_state(trace, state["trace"])
+    if metrics is not None and state.get("metrics") is not None:
+        metrics.load_snapshot(state["metrics"])
+    return int(state["steps"])
 
 
 def _handle_death(

@@ -150,3 +150,95 @@ class Network:
     def pending(self, worker: int) -> int:
         """Messages still in flight toward a worker."""
         return len(self._inboxes[worker])
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def state(self) -> dict:
+        """Exact channel state for a checkpoint.
+
+        Inbox heaps are captured verbatim (a heap layout is restored as a
+        heap layout) and the seq / msg-id counter positions are preserved,
+        so delivery tie-breaking after a resume matches the uninterrupted
+        run exactly.
+        """
+        next_seq = next(self._seq)
+        self._seq = itertools.count(next_seq)
+        next_msg = next(self._msg_ids)
+        self._msg_ids = itertools.count(next_msg)
+        return {
+            "inboxes": [
+                [[e.arrival, e.seq, _message_state(e.message)] for e in inbox]
+                for inbox in self._inboxes
+            ],
+            "next_seq": next_seq,
+            "next_msg_id": next_msg,
+            "dead": sorted(self._dead),
+            "messages_sent": self.messages_sent,
+            "cells_shipped": self.cells_shipped,
+            "messages_lost": self.messages_lost,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` capture onto this network."""
+        self._inboxes = [
+            [
+                _Envelope(float(arrival), int(seq), _message_from_state(message))
+                for arrival, seq, message in inbox
+            ]
+            for inbox in state["inboxes"]
+        ]
+        self._seq = itertools.count(int(state["next_seq"]))
+        self._msg_ids = itertools.count(int(state["next_msg_id"]))
+        self._dead = {int(w) for w in state["dead"]}
+        self.messages_sent = int(state["messages_sent"])
+        self.cells_shipped = int(state["cells_shipped"])
+        self.messages_lost = int(state["messages_lost"])
+
+
+def _message_state(message) -> dict:
+    """Serialize one in-flight message (payload dict order preserved)."""
+    if isinstance(message, CellRequest):
+        return {
+            "kind": "request",
+            "requester": message.requester,
+            "cells": [list(c) for c in message.cells],
+            "msg_id": message.msg_id,
+            "attempt": message.attempt,
+        }
+    return {
+        "kind": "response",
+        "responder": message.responder,
+        "msg_id": message.msg_id,
+        "payloads": [
+            [
+                list(cell),
+                [
+                    [key, [st.count, st.total, st.minimum, st.maximum]]
+                    for key, st in stats.items()
+                ],
+            ]
+            for cell, stats in message.payloads.items()
+        ],
+    }
+
+
+def _message_from_state(state: dict) -> "CellRequest | CellResponse":
+    """Inverse of :func:`_message_state`."""
+    if state["kind"] == "request":
+        return CellRequest(
+            int(state["requester"]),
+            tuple(tuple(int(x) for x in c) for c in state["cells"]),
+            int(state["msg_id"]),
+            int(state["attempt"]),
+        )
+    return CellResponse(
+        int(state["responder"]),
+        {
+            tuple(int(x) for x in cell): {
+                str(key): CellStats(int(c), float(t), float(mn), float(mx))
+                for key, (c, t, mn, mx) in stats
+            }
+            for cell, stats in state["payloads"]
+        },
+        int(state["msg_id"]),
+    )

@@ -41,6 +41,7 @@ on one node only) and are not applied here.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -356,7 +357,11 @@ class Worker:
         by_owner: dict[int, list[Cell]] = {}
         lost: list[Cell] = []
         local: list[Cell] = []
-        for cell in cells:
+        # Sorted so owner grouping (and thus msg-id allocation order) never
+        # depends on set iteration order — a checkpointed-and-restored set
+        # could otherwise iterate differently and diverge from the
+        # uninterrupted run.
+        for cell in sorted(cells):
             if self.data.is_cell_read(cell):
                 continue
             if self.data_lo <= cell[0] < self.data_hi:
@@ -466,6 +471,132 @@ class Worker:
                 self._seed_range(lo, hi)
             self.recovered_anchors += hi - lo
         return hi - lo
+
+    # -- checkpoint support ------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Exact worker state for a (fault-free) distributed checkpoint.
+
+        Dict-shaped members whose *iteration order* the protocol observes
+        (parked windows, pending answers, outstanding requests) are
+        serialized as ordered pair lists; pure-membership sets are stored
+        sorted.  Cell sets inside entries are safe to sort because every
+        order-sensitive consumer (``_dispatch_cells``) sorts before use.
+        """
+        from ..core import checkpoint as ckpt
+
+        db = self.data.database
+        table = self.data.table_name
+
+        def cells_list(cells: Iterable[Cell]) -> list[list[int]]:
+            return sorted([list(c) for c in cells])
+
+        return {
+            "worker_id": self.worker_id,
+            "clock_now": self.now,
+            "anchor_range": [self.anchor_lo, self.anchor_hi],
+            "data_range": [self.data_lo, self.data_hi],
+            "stats": dataclasses.asdict(self.stats),
+            "queue": self.queue.state(),
+            "generated": [
+                ckpt.window_to_state(w)
+                for w in sorted(self._generated, key=lambda w: (w.lo, w.hi))
+            ],
+            "results": ckpt.results_to_state(self.results),
+            "prefetch_fp_reads": self.prefetch_state.fp_reads,
+            "last_read_region": ckpt.window_to_state(self._last_read_region),
+            "waiting": [
+                [ckpt.window_to_state(w), cells_list(cells)]
+                for w, cells in self._waiting.items()
+            ],
+            "requested": cells_list(self._requested),
+            "pending": [
+                [requester, cells_list(cells)]
+                for requester, cells in self._pending.items()
+            ],
+            "outstanding": [
+                [msg_id, entry.owner, cells_list(entry.cells), entry.deadline, entry.attempt]
+                for msg_id, entry in self._outstanding.items()
+            ],
+            "seen_msg_ids": sorted(self._seen_msg_ids),
+            "lost_cells": cells_list(self._lost_cells),
+            "lost_windows": [
+                [ckpt.window_to_state(w), cells_list(cells)]
+                for w, cells in self.lost_windows.items()
+            ],
+            "retries": self.retries,
+            "duplicates_ignored": self.duplicates_ignored,
+            "recovered_anchors": self.recovered_anchors,
+            "data": self.data.state(),
+            "disk": db.disk(table).state(),
+            "buffer": db.buffer(table).state(),
+            "metrics": self.metrics.snapshot() if self.metrics is not None else None,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` capture onto this freshly built worker."""
+        from ..core import checkpoint as ckpt
+        from ..errors import CheckpointError
+
+        if int(state["worker_id"]) != self.worker_id:
+            raise CheckpointError(
+                f"worker {self.worker_id} cannot restore state captured "
+                f"for worker {state['worker_id']}"
+            )
+        clock = self.data.clock
+        target_now = float(state["clock_now"])
+        if clock.now > target_now:
+            raise CheckpointError(
+                f"worker {self.worker_id} clock ({clock.now:g}s) is already "
+                f"past the checkpoint ({target_now:g}s)"
+            )
+        clock.advance_to(target_now)
+
+        def cell_set(cells) -> set[Cell]:
+            return {tuple(int(x) for x in c) for c in cells}
+
+        self.anchor_lo, self.anchor_hi = (int(x) for x in state["anchor_range"])
+        self.data_lo, self.data_hi = (int(x) for x in state["data_range"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, int(value))
+        self.queue.restore_state(state["queue"])
+        self._generated = {ckpt.window_from_state(w) for w in state["generated"]}
+        self.results[:] = ckpt.results_from_state(state["results"], self.grid)
+        self.prefetch_state.fp_reads = int(state["prefetch_fp_reads"])
+        self._last_read_region = ckpt.window_from_state(state["last_read_region"])
+        self._waiting = {
+            ckpt.window_from_state(w): cell_set(cells)
+            for w, cells in state["waiting"]
+        }
+        self._requested = cell_set(state["requested"])
+        self._pending = {
+            int(requester): cell_set(cells) for requester, cells in state["pending"]
+        }
+        self._outstanding = {
+            int(msg_id): _Outstanding(
+                owner=int(owner),
+                cells=cell_set(cells),
+                deadline=float(deadline),
+                attempt=int(attempt),
+            )
+            for msg_id, owner, cells, deadline, attempt in state["outstanding"]
+        }
+        self._seen_msg_ids = {int(m) for m in state["seen_msg_ids"]}
+        self._lost_cells = cell_set(state["lost_cells"])
+        self.lost_windows = {
+            ckpt.window_from_state(w): cell_set(cells)
+            for w, cells in state["lost_windows"]
+        }
+        self.retries = int(state["retries"])
+        self.duplicates_ignored = int(state["duplicates_ignored"])
+        self.recovered_anchors = int(state["recovered_anchors"])
+        db = self.data.database
+        table = self.data.table_name
+        self.data.restore_state(state["data"])
+        db.disk(table).restore_state(state["disk"])
+        db.buffer(table).restore_state(state["buffer"])
+        if self.metrics is not None and state["metrics"] is not None:
+            self.metrics.load_snapshot(state["metrics"])
 
     # -- search mechanics ------------------------------------------------------------------
 

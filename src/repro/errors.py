@@ -23,6 +23,8 @@ __all__ = [
     "PartitionError",
     "ProtocolError",
     "SimulationLimitError",
+    "CorruptBlockError",
+    "CheckpointError",
 ]
 
 
@@ -48,3 +50,35 @@ class ProtocolError(ReproError, RuntimeError):
 
 class SimulationLimitError(ReproError, RuntimeError):
     """The discrete-event simulation exceeded its step safety valve."""
+
+
+class CorruptBlockError(ReproError, RuntimeError):
+    """A block read failed its checksum and could not be repaired.
+
+    Raised from the storage layer after the repair state machine
+    (bounded re-reads, then replicas) is exhausted.  The database
+    front-end catches it, quarantines the blocks, and degrades the scan
+    (lost tuples are excluded, the affected cells are flagged) — user
+    queries therefore never see this escape; it is part of the internal
+    quarantine protocol.  ``block_ids`` names the unrepairable blocks.
+    """
+
+    def __init__(self, table: str, block_ids: tuple[int, ...], kinds: tuple[str, ...] = ()) -> None:
+        self.table = table
+        self.block_ids = tuple(int(b) for b in block_ids)
+        self.kinds = tuple(kinds)
+        detail = f" ({', '.join(kinds)})" if kinds else ""
+        super().__init__(
+            f"unrepairable corruption in table {table!r}, "
+            f"block(s) {list(self.block_ids)}{detail}"
+        )
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be taken, read, or restored.
+
+    Covers format/version mismatches, configuration fingerprints that
+    differ between the checkpointing and the resuming run, and states
+    the checkpoint machinery deliberately refuses to serialize (e.g. a
+    distributed run with fault injection active).
+    """

@@ -9,13 +9,22 @@ module provides:
   columns, schema, grid geometry and cluster ground truth;
 * :func:`results_to_rows` / :func:`write_results_csv` — flatten result
   windows (bounds per dimension, objective values, emission time) for
-  spreadsheets and notebooks.
+  spreadsheets and notebooks;
+* :func:`write_checkpoint` / :func:`read_checkpoint` — persist a search
+  checkpoint (JSON-able tree plus numpy arrays) as one ``.npz`` file.
+
+Every writer is crash-safe: output lands in a same-directory temp file
+first and reaches the destination via an atomic ``os.replace``, so an
+interrupted export can never leave a truncated file under the real name.
 """
 
 from __future__ import annotations
 
 import csv
+import io as _stdio
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
@@ -36,9 +45,33 @@ __all__ = [
     "metrics_to_json",
     "write_metrics_json",
     "read_metrics_json",
+    "write_checkpoint",
+    "read_checkpoint",
 ]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_FILE_VERSION = 1
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a temp file + atomic rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Text form of :func:`_atomic_write_bytes`."""
+    _atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def save_dataset(dataset: Dataset, path: str | Path) -> Path:
@@ -56,8 +89,11 @@ def save_dataset(dataset: Dataset, path: str | Path) -> Path:
         "meta": _jsonable(dataset.meta),
     }
     arrays = {f"col_{name}": values for name, values in dataset.columns.items()}
-    np.savez_compressed(path, __meta__=np.array(json.dumps(meta)), **arrays)
-    return path.with_suffix(".npz") if path.suffix != ".npz" else path
+    target = path.with_suffix(".npz") if path.suffix != ".npz" else path
+    buffer = _stdio.BytesIO()
+    np.savez_compressed(buffer, __meta__=np.array(json.dumps(meta)), **arrays)
+    _atomic_write_bytes(target, buffer.getvalue())
+    return target
 
 
 def load_dataset(path: str | Path) -> Dataset:
@@ -114,10 +150,11 @@ def write_results_csv(
     """Export results to CSV; returns the path written."""
     path = Path(path)
     header, rows = results_to_rows(results, dimensions)
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(header)
-        writer.writerows(rows)
+    buffer = _stdio.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    _atomic_write_text(path, buffer.getvalue())
     return path
 
 
@@ -136,7 +173,7 @@ def metrics_to_json(metrics, indent: int | None = 2) -> str:
 def write_metrics_json(metrics, path: str | Path) -> Path:
     """Write a metrics snapshot as JSON; returns the path written."""
     path = Path(path)
-    path.write_text(metrics_to_json(metrics) + "\n")
+    _atomic_write_text(path, metrics_to_json(metrics) + "\n")
     return path
 
 
@@ -144,6 +181,62 @@ def read_metrics_json(path: str | Path) -> dict:
     """Load a snapshot written by :func:`write_metrics_json`."""
     with open(path) as handle:
         return json.load(handle)
+
+
+def write_checkpoint(state: dict, path: str | Path) -> Path:
+    """Persist a checkpoint capture to one ``.npz`` file, atomically.
+
+    The capture (see :meth:`HeuristicSearch.checkpoint_state
+    <repro.core.search.HeuristicSearch.checkpoint_state>`) is a tree of
+    JSON-able values with numpy arrays at the leaves.  Arrays are hoisted
+    into npz entries (``a0``, ``a1``, ... in depth-first order) and
+    replaced by ``{"__npz__": key}`` placeholders inside the JSON
+    ``__meta__`` payload, so the round trip preserves dtypes and values
+    exactly.
+    """
+    path = Path(path)
+    target = path.with_suffix(".npz") if path.suffix != ".npz" else path
+    arrays: dict[str, np.ndarray] = {}
+
+    def hoist(value):
+        if isinstance(value, np.ndarray):
+            key = f"a{len(arrays)}"
+            arrays[key] = value
+            return {"__npz__": key}
+        if isinstance(value, dict):
+            return {str(k): hoist(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [hoist(v) for v in value]
+        return _jsonable(value)
+
+    meta = {"checkpoint_file_version": _CHECKPOINT_FILE_VERSION, "state": hoist(state)}
+    buffer = _stdio.BytesIO()
+    np.savez_compressed(buffer, __meta__=np.array(json.dumps(meta)), **arrays)
+    _atomic_write_bytes(target, buffer.getvalue())
+    return target
+
+
+def read_checkpoint(path: str | Path) -> dict:
+    """Load a checkpoint previously written by :func:`write_checkpoint`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        meta = json.loads(str(archive["__meta__"]))
+        if meta.get("checkpoint_file_version") != _CHECKPOINT_FILE_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint file version "
+                f"{meta.get('checkpoint_file_version')!r} "
+                f"(expected {_CHECKPOINT_FILE_VERSION})"
+            )
+
+        def restore(value):
+            if isinstance(value, dict):
+                if set(value) == {"__npz__"}:
+                    return archive[value["__npz__"]]
+                return {k: restore(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [restore(v) for v in value]
+            return value
+
+        return restore(meta["state"])
 
 
 def _jsonable(value):

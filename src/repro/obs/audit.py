@@ -101,9 +101,11 @@ class InvariantAuditor:
 
         if self._has("disk.blocks_read"):
             self._equal(
-                "block accounting: blocks_read == buffer misses + sequential scans",
+                "block accounting: blocks_read == buffer misses + sequential + scrub",
                 c("disk.blocks_read"),
-                c("buffer.miss_blocks") + c("disk.blocks_read_sequential"),
+                c("buffer.miss_blocks")
+                + c("disk.blocks_read_sequential")
+                + c("disk.blocks_read_scrub"),
                 out,
             )
         if self._has("buffer.block_accesses"):
@@ -156,6 +158,45 @@ class InvariantAuditor:
                 "span cross-check: read spans == DBMS reads",
                 c("span.read.count"),
                 c("dm.reads"),
+                out,
+            )
+
+        if self._has("storage.corruptions_detected", "storage.checksum_verifications"):
+            # Every detected corruption resolves exactly one way: the
+            # block was repaired in place or it was quarantined.
+            self._equal(
+                "storage: corruptions_detected == blocks_repaired + blocks_quarantined",
+                c("storage.corruptions_detected"),
+                c("storage.blocks_repaired") + c("storage.blocks_quarantined"),
+                out,
+            )
+            self._at_least(
+                "storage: every corruption came from a verified read",
+                c("storage.checksum_verifications"),
+                c("storage.corruptions_detected"),
+                out,
+            )
+            self._at_least(
+                "storage: repairs cost at least one re-read or replica read each",
+                c("storage.repair_rereads") + c("storage.replica_reads"),
+                c("storage.blocks_repaired"),
+                out,
+            )
+            if c("storage.degraded_cells") > 0:
+                # Degraded cells only arise from quarantined (lost) pages.
+                self._at_least(
+                    "storage: degraded cells imply a quarantined block",
+                    c("storage.blocks_quarantined"),
+                    1.0,
+                    out,
+                )
+        if self._has("storage.scrubbed_blocks"):
+            # The scrubber reads exactly the blocks it verifies, through
+            # its own disk counter (quarantined blocks are skipped).
+            self._equal(
+                "scrub: scrub disk reads == blocks scrubbed",
+                c("disk.blocks_read_scrub"),
+                c("storage.scrubbed_blocks"),
                 out,
             )
 

@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 #: Canonical profiling phases charged by :class:`~repro.obs.span.Span`.
-PHASES = ("seed", "estimate", "expand", "read", "prefetch", "merge", "recover")
+PHASES = ("seed", "estimate", "expand", "read", "prefetch", "merge", "recover", "scrub")
 
 #: Fixed bucket boundaries for cell/block-count histograms (powers of two).
 DEFAULT_CELL_BOUNDS: tuple[float, ...] = tuple(float(2**k) for k in range(13))
@@ -221,12 +221,41 @@ class MetricsRegistry:
     def from_snapshot(cls, snapshot: Mapping) -> "MetricsRegistry":
         """Rebuild a registry from a :meth:`snapshot` dict."""
         registry = cls()
-        for name, value in snapshot.get("counters", {}).items():
-            registry.counter(name).value = float(value)
-        for name, value in snapshot.get("gauges", {}).items():
-            registry.gauge(name).value = float(value)
-        for name, payload in snapshot.get("histograms", {}).items():
-            hist = registry.histogram(name, payload["bounds"])
+        registry.load_snapshot(snapshot)
+        return registry
+
+    def load_snapshot(self, snapshot: Mapping) -> "MetricsRegistry":
+        """Overwrite this registry's state from a :meth:`snapshot` dict.
+
+        In-place (unlike :meth:`from_snapshot`), so ``Counter`` objects
+        hot paths cached at construction stay valid — the checkpoint
+        restore path depends on that.  Instruments absent from the
+        snapshot are reset to zero, not removed.
+        """
+        loaded_counters = snapshot.get("counters", {})
+        for name, counter in self._counters.items():
+            counter.value = float(loaded_counters.get(name, 0.0))
+        for name, value in loaded_counters.items():
+            self.counter(name).value = float(value)
+        loaded_gauges = snapshot.get("gauges", {})
+        for name, gauge in self._gauges.items():
+            gauge.value = float(loaded_gauges.get(name, 0.0))
+        for name, value in loaded_gauges.items():
+            self.gauge(name).value = float(value)
+        loaded_hists = snapshot.get("histograms", {})
+        for name, hist in self._histograms.items():
+            if name not in loaded_hists:
+                hist.counts = [0] * (len(hist.bounds) + 1)
+                hist.total = 0.0
+        for name, payload in loaded_hists.items():
+            hist = self._histograms.get(name)
+            if hist is not None and tuple(payload["bounds"]) != hist.bounds:
+                raise ConfigError(
+                    f"histogram {name!r} exists with different bounds; "
+                    f"cannot load snapshot in place"
+                )
+            if hist is None:
+                hist = self.histogram(name, payload["bounds"])
             counts = [int(c) for c in payload["counts"]]
             if len(counts) != len(hist.counts):
                 raise ConfigError(
@@ -235,7 +264,7 @@ class MetricsRegistry:
                 )
             hist.counts = counts
             hist.total = float(payload["total"])
-        return registry
+        return self
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other`` into this registry in place; returns ``self``.

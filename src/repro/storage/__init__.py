@@ -10,6 +10,13 @@ from .buffer import BufferPool
 from .database import CellScan, Database, COUNT_KEY
 from .disk import SimulatedDisk
 from .hilbert import hilbert_d, hilbert_xy, morton_code
+from .integrity import (
+    BlockIntegrity,
+    Scrubber,
+    StorageDegradation,
+    StorageFaultInjector,
+    StorageFaultPlan,
+)
 from .placement import (
     Placement,
     axis_order,
@@ -29,6 +36,11 @@ __all__ = [
     "Database",
     "COUNT_KEY",
     "SimulatedDisk",
+    "BlockIntegrity",
+    "Scrubber",
+    "StorageDegradation",
+    "StorageFaultInjector",
+    "StorageFaultPlan",
     "hilbert_d",
     "hilbert_xy",
     "morton_code",

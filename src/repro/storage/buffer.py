@@ -15,6 +15,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..errors import CorruptBlockError
 from .disk import SimulatedDisk
 
 __all__ = ["BufferPool"]
@@ -34,6 +35,7 @@ class BufferPool:
         self._capacity = capacity
         self._disk = disk
         self._blocks: OrderedDict[int, None] = OrderedDict()
+        self._protected: set[int] = set()
         self._hits = 0
         self._misses = 0
         # Optional observability (repro.obs): attached by Database.
@@ -63,6 +65,59 @@ class BufferPool:
         """Whether a block is cached (does not touch recency)."""
         return block_id in self._blocks
 
+    def cached_blocks(self) -> list[int]:
+        """Cached block ids in LRU order (oldest first); for checkpoints."""
+        return list(self._blocks)
+
+    def protect(self, block_id: int) -> None:
+        """Pin a block: eviction will never drop it (quarantine/repair)."""
+        self._protected.add(int(block_id))
+
+    def unprotect(self, block_id: int) -> None:
+        """Release a pin taken with :meth:`protect`."""
+        self._protected.discard(int(block_id))
+
+    def protected(self) -> frozenset[int]:
+        """Currently pinned block ids."""
+        return frozenset(self._protected)
+
+    def drop(self, block_id: int) -> bool:
+        """Discard one cached block (quarantined pages must not serve hits)."""
+        block_id = int(block_id)
+        self._protected.discard(block_id)
+        present = block_id in self._blocks
+        if present:
+            del self._blocks[block_id]
+        return present
+
+    def resize(self, capacity: int) -> int:
+        """Change capacity (the memory budget); evicts down; returns evictions.
+
+        Shrinking drops least-recently-used *unprotected* blocks until the
+        pool fits; pinned blocks survive even if that leaves the pool over
+        budget (they are released by the integrity layer, never dropped).
+        """
+        if capacity <= 0:
+            raise ValueError(f"buffer pool capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        evicted = 0
+        while len(self._blocks) > capacity and self._evict_one():
+            evicted += 1
+        if evicted and self.metrics is not None:
+            self.metrics.inc("buffer.evictions", float(evicted))
+        return evicted
+
+    def _evict_one(self) -> bool:
+        """Drop the least-recently-used unprotected block; False if none."""
+        if not self._protected:
+            self._blocks.popitem(last=False)
+            return True
+        for block in self._blocks:
+            if block not in self._protected:
+                del self._blocks[block]
+                return True
+        return False
+
     def access(self, block_ids: Iterable[int] | np.ndarray) -> float:
         """Ensure all blocks are resident; returns elapsed disk seconds.
 
@@ -74,9 +129,10 @@ class BufferPool:
             return 0.0
         cached = self._blocks
         missing = [int(b) for b in ids if b not in cached]
-        hit_count = ids.size - len(missing)
+        miss_count = len(missing)
+        hit_count = ids.size - miss_count
         self._hits += hit_count
-        self._misses += len(missing)
+        self._misses += miss_count
         # Refresh recency of hits.
         if hit_count:
             for b in ids:
@@ -85,24 +141,57 @@ class BufferPool:
                     cached.move_to_end(b)
         elapsed = 0.0
         evicted = 0
+        corrupt: CorruptBlockError | None = None
         if missing:
-            elapsed = self._disk.read(np.asarray(missing, dtype=np.int64))
+            try:
+                elapsed = self._disk.read(np.asarray(missing, dtype=np.int64))
+            except CorruptBlockError as err:
+                # Unrepairable blocks are quarantined by the integrity
+                # layer and must not be cached; the surviving blocks of
+                # the request were read (and repaired) normally.
+                corrupt = err
+                bad = set(err.block_ids)
+                missing = [b for b in missing if b not in bad]
             for b in missing:
                 cached[b] = None
-                if len(cached) > self._capacity:
-                    cached.popitem(last=False)
+                if len(cached) > self._capacity and self._evict_one():
                     evicted += 1
         m = self.metrics
         if m is not None:
+            # miss_count includes unrepairable blocks: they did go to disk,
+            # so the block-accounting identity needs them counted here too.
             m.inc("buffer.block_accesses", float(ids.size))
             m.inc("buffer.hit_blocks", float(hit_count))
-            m.inc("buffer.miss_blocks", float(len(missing)))
+            m.inc("buffer.miss_blocks", float(miss_count))
             if evicted:
                 m.inc("buffer.evictions", float(evicted))
+        if corrupt is not None:
+            raise corrupt
         return elapsed
 
     def reset(self) -> None:
         """Drop every cached block and clear hit/miss counters."""
         self._blocks.clear()
+        self._protected.clear()
         self._hits = 0
         self._misses = 0
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def state(self) -> dict:
+        """Exact pool state (LRU order preserved) for a checkpoint."""
+        return {
+            "blocks": list(self._blocks),
+            "protected": sorted(self._protected),
+            "hits": self._hits,
+            "misses": self._misses,
+            "capacity": self._capacity,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` capture onto this pool."""
+        self._capacity = int(state["capacity"])
+        self._blocks = OrderedDict((int(b), None) for b in state["blocks"])
+        self._protected = {int(b) for b in state["protected"]}
+        self._hits = int(state["hits"])
+        self._misses = int(state["misses"])

@@ -24,8 +24,10 @@ from ..core.aggregates import CellStats
 from ..core.conditions import ContentObjective
 from ..core.grid import Grid
 from ..costs import CostModel, DEFAULT_COST_MODEL
+from ..errors import CorruptBlockError
 from .buffer import BufferPool
 from .disk import SimulatedDisk
+from .integrity import BlockIntegrity, StorageFaultPlan
 from .placement import cell_flat_ids
 from .table import HeapTable
 
@@ -41,12 +43,19 @@ class CellScan:
     carries the tuple count of the cell (the paper computes this extra
     aggregate "for free" to refine cost estimates).  Cells of the queried
     box with no tuples are absent — callers must treat absence as empty.
+
+    ``lost_blocks`` / ``degraded_cells`` are non-empty only when the
+    integrity layer quarantined unrepairable pages touched by this scan:
+    their tuples are excluded (the storage analogue of
+    ``mark_region_empty``) and the named cells may under-count.
     """
 
     cells: Mapping[int, Mapping[str, CellStats]]
     tuples_scanned: int
     blocks_touched: int
     elapsed_s: float
+    lost_blocks: tuple[int, ...] = ()
+    degraded_cells: tuple[int, ...] = ()
 
 
 COUNT_KEY = "__count__"
@@ -86,6 +95,9 @@ class Database:
         self._buffers: dict[str, BufferPool] = {}
         # Optional observability (repro.obs); see attach_metrics.
         self.metrics = None
+        # Optional integrity layer (see attach_integrity).
+        self._integrity: dict[str, BlockIntegrity] = {}
+        self._integrity_plan: StorageFaultPlan | None = None
 
     # -- catalog ----------------------------------------------------------------
 
@@ -101,6 +113,8 @@ class Database:
         if self.metrics is not None:
             disk.metrics = self.metrics
             self._buffers[table.name].metrics = self.metrics
+        if self._integrity_plan is not None:
+            self._build_integrity(table.name)
 
     # -- observability -----------------------------------------------------------
 
@@ -120,6 +134,47 @@ class Database:
             disk.metrics = registry
         for buffer in self._buffers.values():
             buffer.metrics = registry
+        for integrity in self._integrity.values():
+            integrity.metrics = registry
+
+    def attach_integrity(self, plan: StorageFaultPlan) -> None:
+        """Enable checksummed reads under a (possibly zero-fault) plan.
+
+        Builds a :class:`BlockIntegrity` layer — checksum table, fault
+        injector, repair state machine — for every current and future
+        table, and hooks it into each disk's read path.  Pass ``None`` to
+        detach: reads stop verifying and pay nothing again.
+        """
+        if plan is None:
+            self._integrity_plan = None
+            self._integrity.clear()
+            for disk in self._disks.values():
+                disk.integrity = None
+            return
+        self._integrity_plan = plan
+        for name in self._tables:
+            self._build_integrity(name)
+
+    def attach_trace(self, trace) -> None:
+        """Route integrity events (CORRUPT/REPAIR/SCRUB) into a search trace."""
+        for integrity in self._integrity.values():
+            integrity.trace = trace
+
+    def _build_integrity(self, name: str) -> None:
+        integrity = BlockIntegrity(
+            self._tables[name],
+            self._disks[name],
+            self._buffers[name],
+            self._integrity_plan,
+        )
+        integrity.metrics = self.metrics
+        self._integrity[name] = integrity
+        self._disks[name].integrity = integrity
+
+    def integrity(self, name: str) -> BlockIntegrity | None:
+        """The integrity layer of a table (``None`` when not attached)."""
+        self.table(name)
+        return self._integrity.get(name)
 
     def table(self, name: str) -> HeapTable:
         """Look up a table by name."""
@@ -162,7 +217,31 @@ class Database:
         start = self.clock.now
         # Exact bitmap index scan: only pages holding matching tuples.
         blocks, matching_rows = table.blocks_matching(lows, highs)
-        self._buffers[table_name].access(blocks)
+        integ = self._integrity.get(table_name)
+        lost: list[int] = []
+        lost_rows = np.empty(0, dtype=np.int64)
+        if integ is not None and integ.quarantined:
+            # Already-quarantined pages (earlier scans or scrub) are gone.
+            blocks, matching_rows, dropped, rows_dropped = _strip_blocks(
+                table, blocks, matching_rows, integ.quarantined
+            )
+            lost.extend(int(b) for b in dropped)
+            lost_rows = rows_dropped
+        try:
+            self._buffers[table_name].access(blocks)
+        except CorruptBlockError as err:
+            blocks, matching_rows, dropped, rows_dropped = _strip_blocks(
+                table, blocks, matching_rows, err.block_ids
+            )
+            lost.extend(int(b) for b in dropped)
+            lost_rows = np.concatenate([lost_rows, rows_dropped])
+
+        degraded: tuple[int, ...] = ()
+        if lost_rows.size and integ is not None:
+            flat = cell_flat_ids(table.coordinates()[lost_rows], grid)
+            cells_lost = np.unique(flat[flat >= 0])
+            degraded = tuple(int(c) for c in cells_lost)
+            integ.record_degraded_cells(degraded)
 
         # The executor still inspects every tuple on the fetched pages.
         tuples_scanned = int(blocks.size) * table.tuples_per_block
@@ -177,6 +256,8 @@ class Database:
             tuples_scanned=tuples_scanned,
             blocks_touched=int(blocks.size),
             elapsed_s=self.clock.now - start,
+            lost_blocks=tuple(sorted(set(lost))),
+            degraded_cells=degraded,
         )
 
     def full_scan_cell_aggregates(
@@ -193,12 +274,28 @@ class Database:
         """
         table = self.table(table_name)
         start = self.clock.now
-        self._disks[table_name].sequential_scan()
+        try:
+            self._disks[table_name].sequential_scan()
+        except CorruptBlockError:
+            pass  # quarantined inside the read; lost rows excluded below
         self.clock.advance(self.cost_model.tuples_s(table.num_rows))
         if self.metrics is not None:
             self.metrics.inc("db.full_scans")
             self.metrics.inc("db.tuples_scanned", float(table.num_rows))
         rows = np.arange(table.num_rows, dtype=np.int64)
+        integ = self._integrity.get(table_name)
+        lost_blocks: tuple[int, ...] = ()
+        degraded: tuple[int, ...] = ()
+        if integ is not None and integ.quarantined:
+            lost_blocks = tuple(sorted(integ.quarantined))
+            row_lost = np.isin(
+                rows // table.tuples_per_block,
+                np.asarray(lost_blocks, dtype=np.int64),
+            )
+            flat = cell_flat_ids(table.coordinates()[rows[row_lost]], grid)
+            degraded = tuple(int(c) for c in np.unique(flat[flat >= 0]))
+            integ.record_degraded_cells(degraded)
+            rows = rows[~row_lost]
         cells = self._aggregate_rows(
             table, grid, rows, grid.area.lower, grid.area.upper, objectives
         )
@@ -207,6 +304,8 @@ class Database:
             tuples_scanned=table.num_rows,
             blocks_touched=table.num_blocks,
             elapsed_s=self.clock.now - start,
+            lost_blocks=lost_blocks,
+            degraded_cells=degraded,
         )
 
     # -- internals ------------------------------------------------------------------
@@ -264,3 +363,23 @@ class Database:
                 entry[key] = CellStats(int(counts[i]), float(sums[i]), float(mins[i]), float(maxs[i]))
             out[int(cell)] = entry
         return out
+
+
+def _strip_blocks(
+    table: HeapTable,
+    blocks: np.ndarray,
+    rows: np.ndarray,
+    bad: Sequence[int] | set,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Drop quarantined blocks (and their rows) from one bitmap scan.
+
+    Returns ``(kept_blocks, kept_rows, dropped_blocks, dropped_rows)`` —
+    dropped rows are the matching tuples this scan can no longer deliver.
+    """
+    bad_arr = np.fromiter((int(b) for b in bad), dtype=np.int64, count=len(bad))
+    drop_mask = np.isin(blocks, bad_arr)
+    dropped = blocks[drop_mask]
+    if dropped.size == 0:
+        return blocks, rows, dropped, np.empty(0, dtype=np.int64)
+    row_drop = np.isin(rows // table.tuples_per_block, dropped)
+    return blocks[~drop_mask], rows[~row_drop], dropped, rows[row_drop]

@@ -56,6 +56,9 @@ class SimulatedDisk:
         self._seeks = 0
         # Optional observability (repro.obs): attached by Database.
         self.metrics = None
+        # Optional integrity layer (repro.storage.integrity): attached by
+        # Database.attach_integrity; verifies every read's checksums.
+        self.integrity = None
 
     @property
     def num_blocks(self) -> int:
@@ -100,6 +103,11 @@ class SimulatedDisk:
             m.inc("disk.seeks", float(seeks))
             m.inc("disk.time_s", elapsed)
             m.histogram("disk.blocks_per_request").observe(float(ids.size))
+        integ = self.integrity
+        if integ is not None:
+            # May raise CorruptBlockError after quarantining; repair I/O
+            # charges the clock inside and is returned as extra seconds.
+            elapsed += integ.verify_read(ids)
         return elapsed
 
     def sequential_scan(self) -> float:
@@ -110,6 +118,22 @@ class SimulatedDisk:
             # needs them charged to their own counter.
             self.metrics.inc("disk.blocks_read_sequential", float(self._num_blocks))
         return self.read(np.arange(self._num_blocks, dtype=np.int64))
+
+    def charge(self, seconds: float) -> None:
+        """Charge extra device time (repair I/O) without block counters.
+
+        Keeps the auditor's block-accounting identity exact: repairs cost
+        simulated time but are tracked by the integrity layer's own
+        counters, not ``blocks_read``.
+        """
+        self._total_time += seconds
+        self._clock.advance(seconds)
+        if self.metrics is not None:
+            self.metrics.inc("disk.time_s", seconds)
+
+    def charge_block_cost(self) -> float:
+        """Simulated cost of one isolated single-block read (seek + transfer)."""
+        return self._cost.seek_s() + self._cost.transfer_s(1)
 
     # -- statistics ----------------------------------------------------------
 
@@ -179,3 +203,23 @@ class SimulatedDisk:
         self._total_time = 0.0
         self._requests = 0
         self._seeks = 0
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def state(self) -> dict:
+        """Exact device state (head position included) for a checkpoint."""
+        return {
+            "read_counts": self._read_counts.copy(),
+            "head": self._head,
+            "total_time": self._total_time,
+            "requests": self._requests,
+            "seeks": self._seeks,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state` capture onto this device."""
+        self._read_counts[:] = np.asarray(state["read_counts"], dtype=np.int64)
+        self._head = int(state["head"])
+        self._total_time = float(state["total_time"])
+        self._requests = int(state["requests"])
+        self._seeks = int(state["seeks"])

@@ -39,23 +39,32 @@ def blocks_of_rows(rows: np.ndarray, tuples_per_block: int) -> np.ndarray:
     """Sorted unique block ids covering the given physical row indices."""
     if tuples_per_block <= 0:
         raise ValueError(f"tuples_per_block must be positive, got {tuples_per_block}")
-    if len(rows) == 0:
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
         return np.empty(0, dtype=np.int64)
-    return np.unique(np.asarray(rows, dtype=np.int64) // tuples_per_block)
+    if rows.min() < 0:
+        raise ValueError(f"row indices must be non-negative, got min {rows.min()}")
+    return np.unique(rows // tuples_per_block)
 
 
 def coalesce_runs(block_ids: Sequence[int] | np.ndarray) -> Iterator[tuple[int, int]]:
-    """Group sorted block ids into maximal contiguous runs ``(start, count)``.
+    """Group block ids into maximal contiguous runs ``(start, count)``.
 
     The simulated disk charges one seek per run plus one transfer per
     block, so run structure is what distinguishes clustered placements
     (few long runs) from dispersed ones (many single-block runs).
+
+    Input is normalized: an empty sequence yields no runs, unsorted or
+    duplicated ids are sorted and deduplicated first (a request reads a
+    *set* of blocks), and negative ids are rejected.
     """
     ids = np.asarray(block_ids, dtype=np.int64)
     if ids.size == 0:
         return
+    if ids.min() < 0:
+        raise ValueError(f"block ids must be non-negative, got min {ids.min()}")
     if np.any(np.diff(ids) <= 0):
-        raise ValueError("block ids must be strictly increasing")
+        ids = np.unique(ids)
     breaks = np.nonzero(np.diff(ids) > 1)[0]
     starts = np.concatenate(([0], breaks + 1))
     ends = np.concatenate((breaks, [ids.size - 1]))

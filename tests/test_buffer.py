@@ -80,3 +80,84 @@ class TestBufferPool:
         buf, disk = pool
         buf.access([5, 1, 3])
         assert disk.requests == 1
+
+
+class TestMemoryBudget:
+    """Eviction behavior under a shrinking memory budget (resize/protect)."""
+
+    def test_resize_shrink_evicts_lru_first(self, pool):
+        buf, _ = pool
+        buf.access([1, 2, 3, 4])
+        buf.access([1])  # 1 is now most recent; LRU order: 2, 3, 4, 1
+        evicted = buf.resize(2)
+        assert evicted == 2
+        assert buf.capacity == 2 and buf.size == 2
+        assert not buf.contains(2) and not buf.contains(3)
+        assert buf.contains(4) and buf.contains(1)
+
+    def test_resize_grow_keeps_contents(self, pool):
+        buf, _ = pool
+        buf.access([1, 2, 3, 4])
+        assert buf.resize(8) == 0
+        assert buf.size == 4 and buf.capacity == 8
+        buf.access([5, 6, 7, 8])
+        assert buf.size == 8  # no eviction until the new budget is hit
+
+    def test_resize_spares_protected_blocks(self, pool):
+        buf, _ = pool
+        buf.access([1, 2, 3, 4])
+        buf.protect(2)
+        buf.protect(3)
+        evicted = buf.resize(2)
+        # LRU-unprotected go first (1, then 4); the pins survive.
+        assert evicted == 2
+        assert buf.contains(2) and buf.contains(3)
+        assert not buf.contains(1) and not buf.contains(4)
+
+    def test_resize_stops_when_only_pins_remain(self, pool):
+        buf, _ = pool
+        buf.access([1, 2, 3])
+        for b in (1, 2, 3):
+            buf.protect(b)
+        evicted = buf.resize(1)
+        # Pinned pages are never dropped, even over budget.
+        assert evicted == 0
+        assert buf.size == 3 and buf.capacity == 1
+
+    def test_access_eviction_respects_pins(self, pool):
+        buf, _ = pool
+        buf.access([1, 2, 3, 4])
+        buf.protect(1)
+        buf.access([5])  # over capacity: evicts the oldest *unprotected* (2)
+        assert buf.contains(1)
+        assert not buf.contains(2)
+
+    def test_resize_rejects_nonpositive_budget(self, pool):
+        buf, _ = pool
+        with pytest.raises(ValueError, match="positive"):
+            buf.resize(0)
+
+    def test_unprotect_makes_block_evictable_again(self, pool):
+        buf, _ = pool
+        buf.access([1, 2])
+        buf.protect(1)
+        buf.unprotect(1)
+        assert buf.resize(1) == 1
+        assert not buf.contains(1)  # 1 was LRU and no longer pinned
+
+    def test_engine_applies_memory_budget_blocks(self):
+        from repro.core import SearchConfig, SWEngine
+        from repro.workloads import make_database, synthetic_dataset, synthetic_query
+
+        dataset = synthetic_dataset("high", scale=0.1, seed=5)
+        query = synthetic_query(dataset)
+        database = make_database(dataset, "cluster")
+        engine = SWEngine(database, dataset.name, sample_fraction=0.1)
+        engine.prepare(query, SearchConfig(alpha=1.0, memory_budget_blocks=16))
+        assert database.buffer(dataset.name).capacity == 16
+        report = engine.execute(
+            query, SearchConfig(alpha=1.0, memory_budget_blocks=16)
+        )
+        buf = database.buffer(dataset.name)
+        assert buf.size <= 16  # the budget held throughout the run
+        assert report.results  # and the query still completes

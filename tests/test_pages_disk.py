@@ -45,6 +45,18 @@ class TestPages:
     def test_blocks_of_rows_empty(self):
         assert blocks_of_rows(np.array([]), 8).size == 0
 
+    def test_blocks_of_rows_rejects_negative_rows(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            blocks_of_rows(np.array([3, -1, 5]), 8)
+
+    def test_blocks_of_rows_rejects_bad_block_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            blocks_of_rows(np.array([1, 2]), 0)
+        # Validated even for empty input: a bad block size is a caller
+        # bug regardless of what rows happen to arrive.
+        with pytest.raises(ValueError, match="positive"):
+            blocks_of_rows(np.array([]), -4)
+
     def test_coalesce_runs(self):
         runs = list(coalesce_runs([1, 2, 3, 7, 8, 11]))
         assert runs == [(1, 3), (7, 2), (11, 1)]
@@ -52,16 +64,29 @@ class TestPages:
     def test_coalesce_runs_single(self):
         assert list(coalesce_runs([5])) == [(5, 1)]
 
-    def test_coalesce_runs_requires_sorted_unique(self):
-        with pytest.raises(ValueError, match="strictly increasing"):
-            list(coalesce_runs([3, 3, 4]))
-        with pytest.raises(ValueError, match="strictly increasing"):
-            list(coalesce_runs([4, 3]))
+    def test_coalesce_runs_empty(self):
+        assert list(coalesce_runs([])) == []
+        assert list(coalesce_runs(np.empty(0, dtype=np.int64))) == []
 
-    @given(st.sets(st.integers(0, 200), min_size=1))
+    def test_coalesce_runs_normalizes_unsorted_and_duplicates(self):
+        # A request reads a *set* of blocks: order and multiplicity are
+        # presentation details, not semantics.
+        assert list(coalesce_runs([4, 3])) == [(3, 2)]
+        assert list(coalesce_runs([3, 3, 4])) == [(3, 2)]
+        assert list(coalesce_runs([11, 7, 8, 2, 1, 3, 8])) == [
+            (1, 3),
+            (7, 2),
+            (11, 1),
+        ]
+
+    def test_coalesce_runs_rejects_negative_ids(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            list(coalesce_runs([2, -1, 3]))
+
+    @given(st.lists(st.integers(0, 200), min_size=1))
     def test_coalesce_runs_partition_property(self, ids):
-        ordered = sorted(ids)
-        runs = list(coalesce_runs(ordered))
+        ordered = sorted(set(ids))
+        runs = list(coalesce_runs(ids))
         rebuilt = [b for start, count in runs for b in range(start, start + count)]
         assert rebuilt == ordered
         # Runs are maximal: consecutive runs leave a gap.

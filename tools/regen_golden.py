@@ -8,6 +8,13 @@ the updated files together with the change that caused them::
 
 With no arguments every case is rebuilt; otherwise only the named ones
 (see ``tests.golden_cases.CASES``).
+
+Every regenerated payload is audited against the metrics accounting
+identities (:class:`repro.obs.audit.InvariantAuditor`) before anything
+is written: a case whose counters are mutually inconsistent would pin a
+broken baseline, so the run exits non-zero and leaves the corpus
+untouched instead.  Writes are atomic (temp file + rename), so an
+interrupted regeneration can never leave a truncated golden file.
 """
 
 from __future__ import annotations
@@ -19,7 +26,25 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO))
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.io import _atomic_write_text  # noqa: E402
+from repro.obs.audit import InvariantAuditor  # noqa: E402
 from tests.golden_cases import CASES, GOLDEN_DIR, golden_path, serialize  # noqa: E402
+
+
+def _audit(name: str, payload: dict) -> list[str]:
+    """Accounting violations in a case payload (merged + per-worker)."""
+    violations: list[str] = []
+    snapshots = [("merged", payload.get("metrics"))]
+    snapshots += [
+        (f"worker{i}", snap)
+        for i, snap in enumerate(payload.get("worker_metrics", []))
+    ]
+    for label, snapshot in snapshots:
+        if snapshot is None:
+            continue
+        for v in InvariantAuditor(snapshot).violations():
+            violations.append(f"{name}/{label}: {v}")
+    return violations
 
 
 def main(argv: list[str]) -> int:
@@ -28,13 +53,24 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown case(s) {unknown}; choose from {sorted(CASES)}")
         return 2
-    GOLDEN_DIR.mkdir(exist_ok=True)
+    # Build and audit everything first; write nothing on any failure.
+    built: list[tuple[str, dict, str]] = []
+    violations: list[str] = []
     for name in names:
         payload = CASES[name]()
-        text = serialize(payload)
+        violations += _audit(name, payload)
+        built.append((name, payload, serialize(payload)))
+    if violations:
+        print("refusing to write: regenerated payloads violate accounting "
+              "invariants:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, payload, text in built:
         path = golden_path(name)
         changed = not path.exists() or path.read_text() != text
-        path.write_text(text)
+        _atomic_write_text(path, text)
         print(f"{'wrote' if changed else 'unchanged'} {path} "
               f"({len(payload['results'])} results, {len(payload['trace'])} events)")
     return 0
