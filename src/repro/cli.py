@@ -144,6 +144,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-audit", action="store_true", help="skip the invariant audit"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run a scripted multi-session workload through the serving layer",
+    )
+    common(serve)
+    serve.add_argument("--alpha", type=float, default=1.0, help="prefetch aggressiveness")
+    serve.add_argument("--sessions", type=int, default=4, help="sessions to submit")
+    serve.add_argument(
+        "--policy", choices=("rr", "utility", "deadline"), default="rr"
+    )
+    serve.add_argument("--slice-steps", type=int, default=16, help="steps per slice")
+    serve.add_argument("--max-live", type=int, default=2, help="concurrent-session cap")
+    serve.add_argument("--queue-limit", type=int, default=8, help="wait-queue depth")
+    serve.add_argument("--serve-seed", type=int, default=0, help="scheduler seed")
+    serve.add_argument(
+        "--park",
+        choices=("live", "checkpoint"),
+        default="live",
+        help="preemption mode: park in place or round-trip the checkpoint path",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the shared semantic cache"
+    )
+    serve.add_argument(
+        "--cache-budget", type=int, default=1 << 20, help="cache budget in cells"
+    )
+    serve.add_argument("--step-budget", type=int, default=None, help="per-session step cap")
+    serve.add_argument(
+        "--json", metavar="PATH", default=None, help="write the serve report as JSON"
+    )
+
     sub.add_parser("info", help="print version and cost-model constants")
     return parser
 
@@ -185,6 +216,8 @@ def _dispatch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         return _cmd_metrics(args, database, dataset, query, out)
     if args.command == "scrub":
         return _cmd_scrub(args, database, dataset, out)
+    if args.command == "serve":
+        return _cmd_serve(args, dataset, query, out)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 
@@ -331,6 +364,97 @@ def _cmd_scrub(args, database: Database, dataset, out) -> int:
         out(f"audit: {outcome['checked']} identities checked, all hold")
         return 0
     out(f"audit: {len(outcome['violations'])} violation(s):")
+    for violation in outcome["violations"]:
+        out(f"  {violation}")
+    return 1
+
+
+def _cmd_serve(args, dataset, query: SWQuery, out) -> int:
+    """Run N sessions of the canonical query through the serving layer."""
+    import json
+
+    from .core.trace import SearchTrace
+    from .obs import InvariantAuditor, MetricsRegistry
+    from .serve import SemanticCache, SessionManager, serve_workload
+
+    registry = MetricsRegistry()
+    trace = SearchTrace()
+    cache = None if args.no_cache else SemanticCache(budget_cells=args.cache_budget)
+    manager = SessionManager(
+        max_live=args.max_live,
+        queue_limit=args.queue_limit,
+        cache=cache,
+        metrics=registry,
+        trace=trace,
+    )
+    for i in range(args.sessions):
+        config = SearchConfig(alpha=args.alpha)
+        if args.policy == "deadline":
+            # Staggered urgency: later submissions carry earlier deadlines,
+            # which exercises capacity preemption when slots fill up.
+            config = SearchConfig(
+                alpha=args.alpha, deadline_s=60.0 * (args.sessions - i)
+            )
+        manager.submit(
+            f"s{i:02d}",
+            dataset,
+            query,
+            config,
+            placement=args.placement,
+            sample_fraction=args.sample_fraction,
+            step_budget=args.step_budget,
+        )
+    serve_workload(
+        manager,
+        policy=args.policy,
+        slice_steps=args.slice_steps,
+        park=args.park,
+        seed=args.serve_seed,
+    )
+
+    summary = manager.summary()
+    for name, info in summary["sessions"].items():
+        flag = " (interrupted)" if info["interrupted"] else ""
+        out(
+            f"{name}: {info['state']:<9} {info['results']:>4} results "
+            f"in {info['steps']:>6} steps{flag}"
+        )
+    merged = manager.merged_results()
+    total = sum(info["results"] for info in summary["sessions"].values())
+    out(f"-- {total} results across sessions, {len(merged)} after dedupe")
+
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    if counters:
+        out("\nserve counters:")
+        for name, value in counters.items():
+            out(f"  {name:<40} {value:>14g}")
+    if cache is not None:
+        lookups = counters.get("serve.cache.lookup_cells", 0.0)
+        hits = counters.get("serve.cache.hit_cells", 0.0)
+        rate = hits / lookups if lookups else 0.0
+        out(
+            f"\ncache: {cache.stats()['resident_cells']} resident cells, "
+            f"hit rate {rate:.1%} ({hits:g}/{lookups:g})"
+        )
+
+    if args.json is not None:
+        report = {
+            "summary": summary,
+            "metrics": snapshot,
+            "merged_results": len(merged),
+            "trace": trace.summary(),
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        out(f"\nwrote {args.json}")
+
+    audit = InvariantAuditor(snapshot)
+    outcome = audit.report()
+    if outcome["ok"]:
+        out(f"\naudit: {outcome['checked']} identities checked, all hold")
+        return 0
+    out(f"\naudit: {len(outcome['violations'])} violation(s):")
     for violation in outcome["violations"]:
         out(f"  {violation}")
     return 1

@@ -18,7 +18,7 @@ from .conditions import (
 from .clusters import ClusterTracker, cluster_discovery_times, final_clusters
 from .datamanager import DataManager
 from .diversify import Diversification
-from .engine import ExecutionReport, SWEngine
+from .engine import ExecutionReport, StreamingExecution, SWEngine
 from .expressions import BinaryOp, Column, Expr, Literal, UnaryFunc, col, lit
 from .geometry import Interval, Rect
 from .grid import Grid
@@ -43,6 +43,7 @@ __all__ = [
     "Diversification",
     "SummedAreaTable",
     "ExecutionReport",
+    "StreamingExecution",
     "SWEngine",
     "PrefetchState",
     "PrefetchStrategy",

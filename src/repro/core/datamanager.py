@@ -123,12 +123,30 @@ class DataManager:
         self._kernels: DataKernels | None = None
         # Optional observability (repro.obs); see attach_metrics.
         self.metrics = None
+        # Optional cross-query semantic cache (repro.serve); see attach_cache.
+        self._cache = None
+        self._cache_table_sig = None
+        self._cache_grid_sig = None
 
     def attach_metrics(self, registry) -> None:
         """Route cache/read accounting into a registry (``None`` detaches)."""
         self.metrics = registry
         if registry is not None and registry.clock is None:
             registry.clock = self._db.clock
+
+    def attach_cache(self, cache, table_sig, grid_sig) -> None:
+        """Bind a shared cross-query semantic cache (``None`` detaches).
+
+        ``cache`` is duck-typed (see ``repro.serve.SemanticCache``): it
+        must offer ``consult(table_sig, grid_sig, flat_ids, require)``
+        returning ``{flat_id: payload}`` and ``publish(table_sig,
+        grid_sig, items)``.  Once attached, :meth:`read_window` consults
+        the cache for unread cells before charging DBMS I/O and promotes
+        every freshly read cell back into it.
+        """
+        self._cache = cache
+        self._cache_table_sig = table_sig
+        self._cache_grid_sig = grid_sig
 
     @property
     def kernels(self) -> DataKernels:
@@ -260,6 +278,8 @@ class DataManager:
         Returns the :class:`~repro.storage.database.CellScan`, or ``None``
         when the window was fully cached (no DBMS call).
         """
+        if self._cache is not None:
+            self._consult_cache(window)
         m = self.metrics
         if m is not None:
             requested = window.cardinality
@@ -291,7 +311,58 @@ class DataManager:
         self.version += 1
         self.reads += 1
         self.cells_read += target.cardinality
+        if self._cache is not None:
+            self._promote_to_cache(target)
         return scan
+
+    def _consult_cache(self, window: Window) -> None:
+        """Install shared-cache cells into this query's cache (lookaside).
+
+        Runs before the DBMS read so cached cells shrink (or eliminate)
+        the unread bounding box and are accounted as cache hits.  Cells
+        are consulted in row-major order and installed without metrics —
+        they are cache traffic, not peer shipments — with a single
+        version bump for the whole batch.
+        """
+        box = self.box(window)
+        unread = ~self.read_mask[box]
+        if not unread.any():
+            return
+        flat_ids = [
+            self.grid.flat_id(tuple(int(o) + l for o, l in zip(offsets, window.lo)))
+            for offsets in zip(*np.nonzero(unread))
+        ]
+        found = self._cache.consult(
+            self._cache_table_sig,
+            self._cache_grid_sig,
+            flat_ids,
+            require=tuple(self._objectives),
+            window=window,
+        )
+        if not found:
+            return
+        for flat_id in flat_ids:
+            payload = found.get(flat_id)
+            if payload is not None:
+                self._install_payload(self.grid.index_of_flat(flat_id), payload)
+        self.version += 1
+
+    def _promote_to_cache(self, target: Window) -> None:
+        """Publish every freshly read cell of ``target`` to the shared cache.
+
+        Degraded cells are withheld — their aggregates lost tuples to
+        quarantined pages and must not leak into other sessions.
+        """
+        items = []
+        for idx in target.iter_cells():
+            flat_id = self.grid.flat_id(idx)
+            if flat_id in self.degraded_cells:
+                continue
+            items.append((flat_id, self.cell_payload(idx)))
+        if items:
+            self._cache.publish(
+                self._cache_table_sig, self._cache_grid_sig, items
+            )
 
     def _apply_scan(self, target: Window, cells: Mapping[int, Mapping[str, CellStats]]) -> None:
         box = self.box(target)
@@ -334,9 +405,17 @@ class DataManager:
         unchanged — cached cells are exact, and the new table holds the
         same tuples for them — so nothing already read is re-read.  The
         old table's disk is retired; its read counter is preserved in
-        :attr:`blocks_read_cumulative`.
+        :attr:`blocks_read_cumulative`.  Any attached semantic cache is
+        told to drop the old binding: its entries describe a table this
+        manager no longer serves, and the adopted table's contents are
+        not cell-for-cell equivalent to what was published.
         """
         self._retired_blocks_read += self._db.disk(self._table_name).blocks_read
+        if self._cache is not None:
+            self._cache.on_table_rebind(self._cache_table_sig)
+            self._cache = None
+            self._cache_table_sig = None
+            self._cache_grid_sig = None
         self._db.register(table)
         self._table = table
         self._table_name = table.name
@@ -360,11 +439,15 @@ class DataManager:
     # -- checkpoint support ---------------------------------------------------------------
 
     def state(self) -> dict:
-        """Exact cache state (numpy arrays by reference-copy) for a checkpoint.
+        """Exact cache state for a checkpoint, as independent snapshots.
 
-        ``true_count`` and the initial sample grids are pure functions of
-        the dataset and sample seed, so only the mutable overlays are
-        captured.  The kernels rebuild lazily after restore.
+        Every array is **copied** — the capture must stay byte-stable
+        while the live manager keeps reading (the serving layer parks
+        sessions on captures and resumes them many reads later), so
+        handing out views or references here would be an aliasing
+        hazard.  ``true_count`` and the initial sample grids are pure
+        functions of the dataset and sample seed, so only the mutable
+        overlays are captured.  The kernels rebuild lazily after restore.
         """
         return {
             "read_mask": self.read_mask.copy(),
@@ -420,9 +503,18 @@ class DataManager:
 
     def install_cell(self, index: Sequence[int], payload: Mapping[str, CellStats]) -> None:
         """Install a peer-provided exact cell into the cache."""
-        idx = tuple(index)
         if self.metrics is not None:
             self.metrics.inc("dist.cells_installed")
+        self._install_payload(tuple(index), payload)
+        self.version += 1
+
+    def _install_payload(self, idx: tuple[int, ...], payload: Mapping[str, CellStats]) -> None:
+        """Mark ``idx`` read with the payload's exact summaries.
+
+        No metrics, no version bump — callers decide how the install is
+        accounted (peer shipment vs. semantic-cache traffic) and batch
+        their own version bumps.
+        """
         self.read_mask[idx] = True
         self.unread_count[idx] = 0.0
         for key in self._objectives:
@@ -435,4 +527,3 @@ class DataManager:
                 self.eff_sum[key][idx] = st.total
                 self.eff_min[key][idx] = st.minimum
                 self.eff_max[key][idx] = st.maximum
-        self.version += 1

@@ -16,7 +16,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable
 
 from ..costs import CostModel
 from ..errors import ConfigError
@@ -28,7 +28,7 @@ from .datamanager import DataManager
 from .query import ResultWindow, SWQuery
 from .search import HeuristicSearch, SearchConfig, SearchRun
 
-__all__ = ["ExecutionReport", "SWEngine"]
+__all__ = ["ExecutionReport", "StreamingExecution", "SWEngine"]
 
 
 @dataclass
@@ -58,6 +58,71 @@ class ExecutionReport:
         return self.degradation is not None
 
 
+class StreamingExecution:
+    """Handle for one online execution: iterate results, steer, report.
+
+    Iterating yields qualifying windows as they are found, exactly like
+    the generator :meth:`SWEngine.execute_iter` used to return; on top
+    of that the handle exposes the partial execution — :meth:`cancel`
+    stops the search cooperatively (the next step interrupts),
+    :meth:`close` abandons the stream without touching the search (it
+    stays checkpointable), and :meth:`report` packages whatever has run
+    so far into an :class:`ExecutionReport` with the same I/O deltas
+    :meth:`SWEngine.execute` computes — so a partial streaming run and
+    the checkpoint/resume path agree on every number.
+    """
+
+    def __init__(self, engine: "SWEngine", search: HeuristicSearch) -> None:
+        self._engine = engine
+        self.search = search
+        self.run = search.new_run()
+        disk = engine.database.disk(engine.table_name)
+        buffer = engine.database.buffer(engine.table_name)
+        self._before = disk.stats()
+        self._hits0 = buffer.hits
+        self._misses0 = buffer.misses
+        self._begun = False
+        self._closed = False
+
+    def __iter__(self) -> "StreamingExecution":
+        return self
+
+    def __next__(self) -> ResultWindow:
+        if self._closed:
+            raise StopIteration
+        if not self._begun:
+            self.search.begin()
+            self._begun = True
+        while True:
+            status, result = self.search.step(self.run)
+            if status == "result":
+                return result
+            if status in ("done", "interrupted"):
+                self._closed = True
+                raise StopIteration
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation of the underlying search."""
+        self.search.cancel()
+
+    def close(self) -> None:
+        """Stop driving the stream; the search is left checkpointable."""
+        self._closed = True
+
+    def report(self) -> ExecutionReport:
+        """The execution so far, in :meth:`SWEngine.execute` shape."""
+        delta, hits, misses = self._engine._io_delta(
+            self._before, self._hits0, self._misses0
+        )
+        return ExecutionReport(
+            run=self.run,
+            disk_stats=delta,
+            buffer_hits=hits,
+            buffer_misses=misses,
+            degradation=self._engine.degradation_of(self.search),
+        )
+
+
 class SWEngine:
     """Executes Semantic Window queries over one registered table."""
 
@@ -84,11 +149,25 @@ class SWEngine:
         self.use_kernels = use_kernels
         self._sample_cache: dict[tuple, CellSample] = {}
         self._data_cache: dict[tuple, DataManager] = {}
+        self._semantic_cache = None
 
     @property
     def cost_model(self) -> CostModel:
         """The database's simulated cost model."""
         return self.database.cost_model
+
+    def attach_semantic_cache(self, cache) -> None:
+        """Share a cross-query semantic cache with this engine.
+
+        ``cache`` is duck-typed (``repro.serve.SemanticCache``).  Once
+        attached, every prepared query binds its Data Manager to the
+        cache — unread cells are served from other sessions' published
+        summaries before DBMS I/O is charged — and stratified-sample
+        construction consults the cache's sample store, keyed by the
+        table's *physical* signature (sample row ids are
+        placement-dependent).  ``None`` detaches.
+        """
+        self._semantic_cache = cache
 
     # -- sample management -------------------------------------------------------
 
@@ -111,6 +190,12 @@ class SWEngine:
         )
         if key not in self._sample_cache:
             table = self.database.table(self.table_name)
+            shared = self._semantic_cache
+            if shared is not None:
+                sample = shared.sample_lookup(table, (self.sampler,) + key)
+                if sample is not None:
+                    self._sample_cache[key] = sample
+                    return sample
             if self.sampler == "uniform":
                 from ..sampling.stratified import uniform_sample
 
@@ -124,6 +209,10 @@ class SWEngine:
             else:
                 sampler = StratifiedSampler(self.sample_fraction, seed=self.sample_seed)
                 self._sample_cache[key] = sampler.sample(table, query.grid, metrics=metrics)
+            if shared is not None:
+                shared.sample_publish(
+                    table, (self.sampler,) + key, self._sample_cache[key]
+                )
         elif metrics is not None:
             metrics.inc("sample.cache_hits")
         return self._sample_cache[key]
@@ -178,6 +267,11 @@ class SWEngine:
             )
             if reuse_cache and self.noise is None:
                 self._data_cache[key] = data
+        if self._semantic_cache is not None:
+            tsig, gsig = self._semantic_cache.binding(
+                self.database.table(self.table_name), query.grid
+            )
+            data.attach_cache(self._semantic_cache, tsig, gsig)
         search = HeuristicSearch(
             query, data, config, cost_model=self.cost_model, trace=trace, metrics=metrics
         )
@@ -218,6 +312,21 @@ class SWEngine:
         else:
             run = search.run(on_result=on_result)
 
+        delta, hits, misses = self._io_delta(before, hits0, misses0)
+        return ExecutionReport(
+            run=run,
+            disk_stats=delta,
+            buffer_hits=hits,
+            buffer_misses=misses,
+            degradation=self.degradation_of(search),
+        )
+
+    def _io_delta(
+        self, before: dict[str, float], hits0: int, misses0: int
+    ) -> tuple[dict[str, float], int, int]:
+        """Disk/buffer deltas since a captured baseline, report-shaped."""
+        disk = self.database.disk(self.table_name)
+        buffer = self.database.buffer(self.table_name)
         after = disk.stats()
         additive = ("total_time_s", "blocks_read", "blocks_reread", "requests", "seeks")
         delta = {k: after[k] - before[k] for k in additive}
@@ -229,20 +338,23 @@ class SWEngine:
         else:
             delta["mean_read_ms"] = 0.0
             delta["dev_read_ms"] = 0.0
-        return ExecutionReport(
-            run=run,
-            disk_stats=delta,
-            buffer_hits=buffer.hits - hits0,
-            buffer_misses=buffer.misses - misses0,
-            degradation=self.degradation_of(search),
-        )
+        return delta, buffer.hits - hits0, buffer.misses - misses0
 
     def execute_iter(
-        self, query: SWQuery, config: SearchConfig | None = None, metrics=None
-    ) -> Iterator[ResultWindow]:
-        """Stream results online (human-in-the-loop form of :meth:`execute`)."""
-        search = self.prepare(query, config, metrics=metrics)
-        yield from search.iter_results()
+        self,
+        query: SWQuery,
+        config: SearchConfig | None = None,
+        metrics=None,
+        trace=None,
+    ) -> StreamingExecution:
+        """Stream results online (human-in-the-loop form of :meth:`execute`).
+
+        Returns a :class:`StreamingExecution`: iterate it for results as
+        they are found, ``cancel()`` it mid-iteration, and ask it for a
+        partial :class:`ExecutionReport` at any point via ``report()``.
+        """
+        search = self.prepare(query, config, trace=trace, metrics=metrics)
+        return StreamingExecution(self, search)
 
     # -- resilience ----------------------------------------------------------------
 

@@ -310,14 +310,28 @@ class HeuristicSearch:
 
     # -- the main loop ----------------------------------------------------------------
 
+    def new_run(self) -> SearchRun:
+        """A run record bound to this search's live result list and stats.
+
+        Callers driving :meth:`step` directly (streaming handles, the
+        serving layer) use this so interruption flags and timings land
+        on the same record across park/resume cycles.
+        """
+        return SearchRun(results=self._results, stats=self.stats)
+
     def run(self, on_result: Callable[[ResultWindow], None] | None = None) -> SearchRun:
         """Execute the search to completion; returns the run record."""
-        run = SearchRun(results=self._results, stats=self.stats)
+        run = self.new_run()
         for _ in self.iter_results(run):
             if on_result is not None:
                 on_result(self._results[-1])
         run.completion_time_s = self.data.clock.now - self._start_time
         return run
+
+    @property
+    def start_time(self) -> float:
+        """Simulated-clock instant the search started (checkpoint-stable)."""
+        return self._start_time
 
     def cancel(self) -> None:
         """Request cooperative cancellation.
@@ -343,17 +357,41 @@ class HeuristicSearch:
             return "step_limit"
         return None
 
-    def iter_results(self, run: SearchRun | None = None) -> Iterator[ResultWindow]:
-        """Generator form: yields results online as they are discovered."""
-        clock = self.data.clock
+    def begin(self) -> None:
+        """Seed the frontier, or skip seeding when resuming from a checkpoint.
+
+        Called once per run segment — :meth:`iter_results` does it for
+        you; callers driving :meth:`step` directly (the serving layer's
+        cooperative scheduler) must call it before the first step.
+        """
         if self._restored:
             # Resuming from a checkpoint: the frontier, caches and start
             # time were restored verbatim — re-seeding would duplicate work.
             self._restored = False
         else:
-            self._start_time = clock.now
+            self._start_time = self.data.clock.now
             self._seed_start_windows()
 
+    def step(self, run: SearchRun | None = None) -> tuple[str, ResultWindow | None]:
+        """Advance the search by at most one exploration.
+
+        The cooperative scheduling quantum: pops (re-estimating and
+        re-inserting stale entries as needed) until one window has been
+        explored, then returns ``(status, result)`` where status is
+
+        * ``"result"`` — the explored window qualified (``result`` set);
+        * ``"step"`` — one window explored, no result;
+        * ``"done"`` — the frontier is exhausted;
+        * ``"interrupted"`` — a lifecycle limit fired before the pop.
+
+        Between calls the search is parked and checkpointable
+        (:meth:`checkpoint_state`), which is what lets a multi-session
+        scheduler time-slice many searches over one process
+        deterministically.  ``run``, when given, receives interruption
+        flags and the completion time exactly as :meth:`iter_results`
+        would set them.
+        """
+        clock = self.data.clock
         use_jumps = self.config.diversification in (
             Diversification.UTILITY_JUMPS,
             Diversification.DIST_JUMPS,
@@ -365,10 +403,13 @@ class HeuristicSearch:
                 if run is not None:
                     run.interrupted = True
                     run.interrupt_reason = reason
-                break
+                    run.completion_time_s = clock.now - self._start_time
+                return ("interrupted", None)
             popped = self.queue.pop()
             if popped is None:
-                break
+                if run is not None:
+                    run.completion_time_s = clock.now - self._start_time
+                return ("done", None)
             priority, window, version = popped
 
             if self.config.lazy_updates and version < self.data.version:
@@ -407,10 +448,18 @@ class HeuristicSearch:
             if self._scrubber is not None:
                 self._scrubber.step()
             if result is not None:
-                yield result
+                return ("result", result)
+            return ("step", None)
 
-        if run is not None:
-            run.completion_time_s = clock.now - self._start_time
+    def iter_results(self, run: SearchRun | None = None) -> Iterator[ResultWindow]:
+        """Generator form: yields results online as they are discovered."""
+        self.begin()
+        while True:
+            status, result = self.step(run)
+            if status == "result":
+                yield result
+            elif status in ("done", "interrupted"):
+                break
 
     def progress(self) -> dict[str, float]:
         """A snapshot of how far the search has come.
@@ -667,13 +716,7 @@ class HeuristicSearch:
 
     def _window_key(self, window: Window) -> int:
         """Packed mixed-radix encoding of (lo, hi) against the grid shape."""
-        shape = self.grid.shape
-        key = 0
-        for d in range(len(shape)):
-            key = key * shape[d] + window.lo[d]
-        for d in range(len(shape)):
-            key = key * (shape[d] + 1) + window.hi[d]
-        return key
+        return window.key(self.grid.shape)
 
     def _window_keys(self, lows: np.ndarray, lengths: Sequence[int]) -> list[int]:
         """Batch :meth:`_window_key` over fixed-shape placements."""

@@ -44,6 +44,13 @@ class EventKind(Enum):
     REPAIR = "repair"
     SCRUB = "scrub"
     CHECKPOINT = "checkpoint"
+    # Serving-layer events (recorded on the *manager's* trace, never a
+    # session's own): admission/lifecycle transitions are SESSIONs; a
+    # scheduler taking the slice away from a session is a PREEMPT; a
+    # cross-session semantic-cache hit is a CACHE_SHARE.
+    SESSION = "session"
+    PREEMPT = "preempt"
+    CACHE_SHARE = "cache_share"
 
 
 @dataclass(frozen=True)
@@ -132,4 +139,7 @@ class SearchTrace:
             "repairs": len(self.events(EventKind.REPAIR)),
             "scrubs": len(self.events(EventKind.SCRUB)),
             "checkpoints": len(self.events(EventKind.CHECKPOINT)),
+            "sessions": len(self.events(EventKind.SESSION)),
+            "preempts": len(self.events(EventKind.PREEMPT)),
+            "cache_shares": len(self.events(EventKind.CACHE_SHARE)),
         }

@@ -184,6 +184,44 @@ class Window:
                 if nb is not None:
                     yield nb
 
+    # -- canonical identity --------------------------------------------------
+
+    def key(self, shape: Sequence[int]) -> int:
+        """Canonical integer identity of this window within a grid shape.
+
+        A mixed-radix packing of ``(lo, hi)`` against ``shape``: two
+        windows of the same grid share a key iff they cover exactly the
+        same cells, so the key is the window's *canonical identity* —
+        the search's dedup set and the serving layer's cross-session
+        result deduplication both key on it.  Python integers are
+        unbounded, so the packing never overflows; for vectorised
+        batches see ``HeuristicSearch._window_keys``.
+        """
+        if len(shape) != self.ndim:
+            raise ValueError(
+                f"shape dimensionality {len(shape)} != window {self.ndim}"
+            )
+        key = 0
+        for d in range(len(shape)):
+            key = key * shape[d] + self.lo[d]
+        for d in range(len(shape)):
+            key = key * (shape[d] + 1) + self.hi[d]
+        return key
+
+    @classmethod
+    def from_key(cls, key: int, shape: Sequence[int]) -> "Window":
+        """Inverse of :meth:`key` under the same grid shape."""
+        shape = tuple(shape)
+        hi = [0] * len(shape)
+        lo = [0] * len(shape)
+        for d in range(len(shape) - 1, -1, -1):
+            key, hi[d] = divmod(key, shape[d] + 1)
+        for d in range(len(shape) - 1, -1, -1):
+            key, lo[d] = divmod(key, shape[d])
+        if key != 0:
+            raise ValueError(f"key does not decode within shape {shape}")
+        return cls(tuple(lo), tuple(hi))
+
     # -- coordinate space ---------------------------------------------------
 
     def rect(self, grid: Grid) -> Rect:

@@ -226,6 +226,49 @@ class InvariantAuditor:
                 out,
             )
 
+        if self._has("serve.sessions_submitted"):
+            # Serving-layer lifecycle: every submission is admitted or
+            # rejected; nothing completes without having been admitted;
+            # the scheduler hands out at least one slice per completion;
+            # parked sessions can only be resumed after a park.
+            self._equal(
+                "serve: submitted == admitted + rejected",
+                c("serve.sessions_submitted"),
+                c("serve.sessions_admitted") + c("serve.sessions_rejected"),
+                out,
+            )
+            self._at_least(
+                "serve: admitted >= completed",
+                c("serve.sessions_admitted"),
+                c("serve.sessions_completed"),
+                out,
+            )
+            self._at_least(
+                "serve: slices >= sessions completed",
+                c("serve.slices"),
+                c("serve.sessions_completed"),
+                out,
+            )
+            self._at_least(
+                "serve: parks >= resumes",
+                c("serve.parks"),
+                c("serve.resumes"),
+                out,
+            )
+        if self._has("serve.cache.lookup_cells"):
+            self._equal(
+                "serve cache: lookups == hits + misses",
+                c("serve.cache.lookup_cells"),
+                c("serve.cache.hit_cells") + c("serve.cache.miss_cells"),
+                out,
+            )
+            self._equal(
+                "serve cache: promoted == inserted + refreshed",
+                c("serve.cache.promoted_cells"),
+                c("serve.cache.inserted_cells") + c("serve.cache.refreshed_cells"),
+                out,
+            )
+
         for name in sorted(self._counters):
             if name.startswith("span.") and name.endswith(".total_s"):
                 phase = name[len("span."):-len(".total_s")]

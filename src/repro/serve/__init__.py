@@ -1,0 +1,51 @@
+"""Multi-session serving layer with a cross-query semantic cache.
+
+Turns the single-query engine into a deterministic serving substrate:
+
+* :class:`SessionManager` — admission control and backpressure over
+  concurrent :class:`ExplorationSession`\\ s (max live sessions, bounded
+  wait queue, per-session step/block budgets);
+* :class:`QueryScheduler` — cooperative time-slicing via the search step
+  loop, with pluggable policies (:class:`RoundRobinPolicy`,
+  :class:`UtilityPolicy`, :class:`DeadlinePolicy`) and checkpoint-path
+  parking;
+* :class:`SemanticCache` — exact per-cell summaries and stratified
+  samples shared across sessions, keyed by table/grid signatures, with
+  a memory budget, pin-aware LRU eviction and rebind invalidation.
+
+See DESIGN.md §12 for the determinism contract.
+"""
+
+from .cache import (
+    SemanticCache,
+    grid_signature,
+    physical_signature,
+    table_signature,
+)
+from .manager import SessionManager, serve_workload
+from .scheduler import (
+    DeadlinePolicy,
+    QueryScheduler,
+    RoundRobinPolicy,
+    SchedulingPolicy,
+    UtilityPolicy,
+    make_policy,
+)
+from .session import ExplorationSession, SessionState
+
+__all__ = [
+    "SemanticCache",
+    "table_signature",
+    "physical_signature",
+    "grid_signature",
+    "SessionManager",
+    "serve_workload",
+    "QueryScheduler",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "UtilityPolicy",
+    "DeadlinePolicy",
+    "make_policy",
+    "ExplorationSession",
+    "SessionState",
+]

@@ -18,7 +18,7 @@ import numpy as np
 from ..errors import CorruptBlockError
 from .disk import SimulatedDisk
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "PoolGroup"]
 
 
 class BufferPool:
@@ -195,3 +195,68 @@ class BufferPool:
         self._protected = {int(b) for b in state["protected"]}
         self._hits = int(state["hits"])
         self._misses = int(state["misses"])
+
+
+class PoolGroup:
+    """Named collection of buffer pools with shared-budget accounting.
+
+    The serving layer runs one pool per session (each session owns its
+    database instance), but operators reason about *one* memory budget.
+    A group registers member pools under stable names, aggregates their
+    occupancy and hit statistics, and can :meth:`rebalance` a global
+    block budget across members — deterministically, by equal split in
+    sorted-name order with the remainder going to the lexicographically
+    first names, so a fixed member set always produces the same shares.
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[str, BufferPool] = {}
+
+    def register(self, name: str, pool: BufferPool) -> None:
+        """Add a member pool under a unique name."""
+        if name in self._pools:
+            raise ValueError(f"pool {name!r} already registered")
+        self._pools[name] = pool
+
+    def unregister(self, name: str) -> BufferPool | None:
+        """Remove and return a member pool (``None`` if absent)."""
+        return self._pools.pop(name, None)
+
+    def names(self) -> list[str]:
+        """Registered pool names, sorted."""
+        return sorted(self._pools)
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate capacity/occupancy/hit statistics over all members."""
+        pools = self._pools.values()
+        return {
+            "pools": len(self._pools),
+            "capacity": sum(p.capacity for p in pools),
+            "resident": sum(p.size for p in pools),
+            "protected": sum(len(p.protected()) for p in pools),
+            "hits": sum(p.hits for p in pools),
+            "misses": sum(p.misses for p in pools),
+        }
+
+    def rebalance(self, total_blocks: int) -> dict[str, int]:
+        """Split a global block budget across members; returns the shares.
+
+        Every member gets at least one block (pool capacities must stay
+        positive), so the effective budget is ``max(total_blocks,
+        len(group))``.
+        """
+        names = self.names()
+        if not names:
+            return {}
+        if total_blocks < 1:
+            raise ValueError(f"block budget must be positive, got {total_blocks}")
+        base, extra = divmod(total_blocks, len(names))
+        shares: dict[str, int] = {}
+        for i, name in enumerate(names):
+            share = max(1, base + (1 if i < extra else 0))
+            self._pools[name].resize(share)
+            shares[name] = share
+        return shares

@@ -334,3 +334,156 @@ class TestCheckpointFile:
         assert path.suffix == ".npz"
         leftovers = [p for p in tmp_path.iterdir() if p != path]
         assert leftovers == []
+
+
+def _dm_digest(state: dict) -> str:
+    """Stable digest of a DataManager.state() capture."""
+    import hashlib
+
+    h = hashlib.sha1()
+    h.update(state["read_mask"].tobytes())
+    h.update(state["unread_count"].tobytes())
+    for family in ("eff_sum", "eff_min", "eff_max"):
+        for key in sorted(state[family]):
+            h.update(key.encode())
+            h.update(state[family][key].tobytes())
+    h.update(
+        repr(
+            (
+                state["version"],
+                state["reads"],
+                state["cells_read"],
+                state["retired_blocks_read"],
+                state["degraded_cells"],
+            )
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+class TestDataManagerCaptureIsolation:
+    def test_capture_survives_later_mutation(self, workload):
+        """A state() capture must be snapshots, not views of live arrays.
+
+        The serving layer parks sessions on captures and resumes them many
+        reads later — a capture aliasing the live overlays would silently
+        corrupt every parked session the moment the manager reads again.
+        """
+        dataset, query = workload
+        search = _engine(dataset).prepare(
+            query, SearchConfig(alpha=1.0, step_limit=25)
+        )
+        search.run()
+        data = search.data
+        capture = data.state()
+        frozen = _dm_digest(capture)
+        assert data.unread_count.sum() > 0, "need unread cells left to mutate"
+
+        # Mutate the live manager: read everything it has not read yet.
+        from repro.core.window import Window
+
+        data.read_window(Window((0,) * len(data.grid.shape), data.grid.shape))
+        assert data.unread_count.sum() == 0
+        assert _dm_digest(capture) == frozen, "capture aliased live arrays"
+
+        # The stale capture restores byte-identically on a fresh manager.
+        fresh = _engine(dataset).prepare(query, SearchConfig(alpha=1.0))
+        fresh.data.restore_state(capture)
+        assert _dm_digest(fresh.data.state()) == frozen
+
+
+class TestStreamingInterruption:
+    """SWEngine.execute_iter under step_limit and cancel() (DESIGN.md §11)."""
+
+    def test_step_limit_stream_matches_blocking_and_resumes(self, workload, tmp_path):
+        dataset, query = workload
+        reference = _serial_reference(workload)
+
+        t1, r1 = SearchTrace(), MetricsRegistry()
+        engine = _engine(dataset, registry=r1)
+        stream = engine.execute_iter(
+            query, SearchConfig(alpha=1.0, step_limit=40), trace=t1
+        )
+        partial = list(stream)
+        report = stream.report()
+        assert report.run.interrupted
+        assert report.run.interrupt_reason == "step_limit"
+        assert report.run.results == partial
+        assert report.disk_stats["blocks_read"] > 0
+
+        # The streamed partial run is byte-identical to the blocking path
+        # interrupted at the same step.
+        t2, r2 = SearchTrace(), MetricsRegistry()
+        run2 = (
+            _engine(dataset, registry=r2)
+            .prepare(query, SearchConfig(alpha=1.0, step_limit=40), trace=t2)
+            .run()
+        )
+        assert _payload(report.run, t1, r1) == _payload(run2, t2, r2)
+
+        # And its search is checkpointable: resume finishes to the
+        # uninterrupted reference bytes.
+        state = read_checkpoint(
+            write_checkpoint(stream.search.checkpoint_state(), tmp_path / "stream")
+        )
+        t3, r3 = SearchTrace(), MetricsRegistry()
+        resumed = _engine(dataset, registry=r3).resume(
+            query, state, SearchConfig(alpha=1.0), trace=t3
+        )
+        run3 = resumed.run()
+        assert not run3.interrupted
+        assert _payload(run3, t3, r3) == reference
+
+    def test_cancel_mid_iteration_matches_blocking_cancel(self, workload, tmp_path):
+        dataset, query = workload
+        stop_at = 3
+
+        t1, r1 = SearchTrace(), MetricsRegistry()
+        engine = _engine(dataset, registry=r1)
+        stream = engine.execute_iter(query, SearchConfig(alpha=1.0), trace=t1)
+        got = []
+        for result in stream:
+            got.append(result)
+            if len(got) == stop_at:
+                stream.cancel()
+        assert len(got) == stop_at, "cancel must stop the stream cooperatively"
+        report = stream.report()
+        assert report.run.interrupted
+        assert report.run.interrupt_reason == "cancelled"
+        assert report.run.results == got
+        assert report.run.completion_time_s is not None
+
+        # Blocking leg: same cancel point through iter_results().
+        t2, r2 = SearchTrace(), MetricsRegistry()
+        search2 = _engine(dataset, registry=r2).prepare(
+            query, SearchConfig(alpha=1.0), trace=t2
+        )
+        run2 = search2.new_run()
+        for n, _result in enumerate(search2.iter_results(run2), start=1):
+            if n == stop_at:
+                search2.cancel()
+        assert _payload(report.run, t1, r1) == _payload(run2, t2, r2)
+
+        # A cancelled stream checkpoints and resumes to the full answer
+        # (the cancel flag is transient, not part of the capture).
+        state = read_checkpoint(
+            write_checkpoint(stream.search.checkpoint_state(), tmp_path / "cancel")
+        )
+        t3, r3 = SearchTrace(), MetricsRegistry()
+        run3 = (
+            _engine(dataset, registry=r3)
+            .resume(query, state, SearchConfig(alpha=1.0), trace=t3)
+            .run()
+        )
+        assert not run3.interrupted
+        assert _payload(run3, t3, r3) == _serial_reference(workload)
+
+    def test_close_leaves_search_checkpointable(self, workload):
+        dataset, query = workload
+        engine = _engine(dataset)
+        stream = engine.execute_iter(query, SearchConfig(alpha=1.0))
+        next(stream)
+        stream.close()
+        assert list(stream) == []  # closed: no more results
+        state = stream.search.checkpoint_state()
+        assert state["results"], "capture carries the streamed progress"

@@ -139,3 +139,50 @@ class TestMetricsCommand:
         assert args.workload == "synth-high"
         assert args.json is None
         assert not args.no_audit
+
+    def test_serve_command_runs_and_audits(self, tmp_path):
+        target = tmp_path / "serve.json"
+        code, lines = run_cli(
+            "serve", "--workload", "synth-medium", "--scale", "0.15",
+            "--sessions", "3", "--max-live", "2", "--slice-steps", "8",
+            "--json", str(target),
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "after dedupe" in text
+        assert "serve.sessions_completed" in text
+        assert "hit rate" in text
+        assert any("identities checked, all hold" in line for line in lines)
+
+        import json
+
+        report = json.loads(target.read_text())
+        assert set(report) == {"summary", "metrics", "merged_results", "trace"}
+        assert report["summary"]["sessions"]["s00"]["state"] == "done"
+        assert report["merged_results"] > 0
+        assert report["trace"]["sessions"] > 0
+
+    def test_serve_deadline_checkpoint_park(self):
+        code, lines = run_cli(
+            "serve", "--workload", "synth-medium", "--scale", "0.15",
+            "--sessions", "3", "--max-live", "1", "--policy", "deadline",
+            "--park", "checkpoint", "--step-budget", "40",
+        )
+        assert code == 0
+        assert any("(interrupted)" in line for line in lines)
+        assert any("serve.preemptions" in line for line in lines)
+
+    def test_serve_no_cache(self):
+        code, lines = run_cli(
+            "serve", "--workload", "synth-medium", "--scale", "0.15",
+            "--sessions", "2", "--no-cache", "--slice-steps", "16",
+        )
+        assert code == 0
+        assert not any("hit rate" in line for line in lines)
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.sessions == 4
+        assert args.policy == "rr"
+        assert args.park == "live"
+        assert not args.no_cache

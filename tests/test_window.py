@@ -180,3 +180,41 @@ class TestWindowRect:
     def test_rect_volume_matches_cardinality_on_unit_grid(self, grid_10x10):
         w = Window((1, 1), (4, 3))
         assert w.rect(grid_10x10).volume == pytest.approx(w.cardinality)
+
+
+class TestCanonicalKey:
+    """Window.key/from_key: the cross-session canonical identity."""
+
+    def test_round_trip_and_uniqueness_over_all_windows(self):
+        grid = Grid(Rect.from_bounds([(0.0, 4.0), (0.0, 3.0)]), (1.0, 1.0))
+        shape = grid.shape
+        keys = {}
+        for window in enumerate_windows(grid):
+            key = window.key(shape)
+            assert key not in keys, f"{window} collides with {keys[key]}"
+            keys[key] = window
+            assert Window.from_key(key, shape) == window
+
+    @given(
+        st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6)),
+        st.data(),
+    )
+    def test_round_trip_3d(self, shape, data):
+        lo = tuple(data.draw(st.integers(0, s - 1)) for s in shape)
+        hi = tuple(data.draw(st.integers(lo[d] + 1, shape[d])) for d in range(3))
+        window = Window(lo, hi)
+        assert Window.from_key(window.key(shape), shape) == window
+
+    def test_key_depends_on_shape(self):
+        window = Window((1, 1), (2, 2))
+        assert window.key((4, 4)) != window.key((5, 5))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            Window((0, 0), (1, 1)).key((4,))
+
+    def test_undecodable_key_rejected(self):
+        shape = (3, 3)
+        top = Window((2, 2), (3, 3)).key(shape)
+        with pytest.raises(ValueError, match="does not decode"):
+            Window.from_key(top + (3 * 3 * 4 * 4), shape)
