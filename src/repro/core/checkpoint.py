@@ -37,7 +37,9 @@ __all__ = [
     "load_trace_state",
 ]
 
-CHECKPOINT_FORMAT_VERSION = 1
+# Version 2: the frontier queue serializes its structure-of-arrays head
+# (sorted block + pending heap) instead of a single heap list.
+CHECKPOINT_FORMAT_VERSION = 2
 
 
 def window_to_state(window: Window | None) -> list | None:

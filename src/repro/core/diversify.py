@@ -265,6 +265,10 @@ class SubAreaQueues:
             return None
         return self._queues[self._last_served].peek_priority()
 
+    def has_stale(self, version: int) -> bool:
+        """Whether any sub-area holds an entry scored before ``version``."""
+        return any(queue.has_stale(version) for queue in self._queues)
+
     def drain(self):
         """Remove and yield every entry across all sub-areas."""
         for queue in self._queues:

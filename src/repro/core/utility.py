@@ -107,8 +107,11 @@ class UtilityModel:
             benefit = min(benefit, self._shape_benefit(cond, window))
             if benefit == 0.0:
                 return 0.0
+        # Interval predicates (``avg(v) > a AND avg(v) < b``) share one
+        # objective; estimate it once per window, not per condition.
+        memo: dict | None = {} if len(self._content) > 1 else None
         for entry in self._content:
-            benefit = min(benefit, self._content_benefit(entry, window))
+            benefit = min(benefit, self._content_benefit(entry, window, memo))
             if benefit == 0.0:
                 return 0.0
         return benefit
@@ -128,20 +131,24 @@ class UtilityModel:
     def placement_profile(
         self,
         lengths: Sequence[int],
-        windows: Sequence[Window],
+        windows: Sequence[Window] | None,
         anchor_slab: tuple[int, int] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(benefits, cost_terms)`` for every placement of one shape.
 
         ``windows`` is the row-major list of placements of ``lengths``
         (as produced by iterating lows with ``itertools.product``); both
-        returned arrays align with it.  ``anchor_slab=(lo, hi)`` limits
-        the placements to first-dimension anchors in ``[lo, hi)`` — the
-        distributed workers seed (and re-seed adopted) anchor slabs
-        through this.  Every entry is bitwise identical to the scalar
-        :meth:`benefit` / ``1 - min(cost/k, 1)`` pair — the whole point
-        of this path is cutting wall time without perturbing a single
-        utility value (see kernels.py's exactness contract).
+        returned arrays align with it.  It may be ``None`` when no noise
+        model is attached — shape benefits are placement-independent, so
+        the windows themselves are only needed for per-window noise
+        keying, and skipping their construction is the seeding fast
+        path.  ``anchor_slab=(lo, hi)`` limits the placements to
+        first-dimension anchors in ``[lo, hi)`` — the distributed
+        workers seed (and re-seed adopted) anchor slabs through this.
+        Every entry is bitwise identical to the scalar :meth:`benefit` /
+        ``1 - min(cost/k, 1)`` pair — the whole point of this path is
+        cutting wall time without perturbing a single utility value (see
+        kernels.py's exactness contract).
         """
         kern = self.data.kernels
         unread = kern.placement_unread(lengths)
@@ -152,17 +159,85 @@ class UtilityModel:
 
         # Shape benefits depend only on the window's shape, which is the
         # same for every placement here.
+        rep = (
+            windows[0]
+            if windows
+            else Window.unchecked(tuple(0 for _ in lengths), tuple(lengths))
+        )
         shape_benefit = 1.0
         for cond in self._shape:
-            shape_benefit = min(shape_benefit, self._shape_benefit(cond, windows[0]))
+            shape_benefit = min(shape_benefit, self._shape_benefit(cond, rep))
             if shape_benefit == 0.0:
                 break
         benefits = np.full(cost_terms.shape, shape_benefit, dtype=np.float64)
         if shape_benefit > 0.0:
+            estimates_memo: dict = {}
             for entry in self._content:
-                estimates = kern.placement_estimates(
-                    entry.condition.objective, lengths, windows, anchor_slab
+                objective = entry.condition.objective
+                memo_key = (objective.aggregate.name, objective.key)
+                estimates = estimates_memo.get(memo_key)
+                if estimates is None:
+                    estimates = kern.placement_estimates(
+                        objective, lengths, windows, anchor_slab
+                    )
+                    estimates_memo[memo_key] = estimates
+                np.minimum(
+                    benefits, self._content_benefits(entry, estimates), out=benefits
                 )
+                if not benefits.any():
+                    break
+        return benefits, cost_terms
+
+    def bounds_profile(
+        self, lows: np.ndarray, his: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(benefits, cost_terms)`` for arbitrary packed window bounds.
+
+        The mixed-shape sibling of :meth:`placement_profile`, serving
+        the batched neighbor expansion and the batched frontier refresh:
+        rows of ``(P, d)`` ``lows`` / ``his`` arrays may have different
+        shapes, so shape benefits are vectorized per row and content
+        estimates go through ``DataKernels.reduce_bounds``.  Only valid
+        without a noise model (perturbation is keyed per window object);
+        the search guards this.  Every entry is bitwise identical to the
+        scalar pair.
+        """
+        if self.data.noise is not None:
+            raise ValueError("bounds_profile does not support noise models")
+        kern = self.data.kernels
+        unread = kern.unread_bounds(lows, his)
+        costs = unread * self._m / self._n
+        cost_terms = 1.0 - np.minimum(costs / self._k, 1.0)
+
+        benefits = np.ones(len(lows), dtype=np.float64)
+        lengths = his - lows
+        for cond in self._shape:
+            if cond.objective.kind is ShapeKind.LENGTH:
+                values = lengths[:, cond.objective.dim].astype(np.float64)
+                eps = float(self.data.grid.shape[cond.objective.dim])  # type: ignore[index]
+            else:
+                values = np.prod(lengths, axis=1).astype(np.float64)
+                eps = float(self._m)
+            satisfied = _op_mask(cond.op, values, cond.value)
+            if satisfied.all():
+                continue  # per-row benefit is 1.0 — min() is a no-op
+            vals = np.where(
+                satisfied,
+                1.0,
+                np.maximum(0.0, 1.0 - np.abs(values - cond.value) / eps),
+            )
+            np.minimum(benefits, vals, out=benefits)
+            if not benefits.any():
+                break
+        if benefits.any():
+            estimates_memo: dict = {}
+            for entry in self._content:
+                objective = entry.condition.objective
+                memo_key = (objective.aggregate.name, objective.key)
+                estimates = estimates_memo.get(memo_key)
+                if estimates is None:
+                    estimates = kern.reduce_bounds(objective, lows, his)
+                    estimates_memo[memo_key] = estimates
                 np.minimum(
                     benefits, self._content_benefits(entry, estimates), out=benefits
                 )
@@ -193,8 +268,18 @@ class UtilityModel:
             eps = float(self._m)
         return max(0.0, 1.0 - abs(value - cond.value) / eps)
 
-    def _content_benefit(self, entry: _ContentEntry, window: Window) -> float:
-        estimate = self.data.estimate(entry.condition.objective, window)
+    def _content_benefit(
+        self, entry: _ContentEntry, window: Window, memo: dict | None = None
+    ) -> float:
+        objective = entry.condition.objective
+        if memo is None:
+            estimate = self.data.estimate(objective, window)
+        else:
+            key = (objective.aggregate.name, objective.key)
+            estimate = memo.get(key)
+            if estimate is None:
+                estimate = self.data.estimate(objective, window)
+                memo[key] = estimate
         if math.isnan(estimate):
             return 0.0
         if entry.condition.evaluate_value(estimate):

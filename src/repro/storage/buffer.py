@@ -124,21 +124,24 @@ class BufferPool:
         Misses are fetched from disk in one request (sorted), then
         inserted with LRU eviction.  Hits are refreshed.
         """
-        ids = np.unique(np.asarray(list(block_ids) if not isinstance(block_ids, np.ndarray) else block_ids, dtype=np.int64))
+        ids = np.asarray(list(block_ids) if not isinstance(block_ids, np.ndarray) else block_ids, dtype=np.int64)
         if ids.size == 0:
             return 0.0
+        if ids.size > 1 and np.any(np.diff(ids) <= 0):
+            ids = np.unique(ids)
         cached = self._blocks
-        missing = [int(b) for b in ids if b not in cached]
+        ids_list = ids.tolist()
+        missing = [b for b in ids_list if b not in cached]
         miss_count = len(missing)
         hit_count = ids.size - miss_count
         self._hits += hit_count
         self._misses += miss_count
         # Refresh recency of hits.
         if hit_count:
-            for b in ids:
-                b = int(b)
+            move = cached.move_to_end
+            for b in ids_list:
                 if b in cached:
-                    cached.move_to_end(b)
+                    move(b)
         elapsed = 0.0
         evicted = 0
         corrupt: CorruptBlockError | None = None

@@ -48,6 +48,13 @@ class CellScan:
     integrity layer quarantined unrepairable pages touched by this scan:
     their tuples are excluded (the storage analogue of
     ``mark_region_empty``) and the named cells may under-count.
+
+    ``cells_arrays`` is the same aggregation in columnar form —
+    ``(unique_cells, counts, per_key)`` with ``per_key`` mapping an
+    objective key to ``(sums, mins, maxs)`` arrays aligned with
+    ``unique_cells``.  It is populated (and ``cells`` left empty) only
+    when the caller asked for arrays: the Data Manager's cache install
+    scatters them directly, skipping the per-cell dict entirely.
     """
 
     cells: Mapping[int, Mapping[str, CellStats]]
@@ -56,6 +63,7 @@ class CellScan:
     elapsed_s: float
     lost_blocks: tuple[int, ...] = ()
     degraded_cells: tuple[int, ...] = ()
+    cells_arrays: tuple | None = None
 
 
 COUNT_KEY = "__count__"
@@ -206,12 +214,15 @@ class Database:
         lows: Sequence[float],
         highs: Sequence[float],
         objectives: Sequence[ContentObjective],
+        want_arrays: bool = False,
     ) -> CellScan:
         """One prepared-statement call: range query + per-cell GROUP BY.
 
         Reads every heap page whose MBR intersects ``[lows, highs)``
         through the buffer pool, then aggregates in-range tuples by grid
-        cell for each objective (plus the free tuple count).
+        cell for each objective (plus the free tuple count).  With
+        ``want_arrays`` the aggregation is returned columnar in
+        ``CellScan.cells_arrays`` and the ``cells`` dict stays empty.
         """
         table = self.table(table_name)
         start = self.clock.now
@@ -250,7 +261,16 @@ class Database:
             self.metrics.inc("db.range_queries")
             self.metrics.inc("db.tuples_scanned", float(tuples_scanned))
 
-        cells = self._aggregate_rows(table, grid, matching_rows, lows, highs, objectives)
+        cells, arrays = self._aggregate_rows(
+            table,
+            grid,
+            matching_rows,
+            lows,
+            highs,
+            objectives,
+            rows_in_box=True,
+            want_arrays=want_arrays,
+        )
         return CellScan(
             cells=cells,
             tuples_scanned=tuples_scanned,
@@ -258,6 +278,7 @@ class Database:
             elapsed_s=self.clock.now - start,
             lost_blocks=tuple(sorted(set(lost))),
             degraded_cells=degraded,
+            cells_arrays=arrays,
         )
 
     def full_scan_cell_aggregates(
@@ -296,7 +317,7 @@ class Database:
             degraded = tuple(int(c) for c in np.unique(flat[flat >= 0]))
             integ.record_degraded_cells(degraded)
             rows = rows[~row_lost]
-        cells = self._aggregate_rows(
+        cells, _ = self._aggregate_rows(
             table, grid, rows, grid.area.lower, grid.area.upper, objectives
         )
         return CellScan(
@@ -318,25 +339,50 @@ class Database:
         lows: Sequence[float],
         highs: Sequence[float],
         objectives: Sequence[ContentObjective],
-    ) -> dict[int, dict[str, CellStats]]:
-        coords = table.coordinates()[rows]
-        mask = np.ones(rows.size, dtype=bool)
-        for d in range(table.ndim):
-            mask &= (coords[:, d] >= lows[d]) & (coords[:, d] < highs[d])
-        in_rows = rows[mask]
-        if in_rows.size == 0:
-            return {}
-        flat = cell_flat_ids(coords[mask], grid)
+        rows_in_box: bool = False,
+        want_arrays: bool = False,
+    ) -> tuple[dict[int, dict[str, CellStats]], tuple | None]:
+        empty = ({}, (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), {}) if want_arrays else None)
+        if rows_in_box:
+            # The bitmap scan already proved every row lies in the box.
+            if rows.size == 0:
+                return empty
+            in_rows = rows
+            flat = cell_flat_ids(table.coordinates()[rows], grid)
+        else:
+            coords = table.coordinates()[rows]
+            mask = np.ones(rows.size, dtype=bool)
+            for d in range(table.ndim):
+                mask &= (coords[:, d] >= lows[d]) & (coords[:, d] < highs[d])
+            in_rows = rows[mask]
+            if in_rows.size == 0:
+                return empty
+            flat = cell_flat_ids(coords[mask], grid)
         valid = flat >= 0
-        in_rows = in_rows[valid]
-        flat = flat[valid]
+        if not valid.all():
+            in_rows = in_rows[valid]
+            flat = flat[valid]
         if in_rows.size == 0:
-            return {}
+            return empty
 
-        unique_cells, inverse = np.unique(flat, return_inverse=True)
-        counts = np.bincount(inverse, minlength=unique_cells.size)
+        # Group rows by cell with one stable argsort; segment reductions
+        # via ``reduceat`` then replace the per-row ``ufunc.at`` scatter
+        # (an interpreted loop) for min/max, which are order-insensitive.
+        # Sums stay on ``bincount``: its strictly sequential input-order
+        # accumulation is the float contract the golden traces pin, and
+        # ``add.reduceat`` sums pairwise.
+        order = np.argsort(flat, kind="stable")
+        sorted_flat = flat[order]
+        boundary = np.empty(sorted_flat.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_flat[1:], sorted_flat[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        unique_cells = sorted_flat[starts]
+        counts = np.diff(np.append(starts, sorted_flat.size))
+        inverse = np.empty(sorted_flat.size, dtype=np.int64)
+        inverse[order] = np.cumsum(boundary) - 1
 
-        columns = {c: table.column(c)[in_rows] for c in table.schema.columns}
+        columns = _RowColumns(table, in_rows)
         per_objective: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         for objective in objectives:
             if not objective.aggregate.needs_values:
@@ -348,11 +394,13 @@ class Database:
                 objective.expr.evaluate(columns), in_rows.shape  # type: ignore[union-attr]
             ).astype(float)
             sums = np.bincount(inverse, weights=values, minlength=unique_cells.size)
-            mins = np.full(unique_cells.size, np.inf)
-            maxs = np.full(unique_cells.size, -np.inf)
-            np.minimum.at(mins, inverse, values)
-            np.maximum.at(maxs, inverse, values)
+            values_sorted = values[order]
+            mins = np.minimum.reduceat(values_sorted, starts)
+            maxs = np.maximum.reduceat(values_sorted, starts)
             per_objective[key] = (sums, mins, maxs)
+
+        if want_arrays:
+            return {}, (unique_cells, counts, per_objective)
 
         out: dict[int, dict[str, CellStats]] = {}
         for i, cell in enumerate(unique_cells):
@@ -362,7 +410,26 @@ class Database:
             for key, (sums, mins, maxs) in per_objective.items():
                 entry[key] = CellStats(int(counts[i]), float(sums[i]), float(mins[i]), float(maxs[i]))
             out[int(cell)] = entry
-        return out
+        return out, None
+
+
+class _RowColumns(dict):
+    """Lazy per-row column gather for expression evaluation.
+
+    Aggregation only touches the columns an objective expression
+    references; gathering the rest of the schema up front is wasted work
+    on the read hot path, so columns materialize on first access.
+    """
+
+    def __init__(self, table: HeapTable, rows: np.ndarray) -> None:
+        super().__init__()
+        self._table = table
+        self._rows = rows
+
+    def __missing__(self, key: str) -> np.ndarray:
+        values = self._table.column(key)[self._rows]
+        self[key] = values
+        return values
 
 
 def _strip_blocks(

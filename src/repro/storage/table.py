@@ -89,7 +89,19 @@ class HeapTable:
         self._coords = np.column_stack(
             [self._data[c] for c in schema.coordinate_columns]
         )
+        # Contiguous per-dimension coordinate columns: the bitmap scan
+        # gathers these one dimension at a time, which beats a strided
+        # 2-D fancy-index of ``_coords`` on the read hot path.
+        self._coord_cols = tuple(self._data[c] for c in schema.coordinate_columns)
         self._block_mins, self._block_maxs = self._build_block_mbrs()
+        # Same trick for the block MBRs: the bitmap prefilter compares
+        # one dimension at a time across all blocks on every read.
+        self._bmin_cols = tuple(
+            np.ascontiguousarray(self._block_mins[:, d]) for d in range(self.ndim)
+        )
+        self._bmax_cols = tuple(
+            np.ascontiguousarray(self._block_maxs[:, d]) for d in range(self.ndim)
+        )
 
     # -- shape ----------------------------------------------------------------
 
@@ -134,11 +146,22 @@ class HeapTable:
         return slice(start, min(start + self.tuples_per_block, self._num_rows))
 
     def rows_of_blocks(self, block_ids: np.ndarray) -> np.ndarray:
-        """Physical row indices contained in the given blocks (vectorized)."""
+        """Physical row indices contained in the given blocks (vectorized).
+
+        ``block_ids`` is expected sorted ascending and duplicate-free
+        (the bitmap scan's output).
+        """
         block_ids = np.asarray(block_ids, dtype=np.int64)
         if block_ids.size == 0:
             return np.empty(0, dtype=np.int64)
         tpb = self.tuples_per_block
+        first = int(block_ids[0])
+        last = int(block_ids[-1])
+        if last - first + 1 == block_ids.size:
+            # Contiguous run of blocks: one arange instead of repeat/cumsum.
+            return np.arange(
+                first * tpb, min(last * tpb + tpb, self._num_rows), dtype=np.int64
+            )
         starts = block_ids * tpb
         counts = np.minimum(starts + tpb, self._num_rows) - starts
         total = int(counts.sum())
@@ -157,10 +180,12 @@ class HeapTable:
         """
         if len(lows) != self.ndim or len(highs) != self.ndim:
             raise ValueError("query box dimensionality mismatch")
-        mask = np.ones(self._num_blocks, dtype=bool)
-        for d in range(self.ndim):
-            mask &= (self._block_mins[:, d] < highs[d]) & (self._block_maxs[:, d] >= lows[d])
-        return np.nonzero(mask)[0].astype(np.int64)
+        mask = self._bmin_cols[0] < highs[0]
+        mask &= self._bmax_cols[0] >= lows[0]
+        for d in range(1, self.ndim):
+            mask &= self._bmin_cols[d] < highs[d]
+            mask &= self._bmax_cols[d] >= lows[d]
+        return np.flatnonzero(mask).astype(np.int64, copy=False)
 
     def blocks_matching(
         self, lows: Sequence[float], highs: Sequence[float]
@@ -178,13 +203,24 @@ class HeapTable:
         if candidates.size == 0:
             return candidates, np.empty(0, dtype=np.int64)
         rows = self.rows_of_blocks(candidates)
-        coords = self._coords[rows]
-        mask = np.ones(rows.size, dtype=bool)
-        for d in range(self.ndim):
-            mask &= (coords[:, d] >= lows[d]) & (coords[:, d] < highs[d])
-        matching = rows[mask]
-        blocks = np.unique(matching // self.tuples_per_block)
-        return blocks, matching
+        # Filter dimension by dimension so later gathers only touch the
+        # surviving rows (the first dimension is usually the selective
+        # one under an axis ordering).
+        for d, col in enumerate(self._coord_cols):
+            vals = col[rows]
+            m = (vals >= lows[d]) & (vals < highs[d])
+            if not m.all():
+                rows = rows[m]
+        matching = rows
+        # ``rows`` ascends, so the block ids of ``matching`` are already
+        # sorted — deduplicate by run boundaries instead of re-sorting.
+        bids = matching // self.tuples_per_block
+        if bids.size:
+            keep = np.empty(bids.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(bids[1:], bids[:-1], out=keep[1:])
+            bids = bids[keep]
+        return bids, matching
 
     def _build_block_mbrs(self) -> tuple[np.ndarray, np.ndarray]:
         coords = self.coordinates()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -224,3 +225,89 @@ class TestBulkAndDeterminism:
             popped.append([entry[1] for entry in self._pop_all(q)])
         assert popped[0] == popped[1]
         assert popped[0] == [w(i) for i in range(12)]
+
+
+class TestHeadCapacityBoundaries:
+    """Determinism exactly at the head-capacity edge, all entry paths."""
+
+    def _mixed_priorities(self, n: int, salt: int = 0):
+        # Deterministic, collision-rich priorities spanning the bucket range.
+        return [(((i * 7 + salt) % 13) / 13.0, ((i * 5) % 7) / 7.0) for i in range(n)]
+
+    def _arrays_for(self, entries):
+        us = np.array([p[0] for p, _, _ in entries], dtype=np.float64)
+        bs = np.array([p[1] for p, _, _ in entries], dtype=np.float64)
+        lows = np.array([win.lo for _, win, _ in entries], dtype=np.int64)
+        his = np.array([win.hi for _, win, _ in entries], dtype=np.int64)
+        return us, bs, lows, his
+
+    def _pop_all(self, q):
+        out = []
+        while (entry := q.pop()) is not None:
+            out.append(entry)
+        return out
+
+    def test_arrays_push_matches_push_many_at_exact_capacity(self):
+        # A batch landing exactly on head_capacity must neither spill nor
+        # diverge from the scalar bulk path in pop order or counters.
+        entries = [(p, w(i), 3) for i, p in enumerate(self._mixed_priorities(8))]
+        q_obj = SpillableQueue(head_capacity=8, num_buckets=4)
+        q_arr = SpillableQueue(head_capacity=8, num_buckets=4)
+        q_obj.push_many(entries)
+        q_arr.push_many_arrays(*self._arrays_for(entries), 3)
+        assert q_obj.spill_events == q_arr.spill_events == 0
+        assert self._pop_all(q_obj) == self._pop_all(q_arr)
+
+    def test_arrays_push_matches_push_many_across_spill_boundary(self):
+        # One entry over capacity: both paths must spill identically, and
+        # the large-batch lexsort merge must agree with the heap path.
+        for n in (9, 40):  # 9 stays on the heap path, 40 takes the lexsort merge
+            entries = [(p, w(i), 1) for i, p in enumerate(self._mixed_priorities(n))]
+            q_obj = SpillableQueue(head_capacity=8, num_buckets=4)
+            q_arr = SpillableQueue(head_capacity=8, num_buckets=4)
+            q_obj.push_many(entries)
+            q_arr.push_many_arrays(*self._arrays_for(entries), 1)
+            assert q_obj.spilled == q_arr.spilled > 0
+            assert q_obj.spill_events == q_arr.spill_events
+            assert self._pop_all(q_obj) == self._pop_all(q_arr)
+
+    def test_interleaved_pushes_pops_and_promotes_match(self):
+        # Full lifecycle interleaving: bulk push over capacity (spill),
+        # pops below capacity (promote), a second bulk push against a live
+        # spill threshold, a drain, and a re-push of the drained content.
+        first = [(p, w(i), 0) for i, p in enumerate(self._mixed_priorities(12))]
+        second = [(p, w(20 + i), 2) for i, p in enumerate(self._mixed_priorities(10, salt=3))]
+        logs = []
+        for use_arrays in (False, True):
+            q = SpillableQueue(head_capacity=4, num_buckets=4)
+            log = []
+            if use_arrays:
+                q.push_many_arrays(*self._arrays_for(first), 0)
+            else:
+                q.push_many(first)
+            assert q.spilled > 0
+            for _ in range(6):  # drops the head below capacity: promotes
+                log.append(q.pop())
+            assert q.promote_events > 0
+            if use_arrays:
+                q.push_many_arrays(*self._arrays_for(second), 2)
+            else:
+                q.push_many(second)
+            drained = list(q.drain())
+            log.append(drained)
+            assert len(q) == 0 and q.spilled == 0
+            q.push_many(drained)
+            log.extend(self._pop_all(q))
+            logs.append(log)
+        assert logs[0] == logs[1]
+
+    def test_checkpoint_roundtrip_at_capacity_boundary(self):
+        # state()/restore_state() across the spill edge must reproduce the
+        # exact pop sequence, including bucket contents and seq stamping.
+        entries = [(p, w(i), 5) for i, p in enumerate(self._mixed_priorities(11))]
+        q = SpillableQueue(head_capacity=8, num_buckets=4)
+        q.push_many_arrays(*self._arrays_for(entries), 5)
+        q.pop()
+        twin = SpillableQueue(head_capacity=8, num_buckets=4)
+        twin.restore_state(q.state())
+        assert self._pop_all(twin) == self._pop_all(q)

@@ -283,6 +283,62 @@ class TestSearchBehaviour:
         assert {r.window for r in run.results} == expected
         assert run.stats.pruned_extensions > 0
 
+    def test_refresh_skips_fresh_frontier(self, tiny_dataset, tiny_query, tiny_db):
+        engine = SWEngine(tiny_db, tiny_dataset.name, sample_fraction=0.2)
+        search = engine.prepare(tiny_query)
+        search._seed_start_windows()
+        # Nothing was read since seeding: every frontier entry is current,
+        # so a refresh would re-push the whole frontier for nothing.
+        search._refresh_impl()
+        assert search.stats.refresh_skipped == 1
+        assert search.stats.refreshes == 0
+        # A read bumps the data version; the frontier goes stale.
+        _, window, _ = search.queue.pop()
+        search.data.read_window(window)
+        search._refresh_impl()
+        assert search.stats.refreshes == 1
+        assert search.stats.refresh_skipped == 1
+        # The refresh restamped every entry at the new version: skip again.
+        search._refresh_impl()
+        assert search.stats.refresh_skipped == 2
+        assert search.stats.refreshes == 1
+
+    def test_periodic_refresh_still_fires_on_stale_frontier(
+        self, tiny_dataset, tiny_query, tiny_db
+    ):
+        run = run_search(
+            tiny_db, tiny_dataset.name, tiny_query, SearchConfig(refresh_reads=1)
+        )
+        assert run.stats.refreshes > 0
+
+    def test_extension_counters_match_scalar_oracle(self, tiny_dataset):
+        grid = tiny_dataset.grid
+        query = SWQuery.build(
+            dimensions=("x", "y"),
+            area=[(grid.area[0].lo, grid.area[0].hi), (grid.area[1].lo, grid.area[1].hi)],
+            steps=grid.steps,
+            conditions=[
+                ShapeCondition(ShapeObjective(ShapeKind.CARDINALITY), ComparisonOp.LE, 6),
+                ContentCondition(ContentObjective.of("count"), ComparisonOp.LT, 150.0),
+            ],
+        )
+        stats = []
+        for use_kernels in (True, False):
+            db = make_database(tiny_dataset, "cluster")
+            run = run_search(
+                db,
+                tiny_dataset.name,
+                query,
+                SearchConfig(assume_nonnegative=True),
+                use_kernels=use_kernels,
+            )
+            stats.append((run.stats.capped_extensions, run.stats.pruned_extensions))
+        # The batched expansion counts caps and prunes exactly like the
+        # scalar oracle, and both actually fire on this query.
+        assert stats[0] == stats[1]
+        assert stats[0][0] > 0
+        assert stats[0][1] > 0
+
 
 class TestWindowKeys:
     """Packed integer dedup keys for the generated-windows set."""
@@ -320,13 +376,21 @@ class TestWindowKeys:
         assert search.stats.generated == generated
         assert len(search.queue) == size
 
-    def test_batch_seed_dedups_against_scalar_pushes(self, search):
+    def test_seed_keys_skip_the_dedup_set(self, search):
         search._seed_start_windows()
+        # Seed placements are never registered: a neighbor always strictly
+        # exceeds the minimal shape in some dimension, so no candidate key
+        # can ever collide with a seed key — registering them would be
+        # dead weight on the dedup set.
+        mins = search._min_lengths
+        seed_key = search._window_key(Window((0, 0), tuple(mins)))
+        assert seed_key not in search._generated
+        # Non-seed windows still dedup through _push_window.
+        grown = (mins[0] + 1,) + tuple(mins[1:])
+        window = Window((0, 0), grown)
+        search._push_window(window)
         generated = search.stats.generated
         size = len(search.queue)
-        # Every seeded start window must already be in the generated set.
-        mins = search._min_lengths
-        window = Window((0, 0), tuple(mins))
         search._push_window(window)
         assert search.stats.generated == generated
         assert len(search.queue) == size

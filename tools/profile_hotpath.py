@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Profile the hot-path end-to-end workload: cProfile + obs-span breakdown.
+
+Runs the same time-budgeted exploration as
+``benchmarks/bench_hotpath_kernels.py`` (kernel path, 200x200 query
+grid) and reports where the wall time goes, from two angles::
+
+    python tools/profile_hotpath.py [--top N] [--sort tottime|cumtime]
+                                    [--repeat K] [--naive]
+
+* **cProfile top-N** — functions ranked by self time (``tottime``, the
+  default) or cumulative time; the Python-level view of the inner loop.
+* **obs spans** — the engine's own phase accounting (``span.*`` counters
+  from ``repro.obs``): *simulated* seconds charged to seed / read /
+  expand / estimate / ..., i.e. where the modelled exploration spends
+  its budget, independent of host speed.
+
+The two views intentionally disagree on units (host wall seconds versus
+simulated seconds); optimizing the first must never move the second —
+that is the kernel layer's exactness contract.
+
+``--repeat`` runs the workload K times inside one profile (default 3)
+so per-call overhead dominates over interpreter warm-up; the reported
+wall time is the minimum of the K runs, measured outside cProfile to
+stay honest about instrumentation overhead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO / "src"))
+sys.path.insert(0, str(_REPO))
+
+import numpy.ma  # noqa: F401  (preload: keep the lazy import out of profiles)
+
+from repro.bench import fresh_database, get_table
+from repro.core import SearchConfig, SWEngine
+from repro.workloads.synthetic import synthetic_dataset
+
+from benchmarks.bench_hotpath_kernels import _seed_heavy_query
+
+
+def _build_workload(use_kernels: bool, metrics: bool):
+    dataset = synthetic_dataset("high", scale=0.5)
+    extent = dataset.grid.area[0].hi - dataset.grid.area[0].lo
+    query = _seed_heavy_query(dataset, steps=(extent / 200, extent / 200))
+    table = get_table(dataset, "axis", axis_dim=0)
+
+    def run():
+        # Setup (database + offline sample) stays outside the caller's
+        # timing/profiling window, matching the benchmark's protocol.
+        database = fresh_database(table, metrics=metrics)
+        engine = SWEngine(
+            database, dataset.name, sample_fraction=0.05, use_kernels=use_kernels
+        )
+        engine.sample_for(query)
+
+        def execute():
+            return engine.execute(query, SearchConfig(time_limit_s=0.3))
+
+        return execute, database
+
+    return run
+
+
+def _span_rows(counters: dict) -> list[list[str]]:
+    names = sorted(
+        {n.split(".")[1] for n in counters if n.startswith("span.") and n.endswith(".self_s")}
+    )
+    rows = []
+    for name in names:
+        count = counters.get(f"span.{name}.count", 0.0)
+        total = counters.get(f"span.{name}.total_s", 0.0)
+        self_s = counters.get(f"span.{name}.self_s", 0.0)
+        rows.append([name, f"{int(count)}", f"{total:.4f}", f"{self_s:.4f}"])
+    rows.sort(key=lambda r: -float(r[3]))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--top", type=int, default=25, help="functions to print (default 25)")
+    parser.add_argument(
+        "--sort",
+        choices=("tottime", "cumtime"),
+        default="tottime",
+        help="cProfile ranking: self time (default) or cumulative",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="workload runs inside one profile (default 3)"
+    )
+    parser.add_argument(
+        "--naive",
+        action="store_true",
+        help="profile the scalar oracle path instead of the kernel path",
+    )
+    args = parser.parse_args(argv)
+    use_kernels = not args.naive
+
+    # Wall time first, un-instrumented: cProfile roughly doubles the cost
+    # of tight Python loops, so the honest number comes from outside it.
+    build = _build_workload(use_kernels, metrics=False)
+    build()[0]()  # warm-up: first-touch imports and caches
+    wall = float("inf")
+    report = None
+    for _ in range(args.repeat):
+        execute, _db = build()
+        t0 = time.perf_counter()
+        report = execute()
+        wall = min(wall, time.perf_counter() - t0)
+
+    profile = cProfile.Profile()
+    for _ in range(args.repeat):
+        execute, _db = build()
+        profile.enable()
+        execute()
+        profile.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profile, stream=stream)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    # Span breakdown needs a metrics registry attached; do one extra run.
+    execute, database = _build_workload(use_kernels, metrics=True)()
+    report = execute()
+    counters = database.metrics.snapshot()["counters"]
+
+    path = "kernel" if use_kernels else "naive"
+    print(f"== hot path profile ({path}, {args.repeat} runs) ==")
+    print(f"best wall time: {wall:.4f}s   results: {len(report.run.results)}")
+    print()
+    print(f"== cProfile top {args.top} by {args.sort} ==")
+    print(stream.getvalue())
+    print("== obs spans (simulated seconds, by self_s) ==")
+    print(f"{'phase':<12} {'count':>8} {'total_s':>10} {'self_s':>10}")
+    for name, count, total, self_s in _span_rows(counters):
+        print(f"{name:<12} {count:>8} {total:>10} {self_s:>10}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
