@@ -7,6 +7,7 @@ Usage (also via ``python -m repro``)::
     python -m repro optimize --workload synth-high "SELECT ... MAXIMIZE AVG(value)"
     python -m repro baseline --workload synth-high
     python -m repro metrics --workload synth-high --json metrics.json
+    python -m repro metrics --distributed 8 --chaos-seed 3
     python -m repro scrub --workload synth-high --chaos-seed 7
     python -m repro info
 
@@ -117,6 +118,32 @@ def build_parser() -> argparse.ArgumentParser:
     met.add_argument("--json", metavar="PATH", default=None, help="write the snapshot as JSON")
     met.add_argument(
         "--no-audit", action="store_true", help="skip the invariant audit (report only)"
+    )
+    met.add_argument(
+        "--distributed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the canonical query across N simulated workers instead",
+    )
+    met.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a seeded cluster-scale fault plan (requires --distributed)",
+    )
+    met.add_argument(
+        "--successor-policy",
+        choices=("split", "balance", "left", "right"),
+        default="split",
+        help="anchor reassignment policy after worker deaths (with --distributed)",
+    )
+    met.add_argument(
+        "--hedge-delay-ms",
+        type=float,
+        default=0.0,
+        help="speculative retransmit delay in ms, 0 disables (with --distributed)",
     )
 
     scrub = sub.add_parser(
@@ -277,10 +304,46 @@ def _cmd_optimize(args, database: Database, out) -> int:
     return 0
 
 
+def _print_snapshot(snapshot: dict, out) -> None:
+    """Print a metrics snapshot's counters, gauges and histograms."""
+    for section in ("counters", "gauges"):
+        values = snapshot.get(section, {})
+        if not values:
+            continue
+        out(f"\n{section}:")
+        for name, value in values.items():
+            out(f"  {name:<40} {value:>14g}")
+    if snapshot.get("histograms"):
+        out("\nhistograms:")
+        for name, payload in snapshot["histograms"].items():
+            n = sum(payload["counts"])
+            mean = payload["total"] / n if n else 0.0
+            out(f"  {name:<40} n={n:<8d} mean={mean:g}")
+
+
+def _audit_snapshot(snapshot: dict, out) -> int:
+    """Run the invariant audit over a snapshot; exit code 1 on violations."""
+    from .obs import InvariantAuditor
+
+    outcome = InvariantAuditor(snapshot).report()
+    if outcome["ok"]:
+        out(f"\naudit: {outcome['checked']} identities checked, all hold")
+        return 0
+    out(f"\naudit: {len(outcome['violations'])} violation(s):")
+    for violation in outcome["violations"]:
+        out(f"  {violation}")
+    return 1
+
+
 def _cmd_metrics(args, database: Database, dataset, query: SWQuery, out) -> int:
     """Run the canonical query with a registry attached; print and audit."""
     from .io import write_metrics_json
-    from .obs import InvariantAuditor, MetricsRegistry
+    from .obs import MetricsRegistry
+
+    if args.distributed is not None:
+        return _cmd_metrics_distributed(args, dataset, query, out)
+    if args.chaos_seed is not None:
+        raise ValueError("--chaos-seed requires --distributed")
 
     registry = MetricsRegistry()
     database.attach_metrics(registry)
@@ -292,19 +355,7 @@ def _cmd_metrics(args, database: Database, dataset, query: SWQuery, out) -> int:
     )
 
     snapshot = registry.snapshot()
-    for section in ("counters", "gauges"):
-        values = snapshot[section]
-        if not values:
-            continue
-        out(f"\n{section}:")
-        for name, value in values.items():
-            out(f"  {name:<40} {value:>14g}")
-    if snapshot["histograms"]:
-        out("\nhistograms:")
-        for name, payload in snapshot["histograms"].items():
-            n = sum(payload["counts"])
-            mean = payload["total"] / n if n else 0.0
-            out(f"  {name:<40} n={n:<8d} mean={mean:g}")
+    _print_snapshot(snapshot, out)
 
     if args.json is not None:
         path = write_metrics_json(registry, args.json)
@@ -312,15 +363,96 @@ def _cmd_metrics(args, database: Database, dataset, query: SWQuery, out) -> int:
 
     if args.no_audit:
         return 0
-    audit = InvariantAuditor(snapshot)
-    outcome = audit.report()
-    if outcome["ok"]:
-        out(f"\naudit: {outcome['checked']} identities checked, all hold")
+    return _audit_snapshot(snapshot, out)
+
+
+def _cmd_metrics_distributed(args, dataset, query: SWQuery, out) -> int:
+    """Distributed run with full fault/recovery accounting; print and audit.
+
+    A fault-free run establishes the oracle result set.  With
+    ``--chaos-seed`` a second run executes under a seeded cluster-scale
+    fault plan (correlated crash storm, healing link partitions, message
+    faults, a straggler disk) and its merged results are checked against
+    the oracle, so the recovery layer's behavior — outcome class, fault
+    and reassignment counters, any degradation manifest — is inspectable
+    without parsing traces.
+    """
+    from .distributed import DistributedConfig, FaultPlan, run_distributed
+    from .io import write_metrics_json
+    from .obs import MetricsRegistry
+
+    def config_for(faults=None) -> DistributedConfig:
+        return DistributedConfig(
+            num_workers=args.distributed,
+            placement=args.placement,
+            search=SearchConfig(alpha=args.alpha),
+            sample_fraction=args.sample_fraction,
+            successor_policy=args.successor_policy,
+            hedge_delay_ms=args.hedge_delay_ms,
+            faults=faults,
+        )
+
+    baseline = run_distributed(dataset, query, config_for())
+    out(
+        f"-- fault-free: {len(baseline.results)} results in "
+        f"{baseline.total_time_s:.2f}s simulated across {args.distributed} workers"
+    )
+
+    registry = MetricsRegistry()
+    if args.chaos_seed is not None:
+        plan = FaultPlan.chaos_scale(
+            args.chaos_seed, args.distributed, crash_at_s=baseline.total_time_s / 3.0
+        )
+        report = run_distributed(dataset, query, config_for(plan), metrics=registry)
+        out(
+            f"-- chaos seed {args.chaos_seed}: {len(report.results)} results in "
+            f"{report.total_time_s:.2f}s simulated"
+        )
+    else:
+        report = run_distributed(dataset, query, config_for(), metrics=registry)
+
+    out("\nfault tolerance:")
+    rows: list[tuple[str, object]] = [
+        ("outcome", report.outcome),
+        ("crashed_workers", report.crashed_workers),
+        ("fenced_workers", report.fenced_workers),
+        ("recovered_anchors", report.recovered_anchors),
+        ("retries", report.retries),
+        ("hedges", report.hedges),
+        ("duplicates_ignored", report.duplicates_ignored),
+        ("messages_lost", report.messages_lost),
+        ("reassignment_msgs", report.reassignment_msgs),
+        ("cells_reassigned", report.cells_reassigned),
+    ]
+    for name, count in sorted(report.faults_injected.items()):
+        rows.append((f"faults_injected.{name}", count))
+    for name, value in rows:
+        out(f"  {name:<40} {value!s:>14}")
+    if report.abort_reason is not None:
+        out(f"  abort reason: {report.abort_reason}")
+    if report.degraded is not None:
+        out(f"  {report.degraded.describe()}")
+
+    oracle = {(r.window.lo, r.window.hi) for r in baseline.results}
+    got = {(r.window.lo, r.window.hi) for r in report.results}
+    if got == oracle:
+        out(f"  equivalence vs fault-free oracle: EQUAL ({len(oracle)} windows)")
+    else:
+        out(
+            f"  equivalence vs fault-free oracle: {len(oracle - got)} missing, "
+            f"{len(got - oracle)} extra of {len(oracle)}"
+        )
+
+    snapshot = report.metrics if report.metrics is not None else registry.snapshot()
+    _print_snapshot(snapshot, out)
+
+    if args.json is not None:
+        path = write_metrics_json(snapshot, args.json)
+        out(f"\nwrote {path}")
+
+    if args.no_audit:
         return 0
-    out(f"\naudit: {len(outcome['violations'])} violation(s):")
-    for violation in outcome["violations"]:
-        out(f"  {violation}")
-    return 1
+    return _audit_snapshot(snapshot, out)
 
 
 def _cmd_scrub(args, database: Database, dataset, out) -> int:

@@ -31,12 +31,14 @@ class EventKind(Enum):
     JUMP = "jump"
     REINSERT = "reinsert"
     REFRESH = "refresh"
-    # Distributed fault-tolerance events (crash/drop/duplicate/delay are
+    # Distributed fault-tolerance events (crashes and fencings are
     # FAULTs; retransmissions are RETRYs; anchor reassignment after a
-    # failure detection is a RECOVERY).
+    # death declaration is a RECOVERY; a link cut or heal edge is a
+    # PARTITION).
     FAULT = "fault"
     RETRY = "retry"
     RECOVERY = "recovery"
+    PARTITION = "partition"
     # Storage-integrity and query-lifecycle events: a checksum mismatch is
     # a CORRUPT; each repair attempt's outcome is a REPAIR; a scrub pass
     # over a block range is a SCRUB; a state capture is a CHECKPOINT.
@@ -135,6 +137,7 @@ class SearchTrace:
             "faults": len(self.events(EventKind.FAULT)),
             "retries": len(self.events(EventKind.RETRY)),
             "recoveries": len(self.events(EventKind.RECOVERY)),
+            "partitions": len(self.events(EventKind.PARTITION)),
             "corruptions": len(self.events(EventKind.CORRUPT)),
             "repairs": len(self.events(EventKind.REPAIR)),
             "scrubs": len(self.events(EventKind.SCRUB)),

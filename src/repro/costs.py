@@ -30,6 +30,11 @@ the system.  Defaults are chosen to mirror the hardware the paper used
 * ``heartbeat_timeout_ms``: how long the coordinator waits after a
   worker's last sign of life before declaring it failed and reassigning
   its anchors.
+* ``hedge_delay_ms``: speculative-retransmit threshold — a pending
+  :class:`CellRequest` silent for this long gets one hedged duplicate
+  sent to an alternate worker whose static data range covers the cells.
+  ``0`` (the default) disables hedging, keeping fault-free runs
+  byte-identical to earlier revisions.
 
 All knobs are plain floats; experiments that need a different trade-off
 construct their own instance.
@@ -56,6 +61,7 @@ class CostModel:
     retry_timeout_ms: float = 20.0
     retry_backoff_cap_ms: float = 640.0
     heartbeat_timeout_ms: float = 30.0
+    hedge_delay_ms: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -69,6 +75,7 @@ class CostModel:
             "retry_timeout_ms",
             "retry_backoff_cap_ms",
             "heartbeat_timeout_ms",
+            "hedge_delay_ms",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"cost model field {name} must be non-negative")
@@ -107,6 +114,10 @@ class CostModel:
     def heartbeat_timeout_s(self) -> float:
         """Silence after which the coordinator declares a worker dead."""
         return self.heartbeat_timeout_ms / 1e3
+
+    def hedge_delay_s(self) -> float:
+        """Silence after which a pending request is hedged (0 = never)."""
+        return self.hedge_delay_ms / 1e3
 
     def with_overrides(self, **changes: float) -> "CostModel":
         """A copy with selected fields replaced."""

@@ -1,23 +1,53 @@
 """Distributed SW execution: coordinator, workers, partitioning, network.
 
-Includes the fault-tolerance layer: deterministic fault injection
-(:mod:`repro.distributed.faults`), an at-least-once-with-dedup message
-protocol, and coordinator-driven crash recovery via anchor reassignment.
+Includes the cluster-scale fault-tolerance layer: deterministic fault
+injection (:mod:`repro.distributed.faults` — crashes, storms, failure
+domains, healing link partitions, message faults), an
+at-least-once-with-dedup message protocol with speculative hedging, a
+quorum-style liveness view driving batched, policy-aware anchor
+reassignment, and the bounded-degradation contract on
+:class:`DistributedReport` (complete / degraded-with-manifest /
+aborted-with-reason).
 """
 
-from .coordinator import DistributedConfig, DistributedReport, run_distributed
-from .faults import DegradedResult, FaultInjector, FaultPlan, WorkerCrash
+from .coordinator import (
+    DistributedConfig,
+    DistributedReport,
+    LivenessView,
+    run_distributed,
+)
+from .faults import (
+    COORDINATOR,
+    CrashStorm,
+    DegradedResult,
+    FailureDomain,
+    FaultInjector,
+    FaultPlan,
+    LinkPartition,
+    WorkerCrash,
+)
 from .messages import CellRequest, CellResponse, Network
-from .partitioning import OverlapMode, OwnershipRouter, PartitionPlan, plan_partitions
+from .partitioning import (
+    OverlapMode,
+    OwnershipRouter,
+    PartitionPlan,
+    SuccessorPolicy,
+    plan_partitions,
+)
 from .worker import Worker
 
 __all__ = [
     "DistributedConfig",
     "DistributedReport",
+    "LivenessView",
     "run_distributed",
+    "COORDINATOR",
+    "CrashStorm",
     "DegradedResult",
+    "FailureDomain",
     "FaultInjector",
     "FaultPlan",
+    "LinkPartition",
     "WorkerCrash",
     "CellRequest",
     "CellResponse",
@@ -25,6 +55,7 @@ __all__ = [
     "OverlapMode",
     "OwnershipRouter",
     "PartitionPlan",
+    "SuccessorPolicy",
     "plan_partitions",
     "Worker",
 ]

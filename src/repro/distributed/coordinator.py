@@ -9,20 +9,33 @@ message arrival.  "The total query time is essentially dominated by the
 total disk time of the slowest worker" — which is exactly what the
 simulation yields.
 
-Fault tolerance (see DESIGN.md Section 9).  A :class:`FaultPlan` on the
-config turns the run into a chaos experiment: scheduled fail-stop worker
-crashes and probabilistic message drop/duplication/delay, all drawn from
-one seeded stream so a given plan replays bit-identically.  The
-coordinator reacts to a crash the way a heartbeat monitor would — the
-failure is *detected* one heartbeat timeout after the crash, at which
-point the dead worker's anchor slab is handed to its surviving neighbors
-(:class:`OwnershipRouter.reassign`) who re-seed and re-explore it from
-scratch.  Because the search is a deterministic exhaustive expansion from
-seeded anchors, re-seeding recovers exactly the windows the dead worker
-would have reported, so the merged result set of a recoverable run equals
-the fault-free one.  When a slab has no surviving neighbor (or resources
-run out), the run degrades instead of raising: the report carries a
-:class:`DegradedResult` naming the lost slabs, windows and workers.
+Fault tolerance (see DESIGN.md Sections 9 and 14).  A :class:`FaultPlan`
+on the config turns the run into a chaos experiment: fail-stop crashes
+(single, storms, whole failure domains), link partitions with scheduled
+heals, and probabilistic message drop/duplication/delay, all drawn from
+one seeded stream so a given plan replays bit-identically.  Failure
+detection is driven by an observed-heartbeat :class:`LivenessView`: the
+coordinator probes liveness on a periodic check tick; a worker beats if
+its coordinator link is up *or* a live peer bridges both links
+(quorum-style relay), and a worker silent for one heartbeat timeout is
+declared dead.  Declarations made on the same tick are handled as one
+batch: the dead anchor runs are reassigned in a single
+:meth:`OwnershipRouter.reassign_batch` pass (cost O(lost cells)), each
+adopter rebuilds its local table once, and re-seeds the adopted anchors.
+A *live* worker declared dead (a partition outlasting the timeout) is
+fenced — stopped permanently, its results superseded by its successor's
+re-exploration — so false positives degrade performance, never
+correctness.
+
+Every run ends in one of three contractual outcomes
+(:attr:`DistributedReport.outcome`): ``complete``, ``degraded`` with a
+:class:`DegradedResult` manifest enumerating exactly which slabs/windows
+were unrecoverable, or ``aborted`` with
+:attr:`DistributedReport.abort_reason` (resource limits, protocol
+wedges).  Because the search is a deterministic exhaustive expansion
+from seeded anchors, re-seeding recovers exactly the windows a dead
+worker would have reported, so the merged result set of a recoverable
+run equals the fault-free one on all surviving partitions.
 """
 
 from __future__ import annotations
@@ -40,23 +53,88 @@ from ..core.trace import EventKind, SearchTrace
 from ..core.datamanager import DataManager
 from ..core.window import Window
 from ..costs import CostModel, DEFAULT_COST_MODEL
-from ..errors import CheckpointError, ProtocolError, SimulationLimitError
+from ..errors import CheckpointError, ConfigError, ProtocolError, SimulationLimitError
 from ..obs.metrics import MetricsRegistry
 from ..sampling.stratified import StratifiedSampler
 from ..storage.database import Database
 from ..storage.placement import Placement, cell_flat_ids, order_rows
 from ..storage.table import HeapTable
 from ..workloads.base import Dataset
-from .faults import DegradedResult, FaultInjector, FaultPlan
+from .faults import COORDINATOR, DegradedResult, FaultInjector, FaultPlan
 from .messages import Network
-from .partitioning import OverlapMode, OwnershipRouter, PartitionPlan, plan_partitions
+from .partitioning import (
+    OverlapMode,
+    OwnershipRouter,
+    PartitionPlan,
+    SuccessorPolicy,
+    plan_partitions,
+)
 from .worker import Worker
 
-__all__ = ["DistributedConfig", "DistributedReport", "run_distributed"]
+__all__ = [
+    "DistributedConfig",
+    "DistributedReport",
+    "LivenessView",
+    "run_distributed",
+]
 
 # Event-kind priorities for the discrete-event loop: at equal timestamps a
-# crash happens before its detection, and both before any worker step.
-_CRASH, _DETECT, _STEP = 0, 1, 2
+# crash lands first, then partition cut/heal edges, then liveness check
+# ticks, and only then ordinary worker steps.
+_CRASH, _PART, _CHECK, _STEP = 0, 1, 2, 3
+
+
+class LivenessView:
+    """Coordinator-side liveness from *observed* heartbeats.
+
+    The coordinator never inspects worker state directly; it sees beats.
+    A worker beats on a check tick when a heartbeat can reach the
+    coordinator: its own coordinator link is up, or — quorum-style — some
+    live, undeclared peer bridges both the worker<->peer and
+    peer<->coordinator links and relays the beat.  A worker whose last
+    observed beat is older than the heartbeat timeout is *declared* dead,
+    whether it actually crashed (detection) or is merely unreachable
+    (false positive — the caller fences it).  All state is deterministic
+    simulated time, so declarations replay bit-identically.
+    """
+
+    def __init__(self, num_workers: int, timeout_s: float) -> None:
+        self.num_workers = num_workers
+        self.timeout_s = timeout_s
+        self.last_beat = [0.0] * num_workers
+        self.declared: set[int] = set()
+
+    def beat(self, worker: int, now_s: float) -> None:
+        """Record an observed heartbeat."""
+        if now_s > self.last_beat[worker]:
+            self.last_beat[worker] = now_s
+
+    def expired(self, worker: int, now_s: float) -> bool:
+        """Whether the worker's silence has outlasted the timeout."""
+        return self.last_beat[worker] + self.timeout_s <= now_s
+
+    def declare(self, worker: int) -> None:
+        """Mark a worker dead; it can never be un-declared."""
+        self.declared.add(worker)
+
+    def observed(
+        self,
+        worker: int,
+        now_s: float,
+        injector: FaultInjector,
+        peer_alive,
+    ) -> bool:
+        """Whether a (live) worker's heartbeat reaches the coordinator now."""
+        if injector.link_open(COORDINATOR, worker, now_s):
+            return True
+        return any(
+            peer != worker
+            and peer not in self.declared
+            and peer_alive(peer)
+            and injector.link_open(worker, peer, now_s)
+            and injector.link_open(COORDINATOR, peer, now_s)
+            for peer in range(self.num_workers)
+        )
 
 
 @dataclass
@@ -75,6 +153,11 @@ class DistributedConfig:
     skew: float = 0.0
     max_steps: int = 50_000_000
     faults: FaultPlan | None = None
+    # How the router picks successors for a dead worker's anchors.
+    successor_policy: SuccessorPolicy | str = SuccessorPolicy.SPLIT
+    # Speculative-retransmit threshold (overrides the cost model when
+    # nonzero); 0 keeps hedging off and runs byte-identical to PR2.
+    hedge_delay_ms: float = 0.0
     # Stop after this many coordinator steps and capture a resumable
     # checkpoint on the report (the deterministic distributed kill point).
     # Mutually exclusive with fault injection: a run whose recovery
@@ -84,6 +167,34 @@ class DistributedConfig:
     def __post_init__(self) -> None:
         if not isinstance(self.overlap, OverlapMode):
             self.overlap = OverlapMode(self.overlap)
+        if not isinstance(self.successor_policy, SuccessorPolicy):
+            self.successor_policy = SuccessorPolicy(self.successor_policy)
+        if int(self.num_workers) != self.num_workers or self.num_workers < 1:
+            raise ConfigError(
+                f"num_workers must be a positive integer, got {self.num_workers}"
+            )
+        if int(self.tuples_per_block) != self.tuples_per_block or self.tuples_per_block < 1:
+            raise ConfigError(
+                f"tuples_per_block must be a positive integer, "
+                f"got {self.tuples_per_block}"
+            )
+        if not 0.0 < self.buffer_fraction <= 1.0:
+            raise ConfigError(
+                f"buffer_fraction must be in (0, 1], got {self.buffer_fraction}"
+            )
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ConfigError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}"
+            )
+        if self.skew < 0.0:
+            raise ConfigError(f"skew must be >= 0, got {self.skew}")
+        if self.max_steps < 1:
+            raise ConfigError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.hedge_delay_ms < 0.0:
+            raise ConfigError(
+                f"hedge_delay_ms must be >= 0 (0 disables hedging), "
+                f"got {self.hedge_delay_ms}"
+            )
         if self.checkpoint_after_steps is not None and self.checkpoint_after_steps < 1:
             raise CheckpointError(
                 f"checkpoint_after_steps must be >= 1, got {self.checkpoint_after_steps}"
@@ -112,12 +223,22 @@ class DistributedReport:
     cells_shipped: int = 0
     # Fault-tolerance accounting.
     crashed_workers: list[int] = field(default_factory=list)
+    fenced_workers: list[int] = field(default_factory=list)
     recovered_anchors: int = 0
     retries: int = 0
+    hedges: int = 0
     duplicates_ignored: int = 0
     messages_lost: int = 0
+    # Recovery control-plane traffic: adoption directives plus
+    # notifications to the survivors actually touched by a death batch —
+    # scales with lost cells / affected workers, never cells x workers.
+    reassignment_msgs: int = 0
+    cells_reassigned: int = 0
     faults_injected: dict[str, int] = field(default_factory=dict)
     degraded: DegradedResult | None = None
+    # Bounded-degradation contract: a non-None abort_reason means the run
+    # was cut short (resource limit, protocol wedge) — see ``outcome``.
+    abort_reason: str | None = None
     # Lifecycle: a run stopped at ``checkpoint_after_steps`` reports
     # ``interrupted=True`` with the resumable capture in ``checkpoint``
     # (pass it back as ``run_distributed(..., resume_from=...)``).
@@ -147,6 +268,25 @@ class DistributedReport:
     def is_degraded(self) -> bool:
         """True when the run could not recover everything it lost."""
         return self.degraded is not None
+
+    @property
+    def outcome(self) -> str:
+        """The bounded-degradation contract state of this run.
+
+        ``"complete"`` — every window of the fault-free oracle was
+        produced; ``"degraded"`` — some were provably lost and
+        ``degraded`` is the manifest; ``"aborted"`` — the run was cut
+        short for the reason in ``abort_reason`` (an aborted run may
+        additionally carry a manifest of its known losses);
+        ``"interrupted"`` — stopped at a checkpoint, resumable.
+        """
+        if self.interrupted:
+            return "interrupted"
+        if self.abort_reason is not None:
+            return "aborted"
+        if self.degraded is not None:
+            return "degraded"
+        return "complete"
 
 
 def run_distributed(
@@ -213,7 +353,13 @@ def run_distributed(
         skew=config.skew,
     )
 
-    injector = FaultInjector(config.faults) if config.faults is not None else None
+    if config.hedge_delay_ms:
+        cost_model = cost_model.with_overrides(hedge_delay_ms=config.hedge_delay_ms)
+    injector = (
+        FaultInjector(config.faults, config.num_workers)
+        if config.faults is not None
+        else None
+    )
     network = Network(config.num_workers, cost_model, injector=injector)
     if metrics is not None:
         network.metrics = metrics
@@ -231,17 +377,33 @@ def run_distributed(
         for wid in range(config.num_workers)
     ]
 
-    # Scheduled fault events: (time, priority, worker).
+    # Scheduled fault events: (time, priority, worker-or-index).
+    timeout = cost_model.heartbeat_timeout_s()
+    check_interval = timeout / 2.0
     fault_events: list[tuple[float, int, int]] = []
+    liveness: LivenessView | None = None
+    check_scheduled = False
     if injector is not None:
-        for wid in range(config.num_workers):
-            crash_at = injector.crash_time(wid)
-            if crash_at is not None:
-                heapq.heappush(fault_events, (crash_at, _CRASH, wid))
+        liveness = LivenessView(config.num_workers, timeout)
+        crash_schedule = injector.crash_times()
+        for wid, crash_at in sorted(crash_schedule.items()):
+            heapq.heappush(fault_events, (crash_at, _CRASH, wid))
+        for idx, part in enumerate(injector.plan.partitions):
+            heapq.heappush(fault_events, (part.start_s, _PART, idx))
+            heapq.heappush(fault_events, (part.heal_s, _PART, idx))
+        if crash_schedule or injector.plan.partitions:
+            # First liveness tick one timeout in (initial beats at t=0);
+            # plans with only message faults never need a tick, keeping
+            # their schedules identical to the pre-liveness protocol.
+            heapq.heappush(fault_events, (timeout, _CHECK, -1))
+            check_scheduled = True
 
-    done_at_crash: dict[int, bool] = {}
+    done_at_death: dict[int, bool] = {}
     crashed: list[int] = []
+    fenced: list[int] = []
     reseeded: set[int] = set()
+    reassignment_msgs = 0
+    cells_reassigned = 0
     table_generation = 0
 
     steps = 0
@@ -265,10 +427,10 @@ def run_distributed(
         # needs its detection and ownership hand-off to be recorded.
         candidates = actionable + (fault_events[:1] if fault_events else [])
         t, kind, wid = min(candidates)
-        worker = workers[wid]
         if kind == _CRASH:
             heapq.heappop(fault_events)
-            done_at_crash[wid] = worker.is_done()
+            worker = workers[wid]
+            done_at_death[wid] = worker.is_done()
             crashed.append(wid)
             worker.crash()
             network.mark_dead(wid)
@@ -276,22 +438,61 @@ def run_distributed(
                 metrics.inc("dist.crashes")
             if trace is not None:
                 trace.record(EventKind.FAULT, t, fault="crash", worker=wid)
-            heapq.heappush(
-                fault_events, (t + cost_model.heartbeat_timeout_s(), _DETECT, wid)
-            )
-        elif kind == _DETECT:
+            if not check_scheduled:
+                heapq.heappush(fault_events, (t + timeout, _CHECK, -1))
+                check_scheduled = True
+        elif kind == _PART:
             heapq.heappop(fault_events)
-            table_generation += 1
-            reseed = not done_at_crash.get(wid, False)
-            adopted = _handle_death(
-                wid, t, workers, router, plan, dataset, config,
-                reseed=reseed, generation=table_generation, trace=trace,
-            )
-            if metrics is not None:
-                metrics.inc("dist.adoptions", float(len(adopted)))
-            if reseed and adopted:
-                reseeded.add(wid)
+            part = injector.plan.partitions[wid]
+            phase = "cut" if t == part.start_s else "heal"
+            if metrics is not None and phase == "cut":
+                metrics.inc("dist.partitions")
+            if trace is not None:
+                trace.record(
+                    EventKind.PARTITION,
+                    t,
+                    worker=part.worker,
+                    peer=part.peer,
+                    phase=phase,
+                )
+        elif kind == _CHECK:
+            heapq.heappop(fault_events)
+            check_scheduled = False
+            declared_now = _liveness_tick(t, liveness, injector, workers, metrics)
+            if declared_now:
+                for dead_wid in declared_now:
+                    if not workers[dead_wid].crashed:
+                        # Alive but unreachable past the timeout: a false
+                        # positive.  Fence it so its superseded results
+                        # can never conflict with its successor's.
+                        done_at_death[dead_wid] = workers[dead_wid].is_done()
+                        workers[dead_wid].fence()
+                        network.mark_dead(dead_wid)
+                        fenced.append(dead_wid)
+                        if metrics is not None:
+                            metrics.inc("dist.fenced_workers")
+                        if trace is not None:
+                            trace.record(
+                                EventKind.FAULT, t, fault="fence", worker=dead_wid
+                            )
+                    elif metrics is not None:
+                        metrics.inc("dist.crash_detections")
+                    if metrics is not None:
+                        metrics.inc("dist.deaths_declared")
+                table_generation += 1
+                batch_msgs, batch_cells, batch_reseeded = _handle_deaths(
+                    declared_now, t, workers, router, plan, dataset, config,
+                    done_at_death, generation=table_generation,
+                    trace=trace, metrics=metrics,
+                )
+                reassignment_msgs += batch_msgs
+                cells_reassigned += batch_cells
+                reseeded.update(batch_reseeded)
+            if _checks_pending(t, fault_events, workers, liveness, injector):
+                heapq.heappush(fault_events, (t + check_interval, _CHECK, -1))
+                check_scheduled = True
         else:
+            worker = workers[wid]
             worker.advance_to(t)
             worker.step()
             steps += 1
@@ -330,13 +531,16 @@ def run_distributed(
     lost_slabs = router.lost_slabs()
     lost_windows = sum(len(w.lost_windows) for w in live)
     degraded: DegradedResult | None = None
+    abort_reason: str | None = None
     if exceeded:
+        abort_reason = "simulation exceeded max_steps before quiescence"
         degraded = DegradedResult(
-            reason="simulation exceeded max_steps before quiescence",
+            reason=abort_reason,
             lost_workers=tuple(crashed),
             lost_slabs=lost_slabs,
             lost_windows=lost_windows,
             stuck_workers=tuple(w.worker_id for w in live if not w.is_done()),
+            fenced_workers=tuple(fenced),
         )
     elif lost_slabs or lost_windows:
         degraded = DegradedResult(
@@ -344,12 +548,15 @@ def run_distributed(
             lost_workers=tuple(crashed),
             lost_slabs=lost_slabs,
             lost_windows=lost_windows,
+            fenced_workers=tuple(fenced),
         )
     elif stuck and not interrupted:
+        abort_reason = "workers quiesced with unresolved work"
         degraded = DegradedResult(
-            reason="workers quiesced with unresolved work",
+            reason=abort_reason,
             lost_workers=tuple(crashed),
             stuck_workers=tuple(stuck),
+            fenced_workers=tuple(fenced),
         )
 
     merged_snapshot: dict | None = None
@@ -381,21 +588,28 @@ def run_distributed(
         messages_sent=network.messages_sent,
         cells_shipped=network.cells_shipped,
         crashed_workers=crashed,
+        fenced_workers=fenced,
         recovered_anchors=sum(w.recovered_anchors for w in workers),
         retries=sum(w.retries for w in workers),
+        hedges=sum(w.hedges for w in workers),
         duplicates_ignored=sum(w.duplicates_ignored for w in workers),
         messages_lost=network.messages_lost,
+        reassignment_msgs=reassignment_msgs,
+        cells_reassigned=cells_reassigned,
         faults_injected=(
             {
                 "crashes": len(crashed),
+                "fencings": len(fenced),
                 "drops": injector.drops,
                 "duplicates": injector.duplicates,
                 "delays": injector.delays,
+                "partition_drops": injector.partition_drops,
             }
             if injector is not None
             else {}
         ),
         degraded=degraded,
+        abort_reason=abort_reason,
         interrupted=interrupted,
         checkpoint=checkpoint_state,
         metrics=merged_snapshot,
@@ -427,6 +641,8 @@ def _distributed_fingerprint(config: DistributedConfig) -> dict:
         "sample_seed": config.sample_seed,
         "balance_by_data": config.balance_by_data,
         "skew": config.skew,
+        "successor_policy": config.successor_policy.value,
+        "hedge_delay_ms": config.hedge_delay_ms,
         "search": {
             "s": s.s,
             "alpha": s.alpha,
@@ -528,35 +744,114 @@ def _restore_distributed(
     return int(state["steps"])
 
 
-def _handle_death(
-    dead: int,
+def _liveness_tick(
+    now: float,
+    liveness: LivenessView,
+    injector: FaultInjector,
+    workers: list[Worker],
+    metrics: MetricsRegistry | None,
+) -> list[int]:
+    """One heartbeat probe round: record beats, return newly-dead workers.
+
+    Crashed workers never beat; live workers beat when observable (direct
+    link or quorum relay).  Every undeclared worker whose silence has
+    outlasted the timeout at this tick is declared — correlated failures
+    (a storm, a failed rack) whose deadlines fall inside the same tick
+    come back as one batch, which is what makes reassignment batched.
+    """
+
+    def peer_alive(peer: int) -> bool:
+        return not workers[peer].crashed
+
+    declared_now: list[int] = []
+    for wid in range(liveness.num_workers):
+        if wid in liveness.declared:
+            continue
+        if not workers[wid].crashed and liveness.observed(
+            wid, now, injector, peer_alive
+        ):
+            liveness.beat(wid, now)
+            if metrics is not None:
+                metrics.inc("dist.heartbeats")
+            continue
+        if liveness.expired(wid, now):
+            declared_now.append(wid)
+    for wid in declared_now:
+        liveness.declare(wid)
+    return declared_now
+
+
+def _checks_pending(
+    now: float,
+    fault_events: list[tuple[float, int, int]],
+    workers: list[Worker],
+    liveness: LivenessView,
+    injector: FaultInjector,
+) -> bool:
+    """Whether a future liveness tick could still declare someone dead."""
+    if any(
+        w.crashed and w.worker_id not in liveness.declared for w in workers
+    ):
+        return True
+    if any(kind == _CRASH for _, kind, _ in fault_events):
+        return True
+    return any(p.heal_s > now for p in injector.plan.partitions)
+
+
+def _handle_deaths(
+    dead_batch: list[int],
     now: float,
     workers: list[Worker],
     router: OwnershipRouter,
     plan: PartitionPlan,
     dataset: Dataset,
     config: DistributedConfig,
-    reseed: bool,
+    done_at_death: dict[int, bool],
     generation: int,
     trace: SearchTrace | None,
-) -> dict[int, tuple[int, int]]:
-    """Failure detection fired: reassign the dead worker's anchors.
+    metrics: MetricsRegistry | None,
+) -> tuple[int, int, set[int]]:
+    """Reassign a batch of dead workers' anchors in one pass.
 
-    Every survivor drops state tied to the dead peer (answers owed to it,
-    requests outstanding to it).  The dead slab is split between its live
-    neighbors; each adopter gets a rebuilt local table covering its
-    widened data range and — unless the dead worker had already finished
-    its slab — re-seeds the adopted anchors to re-explore them from
-    scratch.  Returns the adopter → anchor-range map.
+    The router resolves the whole batch with one O(lost cells)
+    :meth:`OwnershipRouter.reassign_batch` call; each adopter rebuilds
+    its local table once no matter how many runs it adopts, and only the
+    survivors actually touched by the deaths (answers owed, requests
+    outstanding) count as notification messages.  A range is re-seeded
+    if *any* of its source workers died with unfinished work, and every
+    source of a re-seeded range is superseded — the adopter re-discovers
+    their windows, so counting both would duplicate results.
+
+    Returns ``(reassignment_msgs, cells_reassigned, reseeded_sources)``.
     """
-    adopted = router.reassign(dead)
+    dead_set = set(dead_batch)
+    assignments = router.reassign_batch(
+        dead_batch,
+        policy=config.successor_policy,
+        alive=lambda w: not workers[w].crashed,
+    )
+    notifications = 0
     for w in workers:
-        if not w.crashed and w.worker_id != dead:
-            w.on_peer_death(dead)
-    for adopter_id, (alo, ahi) in adopted.items():
+        if not w.crashed and w.worker_id not in dead_set:
+            if w.on_peer_deaths(dead_set):
+                notifications += 1
+
+    by_adopter: dict[int, list[tuple[tuple[int, int], tuple[int, ...]]]] = {}
+    for adopter_id, rng, sources in assignments:
+        by_adopter.setdefault(adopter_id, []).append((rng, sources))
+
+    reseeded_sources: set[int] = set()
+    cells = 0
+    for adopter_id, items in by_adopter.items():
         adopter = workers[adopter_id]
-        new_lo = min(adopter.data_lo, alo)
-        new_hi = max(adopter.data_hi, min(ahi + plan.data_extension, plan.boundaries[-1]))
+        new_lo = min(adopter.data_lo, min(rng[0] for rng, _ in items))
+        new_hi = max(
+            adopter.data_hi,
+            max(
+                min(rng[1] + plan.data_extension, plan.boundaries[-1])
+                for rng, _ in items
+            ),
+        )
         table, n_rows = _local_table(
             dataset,
             adopter.grid,
@@ -568,21 +863,42 @@ def _handle_death(
         )
         if n_rows == 0:
             table = None  # the widened range is empty too: keep the stub
-        adopter.adopt_anchors((alo, ahi), (new_lo, new_hi), table=table, seed=reseed)
+        first = True
+        for (alo, ahi), sources in items:
+            seed = any(not done_at_death.get(s, False) for s in sources)
+            adopter.adopt_anchors(
+                (alo, ahi),
+                (new_lo, new_hi),
+                table=table if first else None,
+                seed=seed,
+            )
+            first = False
+            cells += ahi - alo
+            if seed:
+                reseeded_sources.update(sources)
+            if trace is not None:
+                trace.record(
+                    EventKind.RECOVERY,
+                    now,
+                    worker=adopter_id,
+                    dead=list(sources),
+                    anchors=(alo, ahi),
+                    reseeded=seed,
+                )
         if n_rows == 0:
             _mark_empty_range(adopter.data, new_lo, new_hi)
-        if trace is not None:
-            trace.record(
-                EventKind.RECOVERY,
-                now,
-                worker=adopter_id,
-                dead=dead,
-                anchors=(alo, ahi),
-                reseeded=reseed,
-            )
-    if not adopted and trace is not None:
-        trace.record(EventKind.FAULT, now, fault="slab_lost", worker=dead)
-    return adopted
+
+    adopted_sources = {s for _, _, sources in assignments for s in sources}
+    for wid in dead_batch:
+        if wid not in adopted_sources and trace is not None:
+            trace.record(EventKind.FAULT, now, fault="slab_lost", worker=wid)
+
+    msgs = len(assignments) + notifications
+    if metrics is not None:
+        metrics.inc("dist.adoptions", float(len(assignments)))
+        metrics.inc("dist.reassignment_msgs", float(msgs))
+        metrics.inc("dist.cells_reassigned", float(cells))
+    return msgs, cells, reseeded_sources
 
 
 def _worker_cost_model(

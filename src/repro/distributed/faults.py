@@ -27,7 +27,19 @@ import numpy as np
 
 from ..errors import ConfigError
 
-__all__ = ["WorkerCrash", "FaultPlan", "FaultInjector", "DegradedResult"]
+__all__ = [
+    "COORDINATOR",
+    "CrashStorm",
+    "DegradedResult",
+    "FailureDomain",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkPartition",
+    "WorkerCrash",
+]
+
+#: Sentinel id for the coordinator end of a :class:`LinkPartition`.
+COORDINATOR = -1
 
 
 @dataclass(frozen=True)
@@ -42,6 +54,95 @@ class WorkerCrash:
             raise ConfigError(f"crash worker id must be >= 0, got {self.worker}")
         if self.time_s < 0:
             raise ConfigError(f"crash time must be >= 0, got {self.time_s}")
+
+
+@dataclass(frozen=True)
+class CrashStorm:
+    """A burst of fail-stop crashes: ``victims[i]`` dies at
+    ``start_s + i * spacing_s``.
+
+    Victims are fixed at plan-construction time (not drawn during the
+    run), so the storm schedule is a pure function of the plan and the
+    injector's message-fault draw sequence is untouched by it.
+    """
+
+    victims: tuple[int, ...]
+    start_s: float
+    spacing_s: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if not self.victims:
+            raise ConfigError("crash storm needs at least one victim")
+        if len(set(self.victims)) != len(self.victims):
+            raise ConfigError(f"crash storm victims must be distinct: {self.victims}")
+        if any(w < 0 for w in self.victims):
+            raise ConfigError(f"crash storm victim ids must be >= 0: {self.victims}")
+        if self.start_s < 0:
+            raise ConfigError(f"storm start must be >= 0, got {self.start_s}")
+        if self.spacing_s < 0:
+            raise ConfigError(f"storm spacing must be >= 0, got {self.spacing_s}")
+
+
+@dataclass(frozen=True)
+class FailureDomain:
+    """A correlated failure group (one rack / one power feed).
+
+    ``members`` fail together at ``fail_at_s`` when it is set; with
+    ``fail_at_s=None`` the domain is pure metadata naming a correlation
+    group (e.g. the rack a :class:`CrashStorm` took out).
+    """
+
+    members: tuple[int, ...]
+    fail_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigError("failure domain needs at least one member")
+        if len(set(self.members)) != len(self.members):
+            raise ConfigError(f"domain members must be distinct: {self.members}")
+        if any(w < 0 for w in self.members):
+            raise ConfigError(f"domain member ids must be >= 0: {self.members}")
+        if self.fail_at_s is not None and self.fail_at_s < 0:
+            raise ConfigError(f"domain fail time must be >= 0, got {self.fail_at_s}")
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """Cut one link for ``[start_s, heal_s)`` simulated seconds.
+
+    ``peer`` is another worker id or :data:`COORDINATOR`.  Messages on a
+    cut link are silently dropped (the retransmission layer re-sends
+    them after heal); a worker whose *every* path to the coordinator —
+    direct or relayed through a live peer — is cut for longer than the
+    heartbeat timeout gets declared dead and fenced.  The heal schedule
+    is part of the plan, so replays are deterministic.
+    """
+
+    worker: int
+    start_s: float
+    heal_s: float
+    peer: int = COORDINATOR
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigError(f"partition worker id must be >= 0, got {self.worker}")
+        if self.peer < COORDINATOR:
+            raise ConfigError(f"partition peer must be >= {COORDINATOR}, got {self.peer}")
+        if self.peer == self.worker:
+            raise ConfigError("partition cannot cut a worker from itself")
+        if self.start_s < 0:
+            raise ConfigError(f"partition start must be >= 0, got {self.start_s}")
+        if self.heal_s <= self.start_s:
+            raise ConfigError(
+                f"partition must heal after it starts: "
+                f"[{self.start_s}, {self.heal_s})"
+            )
+
+    def cuts(self, a: int, b: int, now_s: float) -> bool:
+        """Whether this partition severs the ``a``<->``b`` link at ``now_s``."""
+        return {a, b} == {self.worker, self.peer} and (
+            self.start_s <= now_s < self.heal_s
+        )
 
 
 @dataclass(frozen=True)
@@ -63,6 +164,9 @@ class FaultPlan:
     delay_prob: float = 0.0
     max_extra_delay_s: float = 0.01
     disk_slowdowns: tuple[tuple[int, float], ...] = ()
+    storms: tuple[CrashStorm, ...] = ()
+    domains: tuple[FailureDomain, ...] = ()
+    partitions: tuple[LinkPartition, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("drop_prob", "duplicate_prob", "delay_prob"):
@@ -82,10 +186,41 @@ class FaultPlan:
                     f"got ({worker}, {factor})"
                 )
 
+    def crash_times(self) -> dict[int, float]:
+        """Earliest scheduled crash time per worker, from every source.
+
+        Merges explicit :class:`WorkerCrash` entries, :class:`CrashStorm`
+        schedules and timed :class:`FailureDomain` failures; a worker
+        named by several sources dies at the earliest of its times.
+        """
+        times: dict[int, float] = {}
+
+        def note(worker: int, time_s: float) -> None:
+            if worker not in times or time_s < times[worker]:
+                times[worker] = time_s
+
+        for crash in self.crashes:
+            note(crash.worker, crash.time_s)
+        for storm in self.storms:
+            for i, victim in enumerate(storm.victims):
+                note(victim, storm.start_s + i * storm.spacing_s)
+        for domain in self.domains:
+            if domain.fail_at_s is not None:
+                for member in domain.members:
+                    note(member, domain.fail_at_s)
+        return times
+
     def crash_time(self, worker: int) -> float | None:
         """Earliest scheduled crash time of a worker, or ``None``."""
-        times = [c.time_s for c in self.crashes if c.worker == worker]
-        return min(times) if times else None
+        return self.crash_times().get(worker)
+
+    def link_open(self, a: int, b: int, now_s: float) -> bool:
+        """Whether the ``a``<->``b`` link is up at ``now_s``.
+
+        Either end may be :data:`COORDINATOR`.  Pure plan lookup — safe
+        to call from liveness checks without disturbing fault draws.
+        """
+        return not any(p.cuts(a, b, now_s) for p in self.partitions)
 
     def disk_factor(self, worker: int) -> float:
         """Seek/transfer multiplier for a worker's disk (1.0 = nominal)."""
@@ -132,6 +267,73 @@ class FaultPlan:
             disk_slowdowns=slowdowns,
         )
 
+    @classmethod
+    def chaos_scale(
+        cls,
+        seed: int,
+        num_workers: int,
+        crash_at_s: float,
+        storm_fraction: float = 0.125,
+        message_fault_rate: float = 0.12,
+        partition: bool = True,
+    ) -> "FaultPlan":
+        """A cluster-scale plan: rack storm + healing partition + lossy net.
+
+        One contiguous rack of ``max(1, num_workers * storm_fraction)``
+        workers (recorded as a :class:`FailureDomain`) is taken out by a
+        :class:`CrashStorm` around ``crash_at_s``; one surviving worker
+        loses its coordinator link *and* one peer link for a window that
+        heals before the heartbeat timeout (so it is degraded, not
+        fenced); message faults run at ``message_fault_rate``.  The plan
+        is recoverable for any ``num_workers >= 2`` and a pure function
+        of ``(seed, num_workers)``.
+        """
+        if num_workers < 2:
+            raise ConfigError(
+                f"chaos_scale needs >= 2 workers, got {num_workers}"
+            )
+        if crash_at_s <= 0:
+            raise ConfigError(f"crash_at_s must be > 0, got {crash_at_s}")
+        rng = np.random.default_rng([seed, num_workers])
+        count = min(max(1, round(num_workers * storm_fraction)), num_workers - 1)
+        rack_lo = int(rng.integers(0, num_workers - count + 1))
+        victims = tuple(range(rack_lo, rack_lo + count))
+        storm = CrashStorm(
+            victims=victims,
+            start_s=crash_at_s,
+            spacing_s=crash_at_s * 0.02 / max(1, count),
+        )
+        domains = (FailureDomain(members=victims),)
+        partitions: tuple[LinkPartition, ...] = ()
+        survivors = [w for w in range(num_workers) if w not in victims]
+        if partition and survivors:
+            target = int(survivors[int(rng.integers(len(survivors)))])
+            start = crash_at_s * 0.25
+            heal = start + float(rng.uniform(0.012, 0.025))
+            partitions = (LinkPartition(target, start, heal),)
+            # Cut an *adjacent* peer link when one survives: boundary
+            # cells are the only cross-worker traffic, so only an
+            # adjacent cut actually severs the data plane.
+            peers = [w for w in (target - 1, target + 1) if w in survivors]
+            if not peers:
+                peers = [w for w in survivors if w != target]
+            if peers:
+                peer = int(peers[int(rng.integers(len(peers)))])
+                partitions += (LinkPartition(target, start, heal, peer=peer),)
+        straggler = int(survivors[int(rng.integers(len(survivors)))])
+        share = message_fault_rate / 3.0
+        return cls(
+            seed=seed,
+            storms=(storm,),
+            domains=domains,
+            partitions=partitions,
+            drop_prob=share,
+            duplicate_prob=share,
+            delay_prob=share,
+            max_extra_delay_s=0.02,
+            disk_slowdowns=((straggler, float(rng.uniform(1.5, 2.5))),),
+        )
+
 
 class FaultInjector:
     """Executes a :class:`FaultPlan` deterministically.
@@ -142,12 +344,35 @@ class FaultInjector:
     feed the :class:`~repro.distributed.coordinator.DistributedReport`.
     """
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, num_workers: int | None = None) -> None:
         self.plan = plan
+        if num_workers is not None:
+            self._validate_ids(plan, num_workers)
         self._rng = np.random.default_rng(plan.seed)
+        self._crash_times = plan.crash_times()
         self.drops = 0
         self.duplicates = 0
         self.delays = 0
+        self.partition_drops = 0
+
+    @staticmethod
+    def _validate_ids(plan: FaultPlan, num_workers: int) -> None:
+        """Reject plans naming worker ids outside the actual cluster."""
+        named: set[int] = set(plan.crash_times())
+        for domain in plan.domains:
+            named.update(domain.members)
+        for part in plan.partitions:
+            named.add(part.worker)
+            if part.peer != COORDINATOR:
+                named.add(part.peer)
+        for worker, _ in plan.disk_slowdowns:
+            named.add(worker)
+        bad = sorted(w for w in named if w >= num_workers)
+        if bad:
+            raise ConfigError(
+                f"fault plan names workers {bad} but the cluster has "
+                f"only {num_workers}"
+            )
 
     def deliveries(self) -> list[float]:
         """Extra-latency list for one send: one entry per delivered copy.
@@ -177,7 +402,23 @@ class FaultInjector:
 
     def crash_time(self, worker: int) -> float | None:
         """Scheduled crash time of a worker, or ``None``."""
-        return self.plan.crash_time(worker)
+        return self._crash_times.get(worker)
+
+    def crash_times(self) -> dict[int, float]:
+        """Earliest scheduled crash time per worker (all fault sources)."""
+        return dict(self._crash_times)
+
+    def link_open(self, a: int, b: int, now_s: float) -> bool:
+        """Whether the ``a``<->``b`` link is up (pure plan lookup)."""
+        return self.plan.link_open(a, b, now_s)
+
+    def partition_edges(self) -> tuple[float, ...]:
+        """Sorted distinct times at which some link cuts or heals."""
+        edges: set[float] = set()
+        for part in self.plan.partitions:
+            edges.add(part.start_s)
+            edges.add(part.heal_s)
+        return tuple(sorted(edges))
 
     def disk_factor(self, worker: int) -> float:
         """Disk slowdown multiplier for a worker."""
@@ -201,12 +442,15 @@ class DegradedResult:
     lost_slabs: tuple[tuple[int, int], ...] = ()
     lost_windows: int = 0
     stuck_workers: tuple[int, ...] = field(default_factory=tuple)
+    fenced_workers: tuple[int, ...] = ()
 
     def describe(self) -> str:
         """One-line human-readable account of the degradation."""
         parts = [self.reason]
         if self.lost_workers:
             parts.append(f"lost workers {list(self.lost_workers)}")
+        if self.fenced_workers:
+            parts.append(f"fenced workers {list(self.fenced_workers)}")
         if self.lost_slabs:
             slabs = ", ".join(f"[{lo}, {hi})" for lo, hi in self.lost_slabs)
             parts.append(f"unrecovered anchor slabs {slabs}")

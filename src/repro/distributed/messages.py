@@ -80,6 +80,7 @@ class Network:
         self.messages_sent = 0
         self.cells_shipped = 0
         self.messages_lost = 0
+        self.partition_drops = 0
         # Optional observability (repro.obs): the coordinator attaches its
         # registry here so channel-level counters land in the merged view.
         self.metrics = None
@@ -108,6 +109,22 @@ class Network:
             if m is not None:
                 m.inc("net.messages_lost")
             return
+        if self._injector is not None:
+            src = (
+                message.requester
+                if isinstance(message, CellRequest)
+                else message.responder
+            )
+            if not self._injector.link_open(src, to, sent_at):
+                # A cut link swallows the message without a fault draw;
+                # the sender's retransmission timer recovers it post-heal.
+                self.partition_drops += 1
+                self._injector.partition_drops += 1
+                self.messages_lost += 1
+                if m is not None:
+                    m.inc("net.partition_drops")
+                    m.inc("net.messages_lost")
+                return
         latency = self._cost.network_s(cells)
         copies = [0.0] if self._injector is None else self._injector.deliveries()
         if not copies:

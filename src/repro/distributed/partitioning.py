@@ -27,13 +27,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Callable, Iterable
 
 import numpy as np
 
 from ..core.grid import Grid
 from ..errors import PartitionError
 
-__all__ = ["OverlapMode", "OwnershipRouter", "PartitionPlan", "plan_partitions"]
+__all__ = [
+    "OverlapMode",
+    "OwnershipRouter",
+    "PartitionPlan",
+    "SuccessorPolicy",
+    "plan_partitions",
+]
 
 
 class OverlapMode(Enum):
@@ -42,6 +49,32 @@ class OverlapMode(Enum):
     NONE = "no_overlap"
     FULL = "full_overlap"
     PART = "part_overlap"
+
+
+class SuccessorPolicy(Enum):
+    """How a lost anchor run is handed to its adjacent live neighbors.
+
+    Contiguity is the invariant every policy preserves: a worker's owned
+    range (and hence its local data range) must stay a single interval,
+    so only the run's *adjacent* live neighbors are candidate
+    successors.  The policies choose among them:
+
+    * ``SPLIT`` — midpoint split between both neighbors (the PR 2
+      behavior); the whole run to the single neighbor when only one side
+      is live.
+    * ``BALANCE`` — the whole run goes to whichever adjacent neighbor
+      currently owns *fewer* anchor cells (ties to the left), keeping
+      slab sizes even after repeated failures.
+    * ``LEFT`` / ``RIGHT`` — deterministic preference for one side
+      (falls back to the other side when that neighbor is dead); useful
+      for locality-style placements where one direction is the cheap
+      adoption.
+    """
+
+    SPLIT = "split"
+    BALANCE = "balance"
+    LEFT = "left"
+    RIGHT = "right"
 
 
 @dataclass(frozen=True)
@@ -80,6 +113,25 @@ class PartitionPlan:
         lo, hi = self.anchor_slab(worker)
         return lo, min(hi + self.data_extension, self.boundaries[-1])
 
+    def covering_workers(self, dim0_index: int) -> tuple[int, ...]:
+        """Workers whose *initial* local data covers a cell column.
+
+        Under the overlap modes a boundary cell lives on several workers;
+        hedged retransmits use this to pick an alternate server.  Data
+        ranges only ever widen after adoption, so the static answer is a
+        safe under-approximation of current coverage.
+        """
+        if not 0 <= dim0_index < self.boundaries[-1]:
+            raise PartitionError(
+                f"cell index {dim0_index} beyond grid ({self.boundaries[-1]})"
+            )
+        return tuple(
+            w
+            for w in range(self.num_workers)
+            if self.boundaries[w] <= dim0_index
+            < min(self.boundaries[w + 1] + self.data_extension, self.boundaries[-1])
+        )
+
     def _check_worker(self, worker: int) -> None:
         if not 0 <= worker < self.num_workers:
             raise PartitionError(f"worker {worker} out of range [0, {self.num_workers})")
@@ -92,9 +144,15 @@ class OwnershipRouter:
     the router tracks which live worker currently owns each dim-0 cell
     column, so remote cell requests keep routing correctly after the
     coordinator reassigns a crashed worker's slab.  Each worker's owned
-    range stays contiguous: a dead slab is split between its immediate
-    live neighbors (midpoint when both exist, whole slab otherwise), and
-    a slab with no live neighbor becomes *lost* (owner ``None``).
+    range stays contiguous: a dead run is handed to its adjacent live
+    neighbors under a :class:`SuccessorPolicy`, and a run with no live
+    neighbor becomes *lost* (owner ``None``).
+
+    Reassignment is *batched*: an N-death event (crash storm, failure
+    domain, fenced partition group) is resolved in one
+    :meth:`reassign_batch` pass whose cost is O(lost cells) — the
+    per-worker owned ranges are tracked incrementally, so nothing scans
+    the full cell axis or the worker list per death.
     """
 
     _LOST = -1
@@ -106,6 +164,14 @@ class OwnershipRouter:
             for w in range(plan.num_workers)
         ]
         self._owners = np.repeat(np.arange(plan.num_workers), sizes)
+        # Incrementally maintained views: per-worker contiguous range
+        # (None once dead/empty) and the merged lost runs, so owned_range
+        # and lost_slabs are O(1)/O(runs) instead of O(cells).
+        self._ranges: list[tuple[int, int] | None] = [
+            (plan.boundaries[w], plan.boundaries[w + 1])
+            for w in range(plan.num_workers)
+        ]
+        self._lost: list[tuple[int, int]] = []
 
     def owner_of_cell(self, dim0_index: int) -> int | None:
         """Current owner of a cell column; ``None`` if its slab is lost."""
@@ -118,49 +184,147 @@ class OwnershipRouter:
 
     def owned_range(self, worker: int) -> tuple[int, int] | None:
         """Contiguous ``[lo, hi)`` anchor range currently owned, or ``None``."""
-        cells = np.nonzero(self._owners == worker)[0]
-        if cells.size == 0:
-            return None
-        return int(cells[0]), int(cells[-1]) + 1
+        return self._ranges[worker]
 
     def lost_slabs(self) -> tuple[tuple[int, int], ...]:
         """Contiguous anchor ranges that no live worker owns."""
-        lost = np.nonzero(self._owners == self._LOST)[0]
-        slabs: list[tuple[int, int]] = []
-        for cell in lost.tolist():
-            if slabs and slabs[-1][1] == cell:
-                slabs[-1] = (slabs[-1][0], cell + 1)
-            else:
-                slabs.append((cell, cell + 1))
-        return tuple(slabs)
+        return tuple(self._lost)
 
     def reassign(self, dead: int) -> dict[int, tuple[int, int]]:
-        """Hand a dead worker's slab to its live neighbors.
+        """Hand one dead worker's slab to its live neighbors (midpoint).
 
-        Returns ``{adopter: (lo, hi)}`` anchor ranges (empty when the
-        slab is lost — no live neighbor on either side).  The dead
-        worker must still own a contiguous range.
+        Back-compat wrapper over :meth:`reassign_batch` with the SPLIT
+        policy; returns ``{adopter: (lo, hi)}``.
         """
-        rng = self.owned_range(dead)
-        if rng is None:
-            return {}
-        lo, hi = rng
-        left = int(self._owners[lo - 1]) if lo > 0 else self._LOST
-        right = int(self._owners[hi]) if hi < len(self._owners) else self._LOST
-        adopted: dict[int, tuple[int, int]] = {}
-        if left != self._LOST and right != self._LOST:
+        return {
+            adopter: rng
+            for adopter, rng, _ in self.reassign_batch([dead])
+        }
+
+    def reassign_batch(
+        self,
+        dead: Iterable[int],
+        policy: SuccessorPolicy = SuccessorPolicy.SPLIT,
+        alive: Callable[[int], bool] | None = None,
+    ) -> list[tuple[int, tuple[int, int], tuple[int, ...]]]:
+        """Resolve a batch of deaths in one O(lost cells) pass.
+
+        ``dead`` are the workers declared failed in this batch; ``alive``
+        (optional) vetoes candidate successors the caller knows are
+        crashed but not yet declared, so adoption never round-trips
+        through a doomed worker.  The dead ranges — merged with any
+        adjacent already-lost cells — form maximal contiguous *runs*;
+        each run is handed to adjacent live neighbors per ``policy``, or
+        recorded as lost when no neighbor survives.
+
+        Returns ``[(adopter, (lo, hi), sources), ...]`` in deterministic
+        (run, left-to-right) order, where ``sources`` names the dead
+        workers whose cells the range contains — the coordinator uses it
+        to decide re-seeding per range.
+        """
+        dead_list = sorted(set(dead))
+        ncells = len(self._owners)
+
+        def _is_live(w: int) -> bool:
+            if w in dead_list or self._ranges[w] is None:
+                return False
+            return alive(w) if alive is not None else True
+
+        # Collect the dying ranges (skipping workers that own nothing).
+        dying: list[tuple[int, int, int]] = []  # (lo, hi, worker)
+        for w in dead_list:
+            rng = self._ranges[w]
+            if rng is None:
+                continue
+            dying.append((rng[0], rng[1], w))
+            self._ranges[w] = None
+        if not dying:
+            return []
+        dying.sort()
+
+        # Merge into maximal runs: adjacent dying ranges coalesce, and a
+        # run absorbs already-lost cells touching either edge (so a
+        # cascade keeps lost accounting exact).
+        runs: list[tuple[int, int, list[int]]] = []
+        for lo, hi, w in dying:
+            if runs and runs[-1][1] == lo:
+                runs[-1] = (runs[-1][0], hi, runs[-1][2] + [w])
+            else:
+                runs.append((lo, hi, [w]))
+
+        assignments: list[tuple[int, tuple[int, int], tuple[int, ...]]] = []
+        for lo, hi, sources in runs:
+            lo, hi = self._absorb_lost(lo, hi)
+            left = int(self._owners[lo - 1]) if lo > 0 else self._LOST
+            right = int(self._owners[hi]) if hi < ncells else self._LOST
+            if left != self._LOST and not _is_live(left):
+                left = self._LOST
+            if right != self._LOST and not _is_live(right):
+                right = self._LOST
+            parts = self._apportion(lo, hi, left, right, policy)
+            if not parts:
+                self._owners[lo:hi] = self._LOST
+                self._record_lost(lo, hi)
+                continue
+            src = tuple(sources)
+            for adopter, (alo, ahi) in parts:
+                self._owners[alo:ahi] = adopter
+                olo, ohi = self._ranges[adopter]  # adjacent, hence not None
+                self._ranges[adopter] = (min(olo, alo), max(ohi, ahi))
+                assignments.append((adopter, (alo, ahi), src))
+        return assignments
+
+    def _apportion(
+        self, lo: int, hi: int, left: int, right: int, policy: SuccessorPolicy
+    ) -> list[tuple[int, tuple[int, int]]]:
+        """Split one lost run between its live neighbors per the policy."""
+        if left == self._LOST and right == self._LOST:
+            return []
+        if left == self._LOST:
+            return [(right, (lo, hi))]
+        if right == self._LOST:
+            return [(left, (lo, hi))]
+        if policy is SuccessorPolicy.SPLIT:
             mid = (lo + hi + 1) // 2
-            adopted[left] = (lo, mid)
-            adopted[right] = (mid, hi)
-        elif left != self._LOST:
-            adopted[left] = (lo, hi)
-        elif right != self._LOST:
-            adopted[right] = (lo, hi)
-        for adopter, (alo, ahi) in adopted.items():
-            self._owners[alo:ahi] = adopter
-        if not adopted:
-            self._owners[lo:hi] = self._LOST
-        return adopted
+            return [(left, (lo, mid)), (right, (mid, hi))]
+        if policy is SuccessorPolicy.LEFT:
+            return [(left, (lo, hi))]
+        if policy is SuccessorPolicy.RIGHT:
+            return [(right, (lo, hi))]
+        # BALANCE: whole run to the smaller neighbor, ties to the left.
+        lsize = self._range_size(left)
+        rsize = self._range_size(right)
+        return [(left if lsize <= rsize else right, (lo, hi))]
+
+    def _range_size(self, worker: int) -> int:
+        rng = self._ranges[worker]
+        return 0 if rng is None else rng[1] - rng[0]
+
+    def _absorb_lost(self, lo: int, hi: int) -> tuple[int, int]:
+        """Widen a run over already-lost slabs touching its edges."""
+        kept: list[tuple[int, int]] = []
+        for llo, lhi in self._lost:
+            if lhi == lo:
+                lo = llo
+            elif llo == hi:
+                hi = lhi
+            else:
+                kept.append((llo, lhi))
+        self._lost = kept
+        return lo, hi
+
+    def _record_lost(self, lo: int, hi: int) -> None:
+        """Insert a lost run, merging with touching neighbors, kept sorted."""
+        merged = [(lo, hi)]
+        for llo, lhi in self._lost:
+            mlo, mhi = merged[0]
+            if lhi == mlo:
+                merged[0] = (llo, mhi)
+            elif mhi == llo:
+                merged[0] = (mlo, lhi)
+            else:
+                merged.append((llo, lhi))
+        self._lost = sorted(merged)
 
 
 def plan_partitions(

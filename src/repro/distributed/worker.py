@@ -72,6 +72,8 @@ class _Outstanding:
     cells: set[Cell]
     deadline: float
     attempt: int = 0
+    sent_at: float = 0.0
+    hedged: bool = False
 
 
 class Worker:
@@ -127,7 +129,9 @@ class Worker:
         self._pending: dict[int, set[Cell]] = {}
         # Reliability layer.
         self.crashed = False
+        self.fenced = False
         self.retries = 0
+        self.hedges = 0
         self.duplicates_ignored = 0
         self.recovered_anchors = 0
         self.lost_windows: dict[Window, set[Cell]] = {}
@@ -178,10 +182,17 @@ class Worker:
             return self.now
         times = [arrival] if arrival is not None else []
         if self._outstanding:
-            times.append(min(o.deadline for o in self._outstanding.values()))
+            times.append(min(self._due_time(o) for o in self._outstanding.values()))
         if not times:
             return None
         return max(self.now, min(times))
+
+    def _due_time(self, entry: _Outstanding) -> float:
+        """When an outstanding request next needs attention (hedge or retry)."""
+        hedge = self.cost_model.hedge_delay_s()
+        if hedge > 0.0 and not entry.hedged:
+            return min(entry.deadline, entry.sent_at + hedge)
+        return entry.deadline
 
     def is_done(self) -> bool:
         """No queue work, parked windows, pending requests, or in-flight mail.
@@ -201,6 +212,19 @@ class Worker:
     def crash(self) -> None:
         """Fail-stop this worker (fault injection)."""
         self.crashed = True
+
+    def fence(self) -> None:
+        """Stop a live worker the coordinator falsely declared dead.
+
+        A partition longer than the heartbeat timeout makes the liveness
+        view declare a healthy worker failed.  Because its anchors are
+        reassigned and re-seeded by a successor, this worker must never
+        act again (its results are superseded) — fencing turns the false
+        positive into a safe fail-stop, preserving the equivalence
+        invariant at the cost of redone work.
+        """
+        self.crashed = True
+        self.fenced = True
 
     # -- the step ------------------------------------------------------------------
 
@@ -322,7 +346,8 @@ class Worker:
     # -- reliability layer -------------------------------------------------------------
 
     def _check_timeouts(self) -> None:
-        """Retransmit outstanding requests whose deadline has passed."""
+        """Retransmit expired requests; hedge silent-but-unexpired ones."""
+        self._check_hedges()
         expired = [
             msg_id
             for msg_id, entry in self._outstanding.items()
@@ -346,6 +371,63 @@ class Worker:
                     attempt=entry.attempt + 1,
                 )
             self._dispatch_cells(cells, attempt=entry.attempt + 1)
+
+    def _check_hedges(self) -> None:
+        """Speculatively duplicate requests a straggler is sitting on.
+
+        A request silent for ``hedge_delay`` (but not yet timed out) gets
+        one duplicate sent to an alternate live worker whose *static*
+        data range covers the cells (the partition plan's data extension
+        makes boundary cells multiply-held), falling back to the owner
+        itself.  Idempotent installs make the double answer harmless;
+        disabled when ``hedge_delay_ms`` is 0, which is the default.
+        """
+        hedge = self.cost_model.hedge_delay_s()
+        if hedge <= 0.0:
+            return
+        due = [
+            entry
+            for entry in self._outstanding.values()
+            if not entry.hedged
+            and entry.sent_at + hedge <= self.now < entry.deadline
+        ]
+        for entry in due:
+            entry.hedged = True
+            target = self._hedge_target(entry)
+            if target is None:
+                continue
+            self.hedges += 1
+            if self.metrics is not None:
+                self.metrics.inc("dist.hedges")
+            cells = tuple(sorted(entry.cells))
+            msg_id = self.network.next_msg_id()
+            self.network.send(
+                target,
+                CellRequest(self.worker_id, cells, msg_id, entry.attempt),
+                self.now,
+            )
+            self._outstanding[msg_id] = _Outstanding(
+                owner=target,
+                cells=set(cells),
+                deadline=self.now + self.cost_model.retry_timeout_s(entry.attempt),
+                attempt=entry.attempt,
+                sent_at=self.now,
+                hedged=True,
+            )
+
+    def _hedge_target(self, entry: _Outstanding) -> int | None:
+        """An alternate live worker covering every cell, else the owner."""
+        candidates: set[int] | None = None
+        for cell in entry.cells:
+            covering = set(self.plan.covering_workers(cell[0]))
+            candidates = covering if candidates is None else candidates & covering
+        if candidates:
+            for alt in sorted(candidates):
+                if alt not in (self.worker_id, entry.owner) and not self.network.is_dead(alt):
+                    return alt
+        if self.network.is_dead(entry.owner):
+            return None
+        return entry.owner
 
     def _dispatch_cells(self, cells: Iterable[Cell], attempt: int = 0) -> None:
         """Route cell requests to current owners; handle local/lost cells.
@@ -390,6 +472,7 @@ class Worker:
                 cells=set(owned),
                 deadline=self.now + self.cost_model.retry_timeout_s(attempt),
                 attempt=attempt,
+                sent_at=self.now,
             )
 
     def _mark_cells_lost(self, cells: Iterable[Cell]) -> None:
@@ -420,16 +503,28 @@ class Worker:
                 self.metrics.inc("dist.unparked_windows")
 
     def on_peer_death(self, dead: int) -> None:
-        """React to the coordinator declaring a peer failed.
+        """React to the coordinator declaring one peer failed."""
+        self.on_peer_deaths({dead})
 
-        Pending answers owed to the dead requester are dropped, and
-        outstanding requests to it become due immediately so the next
-        step re-routes them through the updated ownership map.
+    def on_peer_deaths(self, dead: set[int]) -> bool:
+        """React to a batch of declared peer deaths in one pass.
+
+        Pending answers owed to dead requesters are dropped, and
+        outstanding requests to dead owners become due immediately so the
+        next step re-routes them through the updated ownership map.
+        Returns whether this worker was touched at all — the coordinator
+        uses it to count notification messages honestly (only affected
+        survivors would be contacted on a real control plane).
         """
-        self._pending.pop(dead, None)
+        touched = False
+        for peer in dead:
+            if self._pending.pop(peer, None) is not None:
+                touched = True
         for entry in self._outstanding.values():
-            if entry.owner == dead:
+            if entry.owner in dead:
                 entry.deadline = self.now
+                touched = True
+        return touched
 
     def adopt_anchors(
         self,
@@ -515,7 +610,15 @@ class Worker:
                 for requester, cells in self._pending.items()
             ],
             "outstanding": [
-                [msg_id, entry.owner, cells_list(entry.cells), entry.deadline, entry.attempt]
+                [
+                    msg_id,
+                    entry.owner,
+                    cells_list(entry.cells),
+                    entry.deadline,
+                    entry.attempt,
+                    entry.sent_at,
+                    entry.hedged,
+                ]
                 for msg_id, entry in self._outstanding.items()
             ],
             "seen_msg_ids": sorted(self._seen_msg_ids),
@@ -525,6 +628,7 @@ class Worker:
                 for w, cells in self.lost_windows.items()
             ],
             "retries": self.retries,
+            "hedges": self.hedges,
             "duplicates_ignored": self.duplicates_ignored,
             "recovered_anchors": self.recovered_anchors,
             "data": self.data.state(),
@@ -572,15 +676,19 @@ class Worker:
         self._pending = {
             int(requester): cell_set(cells) for requester, cells in state["pending"]
         }
-        self._outstanding = {
-            int(msg_id): _Outstanding(
+        self._outstanding = {}
+        for entry in state["outstanding"]:
+            # Length-flexible: pre-hedging checkpoints have 5 fields.
+            msg_id, owner, cells, deadline, attempt = entry[:5]
+            rest = entry[5:]
+            self._outstanding[int(msg_id)] = _Outstanding(
                 owner=int(owner),
                 cells=cell_set(cells),
                 deadline=float(deadline),
                 attempt=int(attempt),
+                sent_at=float(rest[0]) if rest else 0.0,
+                hedged=bool(rest[1]) if len(rest) > 1 else False,
             )
-            for msg_id, owner, cells, deadline, attempt in state["outstanding"]
-        }
         self._seen_msg_ids = {int(m) for m in state["seen_msg_ids"]}
         self._lost_cells = cell_set(state["lost_cells"])
         self.lost_windows = {
@@ -588,6 +696,7 @@ class Worker:
             for w, cells in state["lost_windows"]
         }
         self.retries = int(state["retries"])
+        self.hedges = int(state.get("hedges", 0))
         self.duplicates_ignored = int(state["duplicates_ignored"])
         self.recovered_anchors = int(state["recovered_anchors"])
         db = self.data.database

@@ -225,6 +225,36 @@ class InvariantAuditor:
                 c("dist.cells_installed"),
                 out,
             )
+            self._at_least(
+                "network: messages lost >= partition drops",
+                c("net.messages_lost"),
+                c("net.partition_drops"),
+                out,
+            )
+            self._at_least(
+                "network: sends >= hedged duplicates",
+                c("net.messages_sent"),
+                c("dist.hedges"),
+                out,
+            )
+
+        if self._has("dist.deaths_declared"):
+            # Liveness accounting: every declaration is either a crash
+            # detection or a fencing of a live-but-unreachable worker,
+            # and recovery traffic implies at least one adoption message
+            # per directive.
+            self._equal(
+                "liveness: declarations == detections + fencings",
+                c("dist.deaths_declared"),
+                c("dist.crash_detections") + c("dist.fenced_workers"),
+                out,
+            )
+            self._at_least(
+                "liveness: reassignment messages >= adoptions",
+                c("dist.reassignment_msgs"),
+                c("dist.adoptions"),
+                out,
+            )
 
         if self._has("serve.sessions_submitted"):
             # Serving-layer lifecycle: every submission is admitted or

@@ -139,6 +139,45 @@ class TestMetricsCommand:
         assert args.workload == "synth-high"
         assert args.json is None
         assert not args.no_audit
+        assert args.distributed is None
+        assert args.chaos_seed is None
+        assert args.successor_policy == "split"
+        assert args.hedge_delay_ms == 0.0
+
+    def test_metrics_distributed_fault_free(self):
+        code, lines = run_cli(
+            "metrics", "--workload", "synth-high", "--scale", "0.15",
+            "--sample-fraction", "0.3", "--distributed", "4",
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "fault-free:" in text
+        assert "outcome" in text and "complete" in text
+        assert "dist.steps" in text or "net.messages_sent" in text
+        assert any("identities checked, all hold" in line for line in lines)
+
+    def test_metrics_distributed_chaos(self):
+        code, lines = run_cli(
+            "metrics", "--workload", "synth-high", "--scale", "0.15",
+            "--sample-fraction", "0.3", "--distributed", "4",
+            "--chaos-seed", "3",
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "chaos seed 3" in text
+        assert "fault tolerance:" in text
+        assert "faults_injected.crashes" in text
+        assert "reassignment_msgs" in text
+        assert "equivalence vs fault-free oracle" in text
+        assert any("identities checked, all hold" in line for line in lines)
+
+    def test_metrics_chaos_seed_requires_distributed(self):
+        code, lines = run_cli(
+            "metrics", "--workload", "synth-high", "--scale", "0.15",
+            "--chaos-seed", "3",
+        )
+        assert code == 2
+        assert any("--chaos-seed requires --distributed" in line for line in lines)
 
     def test_serve_command_runs_and_audits(self, tmp_path):
         target = tmp_path / "serve.json"
