@@ -78,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--axis-dim", type=int, default=0)
         p.add_argument("--sample-fraction", type=float, default=0.1)
+        p.add_argument(
+            "--backend",
+            default=None,
+            metavar="URL",
+            help=(
+                "storage backend URL (e.g. 'simulator', 'sqlite:', "
+                "'sqlite:dev.db'); default resolves DATABASE_URL, then "
+                "the in-memory simulator"
+            ),
+        )
 
     run = sub.add_parser("run", help="run a workload's canonical query online")
     common(run)
@@ -225,10 +235,13 @@ def _dispatch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         return 0
 
     dataset, query = _load_workload(args.workload, args.scale, args.seed)
-    database = make_database(dataset, args.placement, axis_dim=args.axis_dim)
+    database = make_database(
+        dataset, args.placement, axis_dim=args.axis_dim, backend=args.backend
+    )
     out(
         f"workload {args.workload}: {dataset.num_rows:,} tuples, grid "
-        f"{dataset.grid.shape}, placement {args.placement}"
+        f"{dataset.grid.shape}, placement {args.placement}, "
+        f"backend {database.backend.describe()}"
     )
 
     if args.command == "run":

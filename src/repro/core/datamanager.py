@@ -417,6 +417,11 @@ class DataManager:
     # -- distributed support -------------------------------------------------------------
 
     @property
+    def backend_name(self) -> str:
+        """Name of the storage backend serving this manager's reads."""
+        return self._db.backend.name
+
+    @property
     def blocks_read_cumulative(self) -> int:
         """Disk blocks read across every table this manager has owned.
 
@@ -445,8 +450,10 @@ class DataManager:
             self._cache = None
             self._cache_table_sig = None
             self._cache_grid_sig = None
-        self._db.register(table)
-        self._table = table
+        # Keep the *backend handle* register() returns, not the raw heap
+        # table — under a real backend the two differ, and every later
+        # read must go through the handle.
+        self._table = self._db.register(table)
         self._table_name = table.name
 
     def mark_region_empty(self, window: Window) -> None:

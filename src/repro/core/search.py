@@ -575,6 +575,7 @@ class HeuristicSearch:
             "data": self.data.state(),
             "disk": db.disk(table).state(),
             "buffer": db.buffer(table).state(),
+            "backend_installs": db.backend.install_state(table),
             "integrity": integ.state() if integ is not None else None,
             "scrubber": self._scrubber.state() if self._scrubber is not None else None,
             "trace": ckpt.trace_to_state(self.trace) if self.trace is not None else None,
@@ -634,6 +635,10 @@ class HeuristicSearch:
         self.data.restore_state(state["data"])
         db.disk(table).restore_state(state["disk"])
         db.buffer(table).restore_state(state["buffer"])
+        # Length-flexible: pre-backend-seam checkpoints lack the key, and
+        # have no install record to restore.
+        if state.get("backend_installs") is not None:
+            db.backend.restore_install_state(table, state["backend_installs"])
         if integ is not None:
             integ.restore_state(state["integrity"])
         if self._scrubber is not None and state["scrubber"] is not None:
@@ -878,6 +883,7 @@ class HeuristicSearch:
                     read_region,
                     positive=positive,
                     prefetched=read_region.cardinality - window.cardinality,  # type: ignore[union-attr]
+                    backend=self.data.backend_name,
                 )
             self._maybe_refresh()
 

@@ -634,6 +634,7 @@ class Worker:
             "data": self.data.state(),
             "disk": db.disk(table).state(),
             "buffer": db.buffer(table).state(),
+            "backend_installs": db.backend.install_state(table),
             "metrics": self.metrics.snapshot() if self.metrics is not None else None,
         }
 
@@ -704,6 +705,9 @@ class Worker:
         self.data.restore_state(state["data"])
         db.disk(table).restore_state(state["disk"])
         db.buffer(table).restore_state(state["buffer"])
+        # Length-flexible: pre-backend-seam checkpoints lack the key.
+        if state.get("backend_installs") is not None:
+            db.backend.restore_install_state(table, state["backend_installs"])
         if self.metrics is not None and state["metrics"] is not None:
             self.metrics.load_snapshot(state["metrics"])
 

@@ -11,7 +11,9 @@ module provides:
   windows (bounds per dimension, objective values, emission time) for
   spreadsheets and notebooks;
 * :func:`write_checkpoint` / :func:`read_checkpoint` — persist a search
-  checkpoint (JSON-able tree plus numpy arrays) as one ``.npz`` file.
+  checkpoint (JSON-able tree plus numpy arrays) as one ``.npz`` file;
+* :func:`export_table_sqlite` / :func:`import_table_sqlite` — ship a heap
+  table into / out of a SQLite database file (the dev-tier real backend).
 
 Every writer is crash-safe: output lands in a same-directory temp file
 first and reaches the destination via an atomic ``os.replace``, so an
@@ -47,6 +49,8 @@ __all__ = [
     "read_metrics_json",
     "write_checkpoint",
     "read_checkpoint",
+    "export_table_sqlite",
+    "import_table_sqlite",
 ]
 
 _FORMAT_VERSION = 1
@@ -237,6 +241,43 @@ def read_checkpoint(path: str | Path) -> dict:
             return value
 
         return restore(meta["state"])
+
+
+def export_table_sqlite(table, path: str | Path) -> Path:
+    """Load one heap table into a SQLite database file.
+
+    Binds the table through :class:`~repro.storage.sqlite_backend.SQLiteBackend`,
+    so the file carries the full backend schema (data rows, per-block
+    MBRs, catalog entry) and can be served directly by a later
+    ``Database(backend=f"sqlite:{path}")``.  Values round-trip
+    bit-exactly (see :func:`import_table_sqlite`).
+    """
+    from .storage.sqlite_backend import SQLiteBackend
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    backend = SQLiteBackend(str(path))
+    try:
+        backend.bind_table(table)
+    finally:
+        backend.close()
+    return path
+
+
+def import_table_sqlite(path: str | Path, name: str) -> dict[str, np.ndarray]:
+    """Read a table's columns back from a SQLite file, physical order.
+
+    The round-trip contract: for any table written by
+    :func:`export_table_sqlite`, the returned arrays equal the source
+    columns bit-for-bit, NaNs included.
+    """
+    from .storage.sqlite_backend import SQLiteBackend
+
+    backend = SQLiteBackend(str(Path(path)))
+    try:
+        return backend.dump_table(name)
+    finally:
+        backend.close()
 
 
 def _jsonable(value):

@@ -200,6 +200,29 @@ class InvariantAuditor:
                 out,
             )
 
+        if self._has("db.cell_installs"):
+            # Backend cell-install dedup: every install attempt either
+            # created a new record or hit the dedup path (in-memory set
+            # or ON CONFLICT DO NOTHING, depending on the backend).
+            self._equal(
+                "backend installs: cell_installs == installed + deduped",
+                c("db.cell_installs"),
+                c("db.cells_installed") + c("db.cell_installs_deduped"),
+                out,
+            )
+        backend_reads = sum(
+            v for k, v in self._counters.items() if k.startswith("db.backend_reads.")
+        )
+        if backend_reads or self._has("db.range_queries"):
+            if any(k.startswith("db.backend_reads.") for k in self._counters):
+                # Every range query was served by exactly one backend.
+                self._equal(
+                    "backend reads: range_queries == sum(backend_reads.*)",
+                    c("db.range_queries"),
+                    backend_reads,
+                    out,
+                )
+
         if self._has("net.messages_sent"):
             self._at_least(
                 "network: sends >= receives",

@@ -72,7 +72,7 @@ def build_objective_grids(
     value_min, value_max = np.inf, -np.inf
 
     if objective.aggregate.needs_values and sample.size > 0:
-        columns = {c: table.column(c)[sample.rows] for c in table.schema.columns}
+        columns = {c: table.gather(c, sample.rows) for c in table.schema.columns}
         values = np.broadcast_to(
             objective.expr.evaluate(columns), sample.rows.shape  # type: ignore[union-attr]
         ).astype(float)

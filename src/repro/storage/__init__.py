@@ -6,8 +6,16 @@ index scans, LRU buffering, seek-dominated dispersed reads, re-read
 thrashing) under a deterministic simulated clock.
 """
 
+from .backend import (
+    SimulatorBackend,
+    StorageBackend,
+    backend_from_url,
+    grid_key,
+    resolve_backend,
+)
 from .buffer import BufferPool
 from .database import CellScan, Database, COUNT_KEY
+from .sqlite_backend import SQLiteBackend, SQLiteTable
 from .disk import SimulatedDisk
 from .hilbert import hilbert_d, hilbert_xy, morton_code
 from .integrity import (
@@ -31,6 +39,13 @@ from .rtree import RTree
 from .table import HeapTable, TableSchema
 
 __all__ = [
+    "StorageBackend",
+    "SimulatorBackend",
+    "SQLiteBackend",
+    "SQLiteTable",
+    "backend_from_url",
+    "resolve_backend",
+    "grid_key",
     "BufferPool",
     "CellScan",
     "Database",

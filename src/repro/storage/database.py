@@ -25,6 +25,7 @@ from ..core.conditions import ContentObjective
 from ..core.grid import Grid
 from ..costs import CostModel, DEFAULT_COST_MODEL
 from ..errors import CorruptBlockError
+from .backend import StorageBackend, grid_key, resolve_backend
 from .buffer import BufferPool
 from .disk import SimulatedDisk
 from .integrity import BlockIntegrity, StorageFaultPlan
@@ -55,6 +56,9 @@ class CellScan:
     ``unique_cells``.  It is populated (and ``cells`` left empty) only
     when the caller asked for arrays: the Data Manager's cache install
     scatters them directly, skipping the per-cell dict entirely.
+
+    ``backend`` names the storage backend that served the bytes (the
+    simulated cost accounting is identical whichever backend did).
     """
 
     cells: Mapping[int, Mapping[str, CellStats]]
@@ -64,6 +68,7 @@ class CellScan:
     lost_blocks: tuple[int, ...] = ()
     degraded_cells: tuple[int, ...] = ()
     cells_arrays: tuple | None = None
+    backend: str = "simulator"
 
 
 COUNT_KEY = "__count__"
@@ -83,6 +88,13 @@ class Database:
         (the paper runs 2 GB shared buffers against 35 GB tables, i.e.
         roughly 6 %; our default of 0.15 is proportionally generous to the
         smaller simulated tables but still forces eviction).
+    backend:
+        The storage substrate serving table bytes: a
+        :class:`~repro.storage.backend.StorageBackend` instance, a URL
+        string (``"sqlite:dev.db"``), or ``None`` to resolve via the
+        documented precedence (``DATABASE_URL``, else the simulator).
+        Whichever backend serves the bytes, simulated I/O costs are
+        charged identically — results must be byte-identical.
     """
 
     def __init__(
@@ -91,13 +103,17 @@ class Database:
         clock: SimClock | None = None,
         buffer_fraction: float = 0.15,
         min_buffer_blocks: int = 16,
+        backend: "StorageBackend | str | None" = None,
     ) -> None:
         if not 0 < buffer_fraction <= 1:
             raise ValueError(f"buffer_fraction must be in (0, 1], got {buffer_fraction}")
         self.cost_model = cost_model
         self.clock = clock if clock is not None else SimClock()
+        self.backend = resolve_backend(backend)
         self._buffer_fraction = buffer_fraction
         self._min_buffer_blocks = min_buffer_blocks
+        # Table *handles* from the backend (HeapTable itself under the
+        # simulator); all read paths go through the handle contract.
         self._tables: dict[str, HeapTable] = {}
         self._disks: dict[str, SimulatedDisk] = {}
         self._buffers: dict[str, BufferPool] = {}
@@ -109,11 +125,18 @@ class Database:
 
     # -- catalog ----------------------------------------------------------------
 
-    def register(self, table: HeapTable) -> None:
-        """Add a table; its disk and buffer pool are created here."""
+    def register(self, table: HeapTable):
+        """Add a table; its disk and buffer pool are created here.
+
+        The table is loaded into the storage backend, and the backend's
+        *handle* — what every later read goes through — is stored in the
+        catalog and returned.  Under the simulator the handle is the
+        table itself.
+        """
         if table.name in self._tables:
             raise ValueError(f"table {table.name!r} already registered")
-        self._tables[table.name] = table
+        handle = self.backend.bind_table(table)
+        self._tables[table.name] = handle
         disk = SimulatedDisk(table.num_blocks, self.cost_model, self.clock)
         capacity = max(self._min_buffer_blocks, int(table.num_blocks * self._buffer_fraction))
         self._disks[table.name] = disk
@@ -123,6 +146,7 @@ class Database:
             self._buffers[table.name].metrics = self.metrics
         if self._integrity_plan is not None:
             self._build_integrity(table.name)
+        return handle
 
     # -- observability -----------------------------------------------------------
 
@@ -185,7 +209,7 @@ class Database:
         return self._integrity.get(name)
 
     def table(self, name: str) -> HeapTable:
-        """Look up a table by name."""
+        """Look up a table's backend handle by name."""
         try:
             return self._tables[name]
         except KeyError:
@@ -249,7 +273,7 @@ class Database:
 
         degraded: tuple[int, ...] = ()
         if lost_rows.size and integ is not None:
-            flat = cell_flat_ids(table.coordinates()[lost_rows], grid)
+            flat = cell_flat_ids(table.coordinates_of(lost_rows), grid)
             cells_lost = np.unique(flat[flat >= 0])
             degraded = tuple(int(c) for c in cells_lost)
             integ.record_degraded_cells(degraded)
@@ -260,6 +284,7 @@ class Database:
         if self.metrics is not None:
             self.metrics.inc("db.range_queries")
             self.metrics.inc("db.tuples_scanned", float(tuples_scanned))
+            self.metrics.inc(f"db.backend_reads.{self.backend.name}")
 
         cells, arrays = self._aggregate_rows(
             table,
@@ -271,6 +296,7 @@ class Database:
             rows_in_box=True,
             want_arrays=want_arrays,
         )
+        self._install_cell_summaries(table_name, grid, cells, arrays)
         return CellScan(
             cells=cells,
             tuples_scanned=tuples_scanned,
@@ -279,6 +305,7 @@ class Database:
             lost_blocks=tuple(sorted(set(lost))),
             degraded_cells=degraded,
             cells_arrays=arrays,
+            backend=self.backend.name,
         )
 
     def full_scan_cell_aggregates(
@@ -313,7 +340,7 @@ class Database:
                 rows // table.tuples_per_block,
                 np.asarray(lost_blocks, dtype=np.int64),
             )
-            flat = cell_flat_ids(table.coordinates()[rows[row_lost]], grid)
+            flat = cell_flat_ids(table.coordinates_of(rows[row_lost]), grid)
             degraded = tuple(int(c) for c in np.unique(flat[flat >= 0]))
             integ.record_degraded_cells(degraded)
             rows = rows[~row_lost]
@@ -327,9 +354,50 @@ class Database:
             elapsed_s=self.clock.now - start,
             lost_blocks=lost_blocks,
             degraded_cells=degraded,
+            backend=self.backend.name,
         )
 
     # -- internals ------------------------------------------------------------------
+
+    def _install_cell_summaries(self, table_name: str, grid: Grid, cells, arrays) -> None:
+        """Record the scanned cells as installed, dedup'd by the backend.
+
+        The dedup strategy is backend-specific (in-memory set vs ``ON
+        CONFLICT DO NOTHING``); the ``(installed, deduped)`` split feeds
+        the ``db.cell_installs*`` counters whose sum identity the
+        auditor checks.  Per-objective stat rows are only materialized
+        for backends that persist them.
+        """
+        backend = self.backend
+        stats: list[tuple] = []
+        if arrays is not None:
+            unique_cells, counts, per_key = arrays
+            flat_ids = unique_cells
+            if backend.persists_cell_stats and unique_cells.size:
+                stats = [
+                    (int(c), COUNT_KEY, int(counts[i]), float(counts[i]), 1.0, 1.0)
+                    for i, c in enumerate(unique_cells)
+                ]
+                for key, (sums, mins, maxs) in per_key.items():
+                    stats.extend(
+                        (int(c), key, int(counts[i]), float(sums[i]), float(mins[i]), float(maxs[i]))
+                        for i, c in enumerate(unique_cells)
+                    )
+        else:
+            flat_ids = list(cells)
+            if backend.persists_cell_stats and cells:
+                stats = [
+                    (cell, key, st.count, st.total, st.minimum, st.maximum)
+                    for cell, entry in cells.items()
+                    for key, st in entry.items()
+                ]
+        installed, deduped = backend.install_cells(
+            table_name, grid_key(grid), flat_ids, stats
+        )
+        if self.metrics is not None and installed + deduped:
+            self.metrics.inc("db.cell_installs", float(installed + deduped))
+            self.metrics.inc("db.cells_installed", float(installed))
+            self.metrics.inc("db.cell_installs_deduped", float(deduped))
 
     def _aggregate_rows(
         self,
@@ -348,9 +416,9 @@ class Database:
             if rows.size == 0:
                 return empty
             in_rows = rows
-            flat = cell_flat_ids(table.coordinates()[rows], grid)
+            flat = cell_flat_ids(table.coordinates_of(rows), grid)
         else:
-            coords = table.coordinates()[rows]
+            coords = table.coordinates_of(rows)
             mask = np.ones(rows.size, dtype=bool)
             for d in range(table.ndim):
                 mask &= (coords[:, d] >= lows[d]) & (coords[:, d] < highs[d])
@@ -427,7 +495,7 @@ class _RowColumns(dict):
         self._rows = rows
 
     def __missing__(self, key: str) -> np.ndarray:
-        values = self._table.column(key)[self._rows]
+        values = self._table.gather(key, self._rows)
         self[key] = values
         return values
 

@@ -302,11 +302,12 @@ class BlockIntegrity:
         in-memory arrays are immutable, so a mismatch indicates a harness
         bug, not injected corruption (which lives in the fault state).
         """
-        rows = self.table.block_rows(int(block_id))
+        span = self.table.block_rows(int(block_id))
+        rows = np.arange(span.start, span.stop, dtype=np.int64)
         crc = 0
         for name in self.table.schema.columns:
             crc = zlib.crc32(
-                np.ascontiguousarray(self.table.column(name)[rows]).tobytes(), crc
+                np.ascontiguousarray(self.table.gather(name, rows)).tobytes(), crc
             )
         return np.uint32(crc) == self.checksums[int(block_id)]
 

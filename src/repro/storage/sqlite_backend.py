@@ -1,0 +1,545 @@
+"""SQLite storage backend: real SQL serving the same engine stack.
+
+This is the development-tier realization of the paper's PostgreSQL
+deployment (the production tier named in ROADMAP.md).  A bound table
+becomes three SQLite objects:
+
+* ``sw_data_<name>`` — one row per tuple, ``rid`` (the physical row id)
+  as the INTEGER PRIMARY KEY plus one REAL column per schema column;
+* ``sw_mbr_<name>`` — per-block coordinate MBRs (what a BRIN/GiST index
+  would hold), used by the bitmap prefilter;
+* a row in the ``sw_tables`` catalog carrying the schema and block size,
+  so a database file can be reopened later (:meth:`SQLiteBackend.handle`
+  reconstructs handles from the catalog).
+
+The handle executes region scans and row gathers as SQL — the bitmap
+index scan is a range predicate over the coordinate columns, block ids
+derive from ``rid`` — while the per-cell aggregation stays in the shared
+numpy code of :mod:`repro.storage.database`, which guarantees the
+float-accumulation order (and therefore every byte of every result) is
+identical to the simulator's.  Values round-trip bit-exactly: SQLite
+REALs are IEEE doubles; NaNs (which SQLite would coerce to NULL) are
+stored as NULL explicitly and restored to NaN on read.
+
+Installed cell summaries use database-side dedup — ``INSERT ... ON
+CONFLICT DO NOTHING`` into ``sw_cell_installs`` — the PostgreSQL-tier
+strategy of SNIPPETS.md snippet 3, with the per-objective stat rows
+persisted alongside in ``sw_cell_stats`` for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import sqlite3
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from .backend import StorageBackend
+from .table import HeapTable, TableSchema
+
+__all__ = ["SQLiteBackend", "SQLiteTable"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+# Stay under every historical SQLITE_MAX_VARIABLE_NUMBER (999).
+_IN_CHUNK = 500
+
+
+def _quoted(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _to_sql(value: float):
+    """One stored value: NaN becomes NULL by our rule, not SQLite's."""
+    return None if math.isnan(value) else value
+
+
+def _from_sql(value) -> float:
+    return math.nan if value is None else float(value)
+
+
+class SQLiteTable:
+    """Table handle serving row data from SQLite queries.
+
+    Implements the handle contract of :mod:`repro.storage.backend`:
+    metadata (schema, block size, row count) is catalog state cached at
+    bind time; every data access — column draws, row gathers, the
+    bitmap index scan — executes SQL against the store.
+    """
+
+    def __init__(
+        self,
+        conn: sqlite3.Connection,
+        name: str,
+        schema: TableSchema,
+        tuples_per_block: int,
+        num_rows: int,
+    ) -> None:
+        self._conn = conn
+        self.name = name
+        self.schema = schema
+        self.tuples_per_block = tuples_per_block
+        self._num_rows = num_rows
+        self._num_blocks = math.ceil(num_rows / tuples_per_block)
+        self._data_sql = _quoted(f"sw_data_{name}")
+        self._mbr_sql = _quoted(f"sw_mbr_{name}")
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Total tuples."""
+        return self._num_rows
+
+    @property
+    def num_blocks(self) -> int:
+        """Total blocks in the stored heap file."""
+        return self._num_blocks
+
+    @property
+    def ndim(self) -> int:
+        """Number of coordinate columns."""
+        return len(self.schema.coordinate_columns)
+
+    # -- row access ---------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """Full column in physical order, via one ordered SELECT."""
+        self._check_column(name)
+        cur = self._conn.execute(
+            f"SELECT {_quoted(name)} FROM {self._data_sql} ORDER BY rid"
+        )
+        return np.fromiter(
+            (_from_sql(v) for (v,) in cur), dtype=float, count=self._num_rows
+        )
+
+    def gather(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Values of one column for the given row ids (order-aligned)."""
+        self._check_column(name)
+        return self._fetch_rows((name,), rows)[:, 0]
+
+    def coordinates(self) -> np.ndarray:
+        """``(num_rows, ndim)`` coordinate matrix in physical order."""
+        cols = ", ".join(_quoted(c) for c in self.schema.coordinate_columns)
+        cur = self._conn.execute(f"SELECT {cols} FROM {self._data_sql} ORDER BY rid")
+        out = np.empty((self._num_rows, self.ndim), dtype=float)
+        for i, row in enumerate(cur):
+            for d, v in enumerate(row):
+                out[i, d] = _from_sql(v)
+        return out
+
+    def coordinates_of(self, rows: np.ndarray) -> np.ndarray:
+        """``(len(rows), ndim)`` coordinate rows for the given row ids."""
+        return self._fetch_rows(self.schema.coordinate_columns, rows)
+
+    def _fetch_rows(self, columns: Sequence[str], rows: np.ndarray) -> np.ndarray:
+        """Gather named columns for arbitrary row ids, position-aligned.
+
+        Queries chunked ``WHERE rid IN (...)`` over the *unique sorted*
+        ids (each chunk ordered by rid, so fetched rows align with the
+        chunk), then scatters back through the inverse permutation so
+        duplicates and arbitrary input order are honoured.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.empty((0, len(columns)), dtype=float)
+        uniq, inverse = np.unique(rows, return_inverse=True)
+        if uniq[0] < 0 or uniq[-1] >= self._num_rows:
+            raise ValueError(
+                f"row ids out of range [0, {self._num_rows}): {uniq[0]}..{uniq[-1]}"
+            )
+        col_sql = ", ".join(_quoted(c) for c in columns)
+        out = np.empty((uniq.size, len(columns)), dtype=float)
+        pos = 0
+        for start in range(0, uniq.size, _IN_CHUNK):
+            chunk = uniq[start : start + _IN_CHUNK]
+            marks = ",".join("?" * chunk.size)
+            cur = self._conn.execute(
+                f"SELECT {col_sql} FROM {self._data_sql} "
+                f"WHERE rid IN ({marks}) ORDER BY rid",
+                [int(r) for r in chunk],
+            )
+            for row in cur:
+                for d, v in enumerate(row):
+                    out[pos, d] = _from_sql(v)
+                pos += 1
+        if pos != uniq.size:  # pragma: no cover - store corruption
+            raise RuntimeError(
+                f"table {self.name!r}: {uniq.size - pos} requested rows missing"
+            )
+        return out[inverse]
+
+    # -- block geometry ----------------------------------------------------------
+
+    def block_rows(self, block_id: int) -> slice:
+        """Physical row slice stored in the given block."""
+        if not 0 <= block_id < self._num_blocks:
+            raise ValueError(f"block {block_id} out of range [0, {self._num_blocks})")
+        start = block_id * self.tuples_per_block
+        return slice(start, min(start + self.tuples_per_block, self._num_rows))
+
+    def rows_of_blocks(self, block_ids: np.ndarray) -> np.ndarray:
+        """Physical row ids contained in the given (sorted) blocks."""
+        block_ids = np.asarray(block_ids, dtype=np.int64)
+        if block_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        tpb = self.tuples_per_block
+        starts = block_ids * tpb
+        counts = np.minimum(starts + tpb, self._num_rows) - starts
+        total = int(counts.sum())
+        cum = np.cumsum(counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+        return np.repeat(starts, counts) + offsets
+
+    def block_mbrs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-block MBRs read back from the ``sw_mbr`` side table."""
+        lo_cols = ", ".join(f"lo{d}" for d in range(self.ndim))
+        hi_cols = ", ".join(f"hi{d}" for d in range(self.ndim))
+        cur = self._conn.execute(
+            f"SELECT {lo_cols}, {hi_cols} FROM {self._mbr_sql} ORDER BY block_id"
+        )
+        mins = np.empty((self._num_blocks, self.ndim), dtype=float)
+        maxs = np.empty((self._num_blocks, self.ndim), dtype=float)
+        for b, row in enumerate(cur):
+            for d in range(self.ndim):
+                mins[b, d] = _from_sql(row[d])
+                maxs[b, d] = _from_sql(row[self.ndim + d])
+        return mins, maxs
+
+    # -- bitmap "index scan" -----------------------------------------------------
+
+    def blocks_intersecting(self, lows: Sequence[float], highs: Sequence[float]) -> np.ndarray:
+        """Sorted block ids whose MBR intersects the half-open box (SQL)."""
+        if len(lows) != self.ndim or len(highs) != self.ndim:
+            raise ValueError("query box dimensionality mismatch")
+        where = " AND ".join(
+            f"(lo{d} < ? AND hi{d} >= ?)" for d in range(self.ndim)
+        )
+        params: list[float] = []
+        for d in range(self.ndim):
+            params.extend((float(highs[d]), float(lows[d])))
+        cur = self._conn.execute(
+            f"SELECT block_id FROM {self._mbr_sql} WHERE {where} ORDER BY block_id",
+            params,
+        )
+        return np.fromiter((b for (b,) in cur), dtype=np.int64)
+
+    def blocks_matching(
+        self, lows: Sequence[float], highs: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact bitmap-index scan as one SQL range predicate.
+
+        Returns ``(block_ids, matching_rows)``, both sorted — the same
+        sets the simulator's in-memory scan produces: a tuple matches
+        exactly when every coordinate lies in the half-open box, and its
+        block necessarily passes the MBR prefilter.
+        """
+        if len(lows) != self.ndim or len(highs) != self.ndim:
+            raise ValueError("query box dimensionality mismatch")
+        where = " AND ".join(
+            f"({_quoted(c)} >= ? AND {_quoted(c)} < ?)"
+            for c in self.schema.coordinate_columns
+        )
+        params: list[float] = []
+        for d in range(self.ndim):
+            params.extend((float(lows[d]), float(highs[d])))
+        cur = self._conn.execute(
+            f"SELECT rid FROM {self._data_sql} WHERE {where} ORDER BY rid", params
+        )
+        matching = np.fromiter((r for (r,) in cur), dtype=np.int64)
+        bids = matching // self.tuples_per_block
+        if bids.size:
+            keep = np.empty(bids.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(bids[1:], bids[:-1], out=keep[1:])
+            bids = bids[keep]
+        return bids, matching
+
+    def _check_column(self, name: str) -> None:
+        if name not in self.schema.columns:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {self.schema.columns}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SQLiteTable({self.name!r}, rows={self._num_rows}, "
+            f"blocks={self._num_blocks}x{self.tuples_per_block})"
+        )
+
+
+class SQLiteBackend(StorageBackend):
+    """A :class:`StorageBackend` storing tables in one SQLite database.
+
+    ``path`` is a filesystem path or ``":memory:"`` (the default);
+    in-memory stores are private to the backend instance, file stores
+    can be reopened by a later backend, whose :meth:`handle` rebuilds
+    table handles from the ``sw_tables`` catalog.
+    """
+
+    name = "sqlite"
+    persists_cell_stats = True
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._handles: dict[str, SQLiteTable] = {}
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS sw_tables ("
+                " name TEXT PRIMARY KEY, tuples_per_block INTEGER,"
+                " num_rows INTEGER, columns TEXT, coord_columns TEXT)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS sw_cell_installs ("
+                " table_name TEXT, grid_key TEXT, flat_id INTEGER,"
+                " PRIMARY KEY (table_name, grid_key, flat_id))"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS sw_cell_stats ("
+                " table_name TEXT, grid_key TEXT, flat_id INTEGER,"
+                " objective TEXT, tuples INTEGER,"
+                " total REAL, minimum REAL, maximum REAL,"
+                " PRIMARY KEY (table_name, grid_key, flat_id, objective))"
+            )
+
+    # -- table lifecycle -----------------------------------------------------
+
+    def bind_table(self, table: HeapTable) -> SQLiteTable:
+        """Load a heap table into the store (replacing any prior binding)."""
+        name = table.name
+        if not _NAME_RE.match(name):
+            raise ConfigError(
+                f"table name {name!r} not storable in the SQLite backend "
+                "(allowed: letters, digits, '_', '.', '-')"
+            )
+        data_sql = _quoted(f"sw_data_{name}")
+        mbr_sql = _quoted(f"sw_mbr_{name}")
+        columns = table.schema.columns
+        with self._conn:
+            self._drop_table(name)
+            col_defs = ", ".join(f"{_quoted(c)} REAL" for c in columns)
+            self._conn.execute(
+                f"CREATE TABLE {data_sql} (rid INTEGER PRIMARY KEY, {col_defs})"
+            )
+            marks = ",".join("?" * (1 + len(columns)))
+            matrix = np.column_stack([table.column(c) for c in columns])
+            self._conn.executemany(
+                f"INSERT INTO {data_sql} VALUES ({marks})",
+                (
+                    (rid, *(_to_sql(v) for v in row))
+                    for rid, row in enumerate(matrix.tolist())
+                ),
+            )
+            coord_sql = ", ".join(_quoted(c) for c in table.schema.coordinate_columns)
+            self._conn.execute(
+                f"CREATE INDEX {_quoted(f'sw_idx_{name}')} ON {data_sql} ({coord_sql})"
+            )
+            ndim = table.ndim
+            mbr_defs = ", ".join(
+                f"lo{d} REAL, hi{d} REAL" for d in range(ndim)
+            )
+            self._conn.execute(
+                f"CREATE TABLE {mbr_sql} (block_id INTEGER PRIMARY KEY, {mbr_defs})"
+            )
+            mins, maxs = table.block_mbrs()
+            mbr_marks = ",".join("?" * (1 + 2 * ndim))
+            self._conn.executemany(
+                f"INSERT INTO {mbr_sql} VALUES ({mbr_marks})",
+                (
+                    (
+                        b,
+                        *(
+                            v
+                            for d in range(ndim)
+                            for v in (_to_sql(mins[b, d]), _to_sql(maxs[b, d]))
+                        ),
+                    )
+                    for b in range(table.num_blocks)
+                ),
+            )
+            self._conn.execute(
+                "INSERT INTO sw_tables VALUES (?, ?, ?, ?, ?)",
+                (
+                    name,
+                    table.tuples_per_block,
+                    table.num_rows,
+                    json.dumps(list(columns)),
+                    json.dumps(list(table.schema.coordinate_columns)),
+                ),
+            )
+        handle = SQLiteTable(
+            self._conn, name, table.schema, table.tuples_per_block, table.num_rows
+        )
+        self._handles[name] = handle
+        return handle
+
+    def _drop_table(self, name: str) -> None:
+        self._conn.execute(f"DROP TABLE IF EXISTS {_quoted(f'sw_data_{name}')}")
+        self._conn.execute(f"DROP TABLE IF EXISTS {_quoted(f'sw_mbr_{name}')}")
+        self._conn.execute("DELETE FROM sw_tables WHERE name = ?", (name,))
+        self._conn.execute(
+            "DELETE FROM sw_cell_installs WHERE table_name = ?", (name,)
+        )
+        self._conn.execute("DELETE FROM sw_cell_stats WHERE table_name = ?", (name,))
+        self._handles.pop(name, None)
+
+    def handle(self, name: str) -> SQLiteTable:
+        """The handle of a bound table (rebuilt from the catalog if needed)."""
+        if name in self._handles:
+            return self._handles[name]
+        row = self._conn.execute(
+            "SELECT tuples_per_block, num_rows, columns, coord_columns "
+            "FROM sw_tables WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no table {name!r} in SQLite store {self.path!r}")
+        tpb, num_rows, columns, coords = row
+        schema = TableSchema(json.loads(columns), json.loads(coords))
+        handle = SQLiteTable(self._conn, name, schema, int(tpb), int(num_rows))
+        self._handles[name] = handle
+        return handle
+
+    def table_names(self) -> tuple[str, ...]:
+        cur = self._conn.execute("SELECT name FROM sw_tables ORDER BY name")
+        return tuple(n for (n,) in cur)
+
+    def dump_table(self, name: str) -> dict[str, np.ndarray]:
+        handle = self.handle(name)
+        return {c: handle.column(c) for c in handle.schema.columns}
+
+    # -- installed cell summaries -------------------------------------------
+
+    def install_cells(
+        self,
+        table_name: str,
+        gkey: str,
+        flat_ids: Sequence[int],
+        stats: Iterable[tuple] = (),
+    ) -> tuple[int, int]:
+        attempts = len(flat_ids)
+        if attempts == 0:
+            return 0, 0
+        before = self._conn.total_changes
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO sw_cell_installs VALUES (?, ?, ?)"
+                " ON CONFLICT DO NOTHING",
+                ((table_name, gkey, int(c)) for c in flat_ids),
+            )
+            installed = self._conn.total_changes - before
+            self._conn.executemany(
+                "INSERT INTO sw_cell_stats VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT DO NOTHING",
+                (
+                    (
+                        table_name,
+                        gkey,
+                        int(flat_id),
+                        key,
+                        int(count),
+                        _to_sql(float(total)),
+                        _to_sql(float(minimum)),
+                        _to_sql(float(maximum)),
+                    )
+                    for flat_id, key, count, total, minimum, maximum in stats
+                ),
+            )
+        return installed, attempts - installed
+
+    def installed_cell_count(self, table_name: str, gkey: str | None = None) -> int:
+        if gkey is not None:
+            cur = self._conn.execute(
+                "SELECT COUNT(*) FROM sw_cell_installs"
+                " WHERE table_name = ? AND grid_key = ?",
+                (table_name, gkey),
+            )
+        else:
+            cur = self._conn.execute(
+                "SELECT COUNT(*) FROM sw_cell_installs WHERE table_name = ?",
+                (table_name,),
+            )
+        return int(cur.fetchone()[0])
+
+    def install_state(self, table_name: str) -> dict:
+        installs: dict[str, list[int]] = {}
+        for gkey, flat_id in self._conn.execute(
+            "SELECT grid_key, flat_id FROM sw_cell_installs"
+            " WHERE table_name = ? ORDER BY grid_key, flat_id",
+            (table_name,),
+        ):
+            installs.setdefault(gkey, []).append(int(flat_id))
+        stats = [
+            list(row)
+            for row in self._conn.execute(
+                "SELECT grid_key, flat_id, objective, tuples, total,"
+                " minimum, maximum FROM sw_cell_stats WHERE table_name = ?"
+                " ORDER BY grid_key, flat_id, objective",
+                (table_name,),
+            )
+        ]
+        return {"installs": installs, "stats": stats}
+
+    def restore_install_state(self, table_name: str, state: dict) -> None:
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM sw_cell_installs WHERE table_name = ?", (table_name,)
+            )
+            self._conn.execute(
+                "DELETE FROM sw_cell_stats WHERE table_name = ?", (table_name,)
+            )
+            self._conn.executemany(
+                "INSERT INTO sw_cell_installs VALUES (?, ?, ?)",
+                (
+                    (table_name, gkey, int(flat_id))
+                    for gkey, flat_ids in state["installs"].items()
+                    for flat_id in flat_ids
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO sw_cell_stats VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                ((table_name, *row) for row in state["stats"]),
+            )
+
+    def fetch_cell_summaries(
+        self, table_name: str, gkey: str, flat_ids: Sequence[int] | None = None
+    ) -> dict[int, dict[str, tuple[int, float, float, float]]]:
+        """Persisted per-cell stats: flat id -> objective key -> stats tuple.
+
+        Stats tuples are ``(count, total, minimum, maximum)``.  With
+        ``flat_ids`` the result is restricted to those cells.
+        """
+        sql = (
+            "SELECT flat_id, objective, tuples, total, minimum, maximum "
+            "FROM sw_cell_stats WHERE table_name = ? AND grid_key = ?"
+        )
+        params: list = [table_name, gkey]
+        if flat_ids is not None:
+            marks = ",".join("?" * len(flat_ids))
+            sql += f" AND flat_id IN ({marks})"
+            params.extend(int(c) for c in flat_ids)
+        out: dict[int, dict[str, tuple[int, float, float, float]]] = {}
+        for flat_id, key, count, total, minimum, maximum in self._conn.execute(
+            sql, params
+        ):
+            out.setdefault(int(flat_id), {})[key] = (
+                int(count),
+                _from_sql(total),
+                _from_sql(minimum),
+                _from_sql(maximum),
+            )
+        return out
+
+    # -- description ---------------------------------------------------------
+
+    def describe(self) -> str:
+        return f"sqlite:{self.path}"
+
+    def close(self) -> None:
+        """Close the underlying connection (handles become unusable)."""
+        self._conn.close()

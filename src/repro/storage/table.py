@@ -134,9 +134,40 @@ class HeapTable:
         view.setflags(write=False)
         return view
 
+    def gather(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Values of one column for the given physical row ids.
+
+        The narrow row-access API of the storage-backend handle contract
+        (see :mod:`repro.storage.backend`): callers that need a few rows
+        ask for exactly those instead of slicing a full column, so a
+        remote backend only ships what the caller touches.  ``rows`` may
+        be unsorted and may contain duplicates; the result aligns with it
+        position by position.
+        """
+        try:
+            column = self._data[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns: {self.schema.columns}"
+            ) from None
+        return column[np.asarray(rows, dtype=np.int64)]
+
     def coordinates(self) -> np.ndarray:
         """``(num_rows, ndim)`` coordinate matrix in physical order (cached)."""
         return self._coords
+
+    def coordinates_of(self, rows: np.ndarray) -> np.ndarray:
+        """``(len(rows), ndim)`` coordinate rows for the given row ids."""
+        return self._coords[np.asarray(rows, dtype=np.int64)]
+
+    def block_mbrs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-block coordinate MBRs as ``(mins, maxs)`` arrays.
+
+        Shape ``(num_blocks, ndim)`` each — the BRIN-style metadata the
+        bitmap prefilter runs on, exposed for backends that persist it.
+        """
+        return self._block_mins, self._block_maxs
 
     def block_rows(self, block_id: int) -> slice:
         """Physical row slice stored in the given block."""

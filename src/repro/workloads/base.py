@@ -91,10 +91,20 @@ def make_database(
     buffer_fraction: float = 0.15,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     seed: int = 7,
+    backend=None,
 ) -> Database:
-    """A fresh simulated database holding the dataset under one placement."""
+    """A fresh simulated database holding the dataset under one placement.
+
+    ``backend`` selects the storage substrate (instance, URL string such
+    as ``"sqlite:dev.db"``, or ``None`` for the documented
+    ``DATABASE_URL``-then-simulator precedence); simulated costs are
+    identical whichever backend serves the bytes.
+    """
     db = Database(
-        cost_model=cost_model, clock=SimClock(), buffer_fraction=buffer_fraction
+        cost_model=cost_model,
+        clock=SimClock(),
+        buffer_fraction=buffer_fraction,
+        backend=backend,
     )
     db.register(
         make_table(

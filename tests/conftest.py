@@ -10,6 +10,40 @@ from repro.storage import Database, HeapTable, TableSchema
 from repro.workloads import make_database, synthetic_dataset, synthetic_query
 
 
+class BackendPair:
+    """Twin databases — simulator reference, SQLite candidate — for one input.
+
+    The differential harness's central object: build the *same* logical
+    database against both storage backends and the caller asserts the
+    two runs are byte-identical.  ``specs`` orders the pair (reference
+    first); both members of every returned tuple follow that order.
+    """
+
+    specs = ("simulator", "sqlite:")
+
+    def databases(self, table, **db_kwargs) -> tuple[Database, Database]:
+        """Two fresh databases, each registering ``table`` on its backend."""
+        out = []
+        for spec in self.specs:
+            db = Database(backend=spec, **db_kwargs)
+            db.register(table)
+            out.append(db)
+        return tuple(out)
+
+    def databases_for(self, dataset, placement="cluster", **kwargs) -> tuple[Database, Database]:
+        """Two fresh workload databases over one dataset/placement."""
+        return tuple(
+            make_database(dataset, placement, backend=spec, **kwargs)
+            for spec in self.specs
+        )
+
+
+@pytest.fixture(scope="session")
+def backend_pair() -> BackendPair:
+    """The simulator-vs-SQLite backend pair used by the differential suite."""
+    return BackendPair()
+
+
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A small high-spread synthetic dataset (session-cached)."""

@@ -1,0 +1,365 @@
+"""Unit tests for the SQLite backend, selection precedence, and the seam.
+
+The differential suite (``test_backend_differential.py``) proves whole
+runs agree across backends; this file pins the individual contracts —
+bit-exact loader round-trips (NaNs, quarantined blocks, odd tail
+blocks), the handle's row-access alignment guarantees, ``ON CONFLICT``
+install dedup, file-store reopening, selection precedence with
+``ConfigError`` on unknown schemes, and the latent simulator assumptions
+the abstraction surfaced (``register`` returning the handle,
+``DataManager.rebind_table`` keeping it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ContentObjective, Grid, Rect, col
+from repro.errors import ConfigError
+from repro.io import export_table_sqlite, import_table_sqlite
+from repro.storage import (
+    Database,
+    HeapTable,
+    SimulatorBackend,
+    SQLiteBackend,
+    TableSchema,
+    backend_from_url,
+    grid_key,
+    resolve_backend,
+)
+from repro.storage.integrity import StorageFaultPlan
+
+pytestmark = pytest.mark.backend
+
+
+def _table(name="t", rows=100, tpb=16, nan_at=()):
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0, 10, rows)
+    y = rng.uniform(0, 10, rows)
+    v = rng.normal(0, 1, rows)
+    for i in nan_at:
+        v[i] = np.nan
+    schema = TableSchema(["x", "y", "v"], ["x", "y"])
+    return HeapTable(name, schema, {"x": x, "y": y, "v": v}, tuples_per_block=tpb)
+
+
+GRID = Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (1.0, 1.0))
+
+
+# -- loader round-trip --------------------------------------------------------
+
+
+def test_round_trip_bit_exact():
+    table = _table(rows=103, nan_at=(0, 50, 102))  # odd tail block + NaNs
+    backend = SQLiteBackend()
+    backend.bind_table(table)
+    dump = backend.dump_table(table.name)
+    for c in table.schema.columns:
+        np.testing.assert_array_equal(
+            dump[c].view(np.uint64), np.asarray(table.column(c)).view(np.uint64)
+        )
+
+
+def test_round_trip_empty_region_and_quarantined_blocks():
+    # Rows clustered in [0,5)^2: the [5,10)^2 region is empty, and
+    # quarantining a block is a read-path overlay — the store still
+    # round-trips every byte.
+    rng = np.random.default_rng(9)
+    rows = 64
+    x = rng.uniform(0, 5, rows)
+    y = rng.uniform(0, 5, rows)
+    v = rng.normal(0, 1, rows)
+    table = HeapTable("q", TableSchema(["x", "y", "v"], ["x", "y"]),
+                      {"x": x, "y": y, "v": v}, tuples_per_block=8)
+    db = Database(backend="sqlite:")
+    db.register(table)
+    db.attach_integrity(StorageFaultPlan(seed=0))
+    db.integrity("q").quarantined.add(0)
+
+    scan = db.range_cell_aggregates("q", GRID, [5.0, 5.0], [10.0, 10.0],
+                                    [ContentObjective.of("avg", col("v"))])
+    assert scan.cells == {}
+
+    dump = db.backend.dump_table("q")
+    for name, src in (("x", x), ("y", y), ("v", v)):
+        np.testing.assert_array_equal(dump[name], src)
+
+
+def test_io_export_import_round_trip(tmp_path):
+    table = _table(rows=57, tpb=10, nan_at=(3,))
+    path = export_table_sqlite(table, tmp_path / "store.db")
+    dump = import_table_sqlite(path, table.name)
+    for c in table.schema.columns:
+        np.testing.assert_array_equal(
+            dump[c].view(np.uint64), np.asarray(table.column(c)).view(np.uint64)
+        )
+
+
+def test_file_store_reopens_from_catalog(tmp_path):
+    table = _table(rows=40, tpb=8)
+    path = str(tmp_path / "dev.db")
+    first = SQLiteBackend(path)
+    first.bind_table(table)
+    first.close()
+
+    reopened = SQLiteBackend(path)
+    assert reopened.table_names() == (table.name,)
+    handle = reopened.handle(table.name)
+    assert handle.num_rows == table.num_rows
+    assert handle.tuples_per_block == table.tuples_per_block
+    assert handle.schema.columns == table.schema.columns
+    assert handle.schema.coordinate_columns == table.schema.coordinate_columns
+    np.testing.assert_array_equal(handle.column("v"), table.column("v"))
+    mins, maxs = handle.block_mbrs()
+    ref_mins, ref_maxs = table.block_mbrs()
+    np.testing.assert_array_equal(mins, ref_mins)
+    np.testing.assert_array_equal(maxs, ref_maxs)
+
+
+# -- handle contract ----------------------------------------------------------
+
+
+def test_gather_alignment_unsorted_and_duplicates():
+    table = _table(rows=60)
+    backend = SQLiteBackend()
+    handle = backend.bind_table(table)
+    rows = np.array([17, 3, 3, 59, 0, 17], dtype=np.int64)
+    np.testing.assert_array_equal(handle.gather("v", rows), table.gather("v", rows))
+    np.testing.assert_array_equal(
+        handle.coordinates_of(rows), table.coordinates_of(rows)
+    )
+
+
+def test_gather_rejects_out_of_range_rows():
+    handle = SQLiteBackend().bind_table(_table(rows=10))
+    with pytest.raises(ValueError, match="out of range"):
+        handle.gather("v", np.array([0, 10]))
+
+
+def test_gather_unknown_column():
+    handle = SQLiteBackend().bind_table(_table())
+    with pytest.raises(KeyError, match="no column"):
+        handle.gather("nope", np.array([0]))
+
+
+def test_blocks_matching_equals_simulator_on_random_boxes():
+    table = _table(rows=257, tpb=16)
+    handle = SQLiteBackend().bind_table(table)
+    rng = np.random.default_rng(11)
+    for _ in range(25):
+        lo = rng.uniform(0, 9, 2)
+        hi = lo + rng.uniform(0.1, 6, 2)
+        ref_blocks, ref_rows = table.blocks_matching(lo, hi)
+        got_blocks, got_rows = handle.blocks_matching(lo, hi)
+        np.testing.assert_array_equal(got_blocks, ref_blocks)
+        np.testing.assert_array_equal(got_rows, ref_rows)
+        np.testing.assert_array_equal(
+            handle.blocks_intersecting(lo, hi), table.blocks_intersecting(lo, hi)
+        )
+
+
+def test_block_geometry_matches():
+    table = _table(rows=103, tpb=16)  # ragged final block
+    handle = SQLiteBackend().bind_table(table)
+    assert handle.num_blocks == table.num_blocks
+    assert handle.block_rows(6) == table.block_rows(6)
+    with pytest.raises(ValueError):
+        handle.block_rows(handle.num_blocks)
+    ids = np.array([0, 2, 6], dtype=np.int64)
+    np.testing.assert_array_equal(handle.rows_of_blocks(ids), table.rows_of_blocks(ids))
+
+
+# -- install dedup ------------------------------------------------------------
+
+
+def test_install_cells_on_conflict_dedup():
+    backend = SQLiteBackend()
+    backend.bind_table(_table())
+    gkey = grid_key(GRID)
+    assert backend.install_cells("t", gkey, [1, 2, 3]) == (3, 0)
+    assert backend.install_cells("t", gkey, [2, 3, 4]) == (1, 2)
+    assert backend.install_cells("t", gkey, []) == (0, 0)
+    assert backend.installed_cell_count("t", gkey) == 4
+    assert backend.installed_cell_count("t") == 4
+    # A different grid geometry scopes its own install set.
+    other = grid_key(Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (2.0, 2.0)))
+    assert backend.install_cells("t", other, [1]) == (1, 0)
+    assert backend.installed_cell_count("t") == 5
+
+
+def test_simulator_install_dedup_matches():
+    backend = SimulatorBackend()
+    backend.bind_table(_table())
+    gkey = grid_key(GRID)
+    assert backend.install_cells("t", gkey, [1, 2, 3]) == (3, 0)
+    assert backend.install_cells("t", gkey, np.array([2, 3, 4])) == (1, 2)
+    assert backend.installed_cell_count("t", gkey) == 4
+
+
+def test_sqlite_persists_cell_stats():
+    table = _table(rows=120, tpb=16)
+    db = Database(backend="sqlite:")
+    db.register(table)
+    scan = db.range_cell_aggregates(
+        "t", GRID, [0.0, 0.0], [10.0, 10.0], [ContentObjective.of("avg", col("v"))]
+    )
+    stored = db.backend.fetch_cell_summaries("t", grid_key(GRID))
+    assert set(stored) == set(scan.cells)
+    cell, entry = next(iter(scan.cells.items()))
+    for key, stats in entry.items():
+        count, total, minimum, maximum = stored[cell][key]
+        assert (count, total, minimum, maximum) == (
+            stats.count, stats.total, stats.minimum, stats.maximum
+        )
+
+
+def test_install_state_round_trip():
+    """Checkpoint capture of the install record reproduces the dedup split.
+
+    A resumed run's (installed, deduped) counters must match the
+    uninterrupted run's, so restoring a capture onto a fresh backend has
+    to reproduce exactly which cells count as already-installed — the
+    checkpoint suite covers the end-to-end contract, this pins the seam.
+    """
+    gkey = grid_key(GRID)
+    other = grid_key(Grid(Rect.from_bounds([(0.0, 10.0), (0.0, 10.0)]), (2.0, 2.0)))
+    stats = [(1, "v", 3, 2.5, float("nan"), 7.0)]
+    for make in (SimulatorBackend, SQLiteBackend):
+        source, fresh = make(), make()
+        for b in (source, fresh):
+            b.bind_table(_table())
+        source.install_cells("t", gkey, [1, 2, 3], stats)
+        source.install_cells("t", other, [1])
+        fresh.restore_install_state("t", source.install_state("t"))
+        assert fresh.installed_cell_count("t") == 4, make.__name__
+        assert fresh.install_cells("t", gkey, [2, 3, 4]) == (1, 2), make.__name__
+        assert fresh.installed_cell_count("t", other) == 1, make.__name__
+    # The SQLite capture carries the persisted stat rows too, NaN intact.
+    restored = fresh.fetch_cell_summaries("t", gkey, [1])
+    count, total, minimum, maximum = restored[1]["v"]
+    assert (count, total, maximum) == (3, 2.5, 7.0)
+    assert np.isnan(minimum)
+
+
+def test_rebind_clears_install_record():
+    for backend in (SimulatorBackend(), SQLiteBackend()):
+        table = _table()
+        backend.bind_table(table)
+        gkey = grid_key(GRID)
+        backend.install_cells("t", gkey, [1, 2])
+        assert backend.installed_cell_count("t") == 2
+        backend.bind_table(_table())  # rebind supersedes the rows
+        assert backend.installed_cell_count("t") == 0, type(backend).__name__
+
+
+# -- selection precedence -----------------------------------------------------
+
+
+def test_explicit_spec_beats_database_url():
+    env = {"DATABASE_URL": "sqlite:"}
+    assert resolve_backend("simulator", env=env).name == "simulator"
+    inst = SimulatorBackend()
+    assert resolve_backend(inst, env=env) is inst
+
+
+def test_database_url_beats_default():
+    assert resolve_backend(None, env={"DATABASE_URL": "sqlite:"}).name == "sqlite"
+    assert resolve_backend(None, env={}).name == "simulator"
+
+
+def test_database_url_env_integration(monkeypatch):
+    monkeypatch.setenv("DATABASE_URL", "sqlite:")
+    db = Database()
+    assert db.backend.name == "sqlite"
+    monkeypatch.delenv("DATABASE_URL")
+    assert Database().backend.name == "simulator"
+
+
+def test_unknown_scheme_raises_config_error():
+    with pytest.raises(ConfigError, match="unknown storage backend scheme"):
+        backend_from_url("postgres://db/prod")
+    with pytest.raises(ConfigError, match="unknown storage backend scheme"):
+        resolve_backend(None, env={"DATABASE_URL": "bogus:thing"})
+    with pytest.raises(ConfigError, match="empty"):
+        backend_from_url("   ")
+    with pytest.raises(ConfigError, match="StorageBackend or URL"):
+        resolve_backend(123)
+
+
+def test_url_forms():
+    assert backend_from_url("sim").name == "simulator"
+    assert backend_from_url("memory").name == "simulator"
+    for url in ("sqlite", "sqlite:", "sqlite::memory:"):
+        backend = backend_from_url(url)
+        assert backend.name == "sqlite" and backend.path == ":memory:"
+
+
+def test_sqlite_file_url(tmp_path):
+    path = tmp_path / "x.db"
+    backend = backend_from_url(f"sqlite:{path}")
+    assert backend.path == str(path)
+    backend.bind_table(_table())
+    backend.close()
+    assert path.exists()
+
+
+def test_sqlite_rejects_hostile_table_name():
+    with pytest.raises(ConfigError, match="not storable"):
+        SQLiteBackend().bind_table(
+            HeapTable(
+                'bad"; DROP TABLE sw_tables; --',
+                TableSchema(["x"], ["x"]),
+                {"x": np.array([1.0])},
+            )
+        )
+
+
+# -- latent-assumption fixes --------------------------------------------------
+
+
+def test_register_returns_backend_handle():
+    table = _table()
+    sim_db = Database(backend="simulator")
+    assert sim_db.register(table) is table  # simulator handle == table
+    sql_db = Database(backend="sqlite:")
+    handle = sql_db.register(_table())
+    assert handle is not table
+    assert sql_db.table("t") is handle
+
+
+def test_rebind_table_keeps_backend_handle():
+    # DataManager.rebind_table used to stash the raw heap table instead
+    # of the handle register() returns — invisible under the simulator,
+    # wrong under any real backend.
+    from repro.core.datamanager import DataManager
+    from repro.sampling import StratifiedSampler
+
+    table = _table("orig", rows=80)
+    db = Database(backend="sqlite:")
+    db.register(table)
+    sample = StratifiedSampler(0.1, seed=1).sample(db.table("orig"), GRID)
+    dm = DataManager(db, "orig", GRID, [ContentObjective.of("avg", col("v"))], sample)
+    assert dm.backend_name == "sqlite"
+
+    bigger = _table("bigger", rows=160)
+    dm.rebind_table(bigger)
+    assert dm._table is db.table("bigger")
+    assert type(dm._table).__name__ == "SQLiteTable"
+
+
+def test_cellscan_records_backend():
+    table = _table()
+    db = Database(backend="sqlite:")
+    db.register(table)
+    scan = db.range_cell_aggregates("t", GRID, [0.0, 0.0], [5.0, 5.0], [])
+    assert scan.backend == "sqlite"
+
+
+def test_deep_verify_through_handle():
+    table = _table(rows=50, tpb=8)
+    db = Database(backend="sqlite:")
+    db.register(table)
+    db.attach_integrity(StorageFaultPlan(seed=0))
+    integ = db.integrity("t")
+    assert all(integ.deep_verify(b) for b in range(db.table("t").num_blocks))

@@ -20,8 +20,11 @@ def avg_v():
 
 class TestCatalog:
     def test_register_and_lookup(self, small_table):
-        db = Database()
-        db.register(small_table)
+        # Handle identity is a *simulator* property, so pin the backend
+        # explicitly — under DATABASE_URL=sqlite: the handle differs.
+        db = Database(backend="simulator")
+        handle = db.register(small_table)
+        assert handle is small_table
         assert db.table("pts") is small_table
         assert db.table_names() == ("pts",)
         assert db.disk("pts").num_blocks == small_table.num_blocks
