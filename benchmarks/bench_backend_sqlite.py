@@ -46,9 +46,13 @@ def _record(section: str, payload: dict) -> None:
 
 
 def _timed_run(dataset, query, backend):
-    start = time.perf_counter()
-    database = make_database(dataset, "cluster", backend=backend)
-    build_s = time.perf_counter() - start
+    # Best-of-3 on the build: it is a ~10ms measurement, so a single
+    # scheduler hiccup would dominate the gated ratio.
+    build_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        database = make_database(dataset, "cluster", backend=backend)
+        build_s = min(build_s, time.perf_counter() - start)
 
     start = time.perf_counter()
     engine = SWEngine(database, dataset.name, sample_fraction=0.1)
@@ -97,6 +101,10 @@ def test_sqlite_backend_overhead():
         "overhead_build": sql["build_s"] / max(sim["build_s"], 1e-9),
         "byte_identical": True,
     }
+    # The bulk loader batches inserts (executemany over whole tables), so
+    # building the SQLite mirror must stay within a small multiple of the
+    # in-memory build.
+    assert payload["overhead_build"] <= 3.0, payload["overhead_build"]
     _record("sqlite_overhead", payload)
     emit_json("backend_sqlite_overhead", payload, metrics=None)
     print(
@@ -104,4 +112,73 @@ def test_sqlite_backend_overhead():
         f"(sim {sim['run_s']:.2f}s -> sqlite {sql['run_s']:.2f}s), "
         f"build {payload['overhead_build']:.1f}x, "
         f"{sim['results']} identical results"
+    )
+
+
+def _timed_resilient_run(dataset, query, plan):
+    """One sqlite-backed run with the resilience wrapper attached."""
+    database = make_database(dataset, "cluster", backend="sqlite:")
+    if plan is not None:
+        database.attach_resilience(plan)
+    start = time.perf_counter()
+    engine = SWEngine(database, dataset.name, sample_fraction=0.1)
+    report = engine.execute(query, SearchConfig(alpha=1.0))
+    run_s = time.perf_counter() - start
+    fingerprint = [
+        (
+            tuple(r.window.lo),
+            tuple(r.window.hi),
+            tuple(sorted(r.objective_values.items())),
+            r.time,
+        )
+        for r in report.results
+    ]
+    return run_s, report, fingerprint
+
+
+def test_resilience_fault_overhead():
+    """Zero-fault resilience wrapper costs <10% wall clock on sqlite.
+
+    The retry/breaker/mirror machinery is pay-nothing when no faults
+    fire: a zero-fault plan must return byte-identical results (times
+    included) at under 10% overhead versus the bare backend.
+    """
+    from repro.storage import BackendFaultPlan
+
+    dataset = synthetic_dataset("high", scale=0.2, seed=5)
+    query = synthetic_query(dataset)
+
+    # Warm-up, then best-of-3 each way to dampen scheduler noise.
+    _timed_resilient_run(dataset, query, None)
+    bare_s, bare_fp = float("inf"), None
+    wrapped_s, wrapped_fp, wrapped_report = float("inf"), None, None
+    for _ in range(3):
+        s, _, fp = _timed_resilient_run(dataset, query, None)
+        if s < bare_s:
+            bare_s, bare_fp = s, fp
+        s, report, fp = _timed_resilient_run(
+            dataset, query, BackendFaultPlan(seed=0)
+        )
+        if s < wrapped_s:
+            wrapped_s, wrapped_report, wrapped_fp = s, report, fp
+
+    # Hard gates: byte-identical results, nothing injected, complete run.
+    assert wrapped_fp == bare_fp
+    assert wrapped_report.outcome == "complete"
+    assert wrapped_report.backend_retries == 0
+
+    overhead = wrapped_s / bare_s - 1.0
+    payload = {
+        "workload": "synth-high scale=0.2",
+        "bare_run_s": bare_s,
+        "resilient_run_s": wrapped_s,
+        "overhead_fraction": overhead,
+        "byte_identical": True,
+    }
+    assert overhead < 0.10, overhead
+    _record("fault_overhead", payload)
+    emit_json("backend_fault_overhead", payload, metrics=None)
+    print(
+        f"\nzero-fault resilience overhead: {overhead * 100:.1f}% "
+        f"(bare {bare_s:.2f}s -> resilient {wrapped_s:.2f}s)"
     )

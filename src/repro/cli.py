@@ -3,6 +3,7 @@
 Usage (also via ``python -m repro``)::
 
     python -m repro run --workload synth-high --placement cluster --alpha 1.0
+    python -m repro run --backend sqlite: --backend-chaos-seed 3
     python -m repro sql --workload sdss "SELECT LB(ra), UB(ra), ... HAVING ..."
     python -m repro optimize --workload synth-high "SELECT ... MAXIMIZE AVG(value)"
     python -m repro baseline --workload synth-high
@@ -104,6 +105,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--timeline", action="store_true", help="render a result-arrival sparkline at the end"
+    )
+    run.add_argument(
+        "--backend-chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help=(
+            "wrap the storage backend in the resilience layer under a "
+            "seeded backend fault plan (retries, circuit breaker, "
+            "simulator fallback)"
+        ),
+    )
+    run.add_argument(
+        "--backend-fault-rate",
+        type=float,
+        default=0.1,
+        help="per-operation fault probability under --backend-chaos-seed",
     )
 
     sql = sub.add_parser("sql", help="run an SW SQL query against a workload table")
@@ -263,6 +281,16 @@ def _dispatch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 def _cmd_run(args, database: Database, dataset, query: SWQuery, out) -> int:
     config = SearchConfig(alpha=args.alpha, s=args.s, diversification=args.diversification)
+    chaos = getattr(args, "backend_chaos_seed", None)
+    if chaos is not None:
+        from .storage.resilience import BackendFaultPlan
+
+        plan = BackendFaultPlan.chaos(chaos, fault_rate=args.backend_fault_rate)
+        database.attach_resilience(plan)
+        out(
+            f"backend chaos: seed={chaos} fault_rate={args.backend_fault_rate:g} "
+            f"({database.backend.describe()})"
+        )
     engine = SWEngine(database, dataset.name, sample_fraction=args.sample_fraction)
     results = []
     stopped = False
@@ -278,6 +306,15 @@ def _cmd_run(args, database: Database, dataset, query: SWQuery, out) -> int:
             break
     if not stopped:
         out(f"-- {len(results)} qualifying windows; query complete")
+    if chaos is not None:
+        report = stream.report()
+        out(
+            f"-- outcome {report.outcome}: {report.backend_retries} backend "
+            f"retries, {report.breaker_trips} breaker trip(s), "
+            f"{report.fallback_reads} fallback read(s)"
+        )
+        if report.backend_degradation is not None:
+            out(f"-- {report.backend_degradation.describe()}")
     if args.heatmap and results:
         from .viz import render_results
 

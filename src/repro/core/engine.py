@@ -24,6 +24,7 @@ from ..sampling.noise import NoiseModel
 from ..sampling.stratified import CellSample, StratifiedSampler
 from ..storage.database import Database
 from ..storage.integrity import StorageDegradation
+from ..storage.resilience import BackendDegradation
 from .datamanager import DataManager
 from .query import ResultWindow, SWQuery
 from .search import HeuristicSearch, SearchConfig, SearchRun
@@ -39,6 +40,13 @@ class ExecutionReport:
     fault plan it records unrepairable corruption the query survived —
     quarantined pages and the grid cells whose aggregates may be missing
     tuples.  Results are still exact over every page that *was* readable.
+
+    ``backend_degradation`` is the real-backend sibling (resilience
+    layer, DESIGN.md §16): non-``None`` when the storage backend failed
+    operations past its retry budget and the run was served from the
+    simulator mirror instead.  ``backend_retries`` / ``breaker_trips`` /
+    ``fallback_reads`` carry the resilience counters of this execution
+    whether or not it degraded — retries alone keep the run ``complete``.
     """
 
     run: SearchRun
@@ -46,6 +54,10 @@ class ExecutionReport:
     buffer_hits: int = 0
     buffer_misses: int = 0
     degradation: StorageDegradation | None = None
+    backend_degradation: BackendDegradation | None = None
+    backend_retries: int = 0
+    breaker_trips: int = 0
+    fallback_reads: int = 0
 
     @property
     def results(self) -> list[ResultWindow]:
@@ -54,8 +66,24 @@ class ExecutionReport:
 
     @property
     def degraded(self) -> bool:
-        """Whether storage corruption degraded this execution."""
-        return self.degradation is not None
+        """Whether storage corruption or backend failure degraded this run."""
+        return self.degradation is not None or self.backend_degradation is not None
+
+    @property
+    def outcome(self) -> str:
+        """``complete`` | ``degraded`` | ``aborted`` (machine-checkable).
+
+        ``aborted`` means the search itself was interrupted (deadline,
+        time limit, cancel, step limit — ``run.interrupt_reason`` says
+        which); ``degraded`` means it ran to completion but some storage
+        promise was broken along the way (see the degradation fields);
+        ``complete`` is a clean, full execution.
+        """
+        if self.run.interrupted:
+            return "aborted"
+        if self.degraded:
+            return "degraded"
+        return "complete"
 
 
 class StreamingExecution:
@@ -81,6 +109,7 @@ class StreamingExecution:
         self._before = disk.stats()
         self._hits0 = buffer.hits
         self._misses0 = buffer.misses
+        self._backend0 = engine.backend_baseline()
         self._begun = False
         self._closed = False
 
@@ -120,6 +149,7 @@ class StreamingExecution:
             buffer_hits=hits,
             buffer_misses=misses,
             degradation=self._engine.degradation_of(self.search),
+            **self._engine.backend_delta(self._backend0),
         )
 
 
@@ -278,6 +308,16 @@ class SWEngine:
         budget = search.config.memory_budget_blocks
         if budget is not None:
             self.database.buffer(self.table_name).resize(budget)
+        backend = self.database.backend
+        if getattr(backend, "resilient", False):
+            # The retry loop must respect this search's lifecycle: stop
+            # backing off once the deadline passes or a cancel lands.
+            backend.bind_lifecycle(
+                deadline_s=search.config.deadline_s,
+                cancelled=lambda: search.cancelled,
+            )
+            if trace is not None:
+                backend.trace = trace
         return search
 
     def execute(
@@ -304,6 +344,7 @@ class SWEngine:
         buffer = self.database.buffer(self.table_name)
         before = disk.stats()
         hits0, misses0 = buffer.hits, buffer.misses
+        backend0 = self.backend_baseline()
 
         registry = search.metrics
         if registry is not None:
@@ -319,6 +360,7 @@ class SWEngine:
             buffer_hits=hits,
             buffer_misses=misses,
             degradation=self.degradation_of(search),
+            **self.backend_delta(backend0),
         )
 
     def _io_delta(
@@ -370,6 +412,26 @@ class SWEngine:
             lost_blocks=tuple(sorted(integ.quarantined)),
             degraded_cells=tuple(sorted(degraded_cells)),
         )
+
+    def backend_baseline(self) -> dict[str, int] | None:
+        """Resilience-counter snapshot before an execution (``None`` if off)."""
+        backend = self.database.backend
+        if getattr(backend, "resilient", False):
+            return backend.stats()
+        return None
+
+    def backend_delta(self, baseline: dict[str, int] | None) -> dict:
+        """Report fields for the resilience counters since ``baseline``."""
+        backend = self.database.backend
+        if baseline is None or not getattr(backend, "resilient", False):
+            return {}
+        now = backend.stats()
+        return {
+            "backend_degradation": backend.degradation(baseline),
+            "backend_retries": now["retries"] - baseline["retries"],
+            "breaker_trips": now["breaker_trips"] - baseline["breaker_trips"],
+            "fallback_reads": now["fallback_reads"] - baseline["fallback_reads"],
+        }
 
     def resume(
         self,

@@ -367,6 +367,15 @@ class HeuristicSearch:
         """
         self._cancelled = True
 
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested (and not yet consumed).
+
+        The storage resilience layer polls this between backend retry
+        attempts so a cancelled search is never stuck in backoff.
+        """
+        return self._cancelled
+
     def _interruption(self, clock) -> str | None:
         """Why the loop should stop now, or ``None`` to keep going."""
         if self._cancelled:

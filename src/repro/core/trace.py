@@ -53,6 +53,14 @@ class EventKind(Enum):
     SESSION = "session"
     PREEMPT = "preempt"
     CACHE_SHARE = "cache_share"
+    # Storage-backend resilience events: a faulted backend call being
+    # re-attempted after backoff is a BACKEND_RETRY; every circuit
+    # breaker state transition (trip / probe / close) is a BREAKER; an
+    # operation served by the simulator mirror instead of the real
+    # backend is a FALLBACK.
+    BACKEND_RETRY = "backend_retry"
+    BREAKER = "breaker"
+    FALLBACK = "fallback"
 
 
 @dataclass(frozen=True)
@@ -145,4 +153,7 @@ class SearchTrace:
             "sessions": len(self.events(EventKind.SESSION)),
             "preempts": len(self.events(EventKind.PREEMPT)),
             "cache_shares": len(self.events(EventKind.CACHE_SHARE)),
+            "backend_retries": len(self.events(EventKind.BACKEND_RETRY)),
+            "breaker_events": len(self.events(EventKind.BREAKER)),
+            "fallbacks": len(self.events(EventKind.FALLBACK)),
         }

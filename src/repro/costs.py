@@ -27,6 +27,12 @@ the system.  Defaults are chosen to mirror the hardware the paper used
   per attempt up to the cap.  The base is set well above the round-trip
   latency so that a perfect channel sees few spurious retries while a
   lossy one recovers within a handful of simulated milliseconds.
+* ``backend_retry_ms`` / ``backend_retry_cap_ms`` /
+  ``backend_breaker_open_ms``: storage-backend resilience policy — a
+  failed backend call backs off (doubling per attempt up to the cap)
+  before retrying, and a tripped circuit breaker stays open for the
+  breaker window before probing.  All three are charged to *simulated*
+  time by :mod:`repro.storage.resilience`.
 * ``heartbeat_timeout_ms``: how long the coordinator waits after a
   worker's last sign of life before declaring it failed and reassigning
   its anchors.
@@ -62,6 +68,9 @@ class CostModel:
     retry_backoff_cap_ms: float = 640.0
     heartbeat_timeout_ms: float = 30.0
     hedge_delay_ms: float = 0.0
+    backend_retry_ms: float = 2.0
+    backend_retry_cap_ms: float = 64.0
+    backend_breaker_open_ms: float = 50.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -76,6 +85,9 @@ class CostModel:
             "retry_backoff_cap_ms",
             "heartbeat_timeout_ms",
             "hedge_delay_ms",
+            "backend_retry_ms",
+            "backend_retry_cap_ms",
+            "backend_breaker_open_ms",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"cost model field {name} must be non-negative")
@@ -110,6 +122,21 @@ class CostModel:
         """Retransmission timeout for the ``attempt``-th retry (capped)."""
         timeout = self.retry_timeout_ms * (2.0 ** max(0, attempt))
         return min(timeout, self.retry_backoff_cap_ms) / 1e3
+
+    def backend_retry_s(self, attempt: int = 0) -> float:
+        """Backoff before the ``attempt``-th storage-backend retry (capped).
+
+        Doubles per attempt from ``backend_retry_ms`` up to
+        ``backend_retry_cap_ms`` — the wait is charged to *simulated*
+        time by the resilience layer, so fault-free runs stay
+        byte-identical while faulted runs pay a realistic penalty.
+        """
+        backoff = self.backend_retry_ms * (2.0 ** max(0, attempt))
+        return min(backoff, self.backend_retry_cap_ms) / 1e3
+
+    def backend_breaker_open_s(self) -> float:
+        """How long an open circuit breaker rejects before half-opening."""
+        return self.backend_breaker_open_ms / 1e3
 
     def heartbeat_timeout_s(self) -> float:
         """Silence after which the coordinator declares a worker dead."""

@@ -223,6 +223,56 @@ class InvariantAuditor:
                     out,
                 )
 
+        if self._has("storage.backend.ops"):
+            # Resilience-layer accounting (DESIGN.md §16): every attempt
+            # either succeeded or was an injected failure; slow faults
+            # succeed, so they are counted on both sides of the taxonomy
+            # sum; fallbacks come only from exhausted retries or an open
+            # breaker, and a breaker trip needs a failed operation.
+            self._equal(
+                "backend resilience: attempts == successes + injected_faults",
+                c("storage.backend.attempts"),
+                c("storage.backend.successes") + c("storage.backend.injected_faults"),
+                out,
+            )
+            self._equal(
+                "backend resilience: attempts == ops - short_circuits + retries",
+                c("storage.backend.attempts"),
+                c("storage.backend.ops")
+                - c("storage.backend.short_circuits")
+                + c("storage.backend.retries"),
+                out,
+            )
+            self._equal(
+                "backend resilience: fallback_ops == short_circuits + failures",
+                c("storage.backend.fallback_ops"),
+                c("storage.backend.short_circuits") + c("storage.backend.failures"),
+                out,
+            )
+            self._at_least(
+                "backend resilience: fallback_ops >= fallback_reads",
+                c("storage.backend.fallback_ops"),
+                c("storage.backend.fallback_reads"),
+                out,
+            )
+            self._at_least(
+                "backend resilience: failures >= breaker trips",
+                c("storage.backend.failures"),
+                c("storage.backend.breaker_trips"),
+                out,
+            )
+            fault_kinds = sum(
+                v
+                for k, v in self._counters.items()
+                if k.startswith("storage.backend.faults.")
+            )
+            self._equal(
+                "backend resilience: sum(faults.*) == injected_faults + slow_faults",
+                fault_kinds,
+                c("storage.backend.injected_faults") + c("storage.backend.slow_faults"),
+                out,
+            )
+
         if self._has("net.messages_sent"):
             self._at_least(
                 "network: sends >= receives",

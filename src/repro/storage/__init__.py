@@ -25,6 +25,16 @@ from .integrity import (
     StorageFaultInjector,
     StorageFaultPlan,
 )
+from .resilience import (
+    BACKEND_FAULT_KINDS,
+    BackendDegradation,
+    BackendFaultInjector,
+    BackendFaultPlan,
+    CircuitBreaker,
+    ResilienceConfig,
+    ResilientBackend,
+    ResilientTable,
+)
 from .placement import (
     Placement,
     axis_order,
@@ -56,6 +66,14 @@ __all__ = [
     "StorageDegradation",
     "StorageFaultInjector",
     "StorageFaultPlan",
+    "BACKEND_FAULT_KINDS",
+    "BackendDegradation",
+    "BackendFaultInjector",
+    "BackendFaultPlan",
+    "CircuitBreaker",
+    "ResilienceConfig",
+    "ResilientBackend",
+    "ResilientTable",
     "hilbert_d",
     "hilbert_xy",
     "morton_code",

@@ -259,9 +259,10 @@ def backend_from_url(url: str) -> StorageBackend:
         sqlite:dev.db                   SQLite file (relative path)
         sqlite:///abs/path.db           SQLite file (absolute path)
 
-    Anything else raises :class:`~repro.errors.ConfigError` naming the
-    unknown scheme (``postgres`` URLs will land here until that backend
-    exists).
+    ``postgres`` / ``postgresql`` URLs are rejected with a dedicated
+    message: that backend (the paper's production tier) is planned but
+    not yet implemented.  Anything else raises
+    :class:`~repro.errors.ConfigError` naming the unknown scheme.
     """
     spec = url.strip()
     if not spec:
@@ -279,6 +280,12 @@ def backend_from_url(url: str) -> StorageBackend:
         if path in ("", ":memory:"):
             return SQLiteBackend(":memory:")
         return SQLiteBackend(path)
+    if scheme in ("postgres", "postgresql"):
+        raise ConfigError(
+            f"storage backend scheme {scheme!r} is planned but not yet "
+            "implemented (the paper's production tier); "
+            "use 'sqlite[:path]' or 'simulator'"
+        )
     raise ConfigError(
         f"unknown storage backend scheme {scheme!r} in {url!r}; "
         "supported: simulator, sqlite[:path]"

@@ -29,6 +29,7 @@ from .backend import StorageBackend, grid_key, resolve_backend
 from .buffer import BufferPool
 from .disk import SimulatedDisk
 from .integrity import BlockIntegrity, StorageFaultPlan
+from .resilience import BackendFaultPlan, ResilienceConfig, ResilientBackend
 from .placement import cell_flat_ids
 from .table import HeapTable
 
@@ -168,6 +169,8 @@ class Database:
             buffer.metrics = registry
         for integrity in self._integrity.values():
             integrity.metrics = registry
+        if getattr(self.backend, "resilient", False):
+            self.backend.metrics = registry
 
     def attach_integrity(self, plan: StorageFaultPlan) -> None:
         """Enable checksummed reads under a (possibly zero-fault) plan.
@@ -191,6 +194,41 @@ class Database:
         """Route integrity events (CORRUPT/REPAIR/SCRUB) into a search trace."""
         for integrity in self._integrity.values():
             integrity.trace = trace
+        if getattr(self.backend, "resilient", False):
+            self.backend.trace = trace
+
+    def attach_resilience(
+        self,
+        plan: BackendFaultPlan,
+        config: ResilienceConfig | None = None,
+    ) -> None:
+        """Wrap the storage backend in the resilience layer.
+
+        Every registered (and future) table handle is re-routed through a
+        :class:`~repro.storage.resilience.ResilientBackend` — retry with
+        simulated-time backoff, circuit breaker, simulator-mirror
+        fallback — under the given seeded fault ``plan``.  Pass ``None``
+        to detach: the original backend and its direct handles return.
+        """
+        if plan is None:
+            if getattr(self.backend, "resilient", False):
+                self.backend = self.backend.inner
+                for name in self._tables:
+                    self._tables[name] = self.backend.handle(name)
+            return
+        if getattr(self.backend, "resilient", False):
+            self.backend = self.backend.inner
+        wrapper = ResilientBackend(
+            self.backend,
+            plan,
+            config,
+            clock=self.clock,
+            cost_model=self.cost_model,
+            metrics=self.metrics,
+        )
+        for name, handle in self._tables.items():
+            self._tables[name] = wrapper.adopt(name, handle)
+        self.backend = wrapper
 
     def _build_integrity(self, name: str) -> None:
         integrity = BlockIntegrity(

@@ -232,7 +232,10 @@ class StorageDegradation:
     attached to the execution report instead of raising, so results that
     *were* computable are still returned and this record names the holes.
     ``lost_blocks`` are quarantined heap pages; ``degraded_cells`` are
-    flat grid cell ids whose aggregates may be missing tuples.
+    flat grid cell ids whose aggregates may be missing tuples.  The
+    real-backend failure analogue is
+    :class:`~repro.storage.resilience.BackendDegradation`, which reports
+    backend operations served by the simulator mirror instead.
     """
 
     reason: str

@@ -278,13 +278,20 @@ def test_database_url_env_integration(monkeypatch):
 
 def test_unknown_scheme_raises_config_error():
     with pytest.raises(ConfigError, match="unknown storage backend scheme"):
-        backend_from_url("postgres://db/prod")
-    with pytest.raises(ConfigError, match="unknown storage backend scheme"):
         resolve_backend(None, env={"DATABASE_URL": "bogus:thing"})
     with pytest.raises(ConfigError, match="empty"):
         backend_from_url("   ")
     with pytest.raises(ConfigError, match="StorageBackend or URL"):
         resolve_backend(123)
+
+
+def test_postgres_rejected_as_planned_but_unimplemented():
+    # Not the generic unknown-scheme error: the message must name the
+    # scheme as planned (it is the paper's production tier) and point at
+    # the working alternatives.
+    for url in ("postgres://db/prod", "postgresql://host:5432/x", "POSTGRES:x"):
+        with pytest.raises(ConfigError, match="planned but not yet implemented"):
+            backend_from_url(url)
 
 
 def test_url_forms():

@@ -225,3 +225,22 @@ class TestMetricsCommand:
         assert args.policy == "rr"
         assert args.park == "live"
         assert not args.no_cache
+
+
+class TestBackendChaosCLI:
+    def test_run_with_backend_chaos_seed(self):
+        code, lines = run_cli(
+            "run", "--workload", "synth-high", "--scale", "0.2",
+            "--sample-fraction", "0.3", "--backend", "sqlite:",
+            "--backend-chaos-seed", "3",
+        )
+        assert code == 0
+        assert any(line.startswith("backend chaos:") for line in lines)
+        outcome = [line for line in lines if line.startswith("-- outcome ")]
+        assert len(outcome) == 1
+        assert "backend retries" in outcome[0]
+
+    def test_backend_chaos_parser_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.backend_chaos_seed is None
+        assert args.backend_fault_rate == 0.1
