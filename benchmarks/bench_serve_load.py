@@ -1,0 +1,191 @@
+"""Front-door load generator: many concurrent socket clients, one server.
+
+Boots an in-process :class:`~repro.serve.server.ExplorationServer` on an
+ephemeral port and drives **100+ concurrent client sessions** against it
+over real sockets — each client opens its own connection, submits one
+exploration, polls for completion and consumes its results.  The gates:
+
+* every admitted session completes (nothing lost under load) and the
+  fleet's ``serve.*`` accounting identities still hold
+  (:class:`~repro.obs.InvariantAuditor`);
+* the shared semantic cache keeps paying under load: >= 50% cell hit
+  rate across the identical-workload fleet;
+* the run sustains the full concurrency — sessions are all submitted
+  before the first completes, so live + waiting peaks at the fleet size.
+
+Reported (informationally): wall-clock throughput (sessions/s), p50/p95
+server-side completion latency, client-observed p95, and the cache hit
+rate.  Folded into ``BENCH_serve.json`` at the repo root via the same
+latest-record-per-section scheme as the other suites.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import emit_json, print_table
+from repro.obs import InvariantAuditor
+from repro.serve import (
+    AsyncServeClient,
+    ExplorationServer,
+    ServeConfig,
+    TenantQuota,
+)
+
+pytestmark = pytest.mark.serve
+
+_BENCH_FILE = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: The acceptance floor: at least this many concurrent client sessions.
+N_SESSIONS = 120
+_SCALE = 0.1
+_STEP_BUDGET = 8
+_TENANTS = ("free-0", "std-0", "std-1", "prem-0")
+
+
+def _record(section: str, payload: dict) -> None:
+    """Latest-record-per-section fold into ``BENCH_serve.json``."""
+
+    def _round(value):
+        if isinstance(value, float):
+            return round(value, 4)
+        if isinstance(value, dict):
+            return {k: _round(v) for k, v in value.items()}
+        return value
+
+    try:
+        doc = json.loads(_BENCH_FILE.read_text())
+    except (OSError, ValueError):
+        doc = {}
+    doc.setdefault("sections", {})[section] = _round(payload)
+    doc["date"] = time.strftime("%Y-%m-%d")
+    _BENCH_FILE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _drive_load(n_sessions: int) -> dict:
+    config = ServeConfig(
+        max_live=8,
+        queue_limit=n_sessions,
+        slice_steps=16,
+        policy="wfq",
+        quotas={
+            "free-0": TenantQuota(tier="free"),
+            "std-0": TenantQuota(tier="standard"),
+            "std-1": TenantQuota(tier="standard"),
+            "prem-0": TenantQuota(tier="premium"),
+        },
+    )
+    server = ExplorationServer(config)
+    host, port = await server.start()
+    started = time.perf_counter()
+    # A latch, not asyncio.Barrier: the CI floor is Python 3.10.
+    pending = n_sessions
+    all_submitted = asyncio.Event()
+
+    async def one_client(index: int) -> dict:
+        nonlocal pending
+        name = f"load-{index:03d}"
+        async with await AsyncServeClient.open(host, port) as client:
+            t0 = time.perf_counter()
+            response = await client.submit(
+                name,
+                "synth-low",
+                scale=_SCALE,
+                seed=7,
+                step_budget=_STEP_BUDGET,
+                tenant=_TENANTS[index % len(_TENANTS)],
+            )
+            # Hold every session open until all n are in flight — this is
+            # what makes the measured run genuinely concurrent.
+            pending -= 1
+            if pending == 0:
+                all_submitted.set()
+            await all_submitted.wait()
+            if response["outcome"] not in ("live", "waiting"):
+                return {"name": name, "outcome": response["outcome"], "latency": None}
+            status = await client.wait(name, poll_s=0.02, timeout_s=300.0)
+            page = await client.results(name)
+            return {
+                "name": name,
+                "outcome": status["state"],
+                "latency": time.perf_counter() - t0,
+                "results": page["total"],
+            }
+
+    outcomes = await asyncio.gather(*(one_client(i) for i in range(n_sessions)))
+    wall_s = time.perf_counter() - started
+
+    async with await AsyncServeClient.open(host, port) as client:
+        stats = await client.stats()
+        await client.shutdown()
+    await server.wait_stopped()
+    return {
+        "outcomes": outcomes,
+        "stats": stats,
+        "wall_s": wall_s,
+        "n_sessions": n_sessions,
+    }
+
+
+def test_bench_serve_load():
+    load = asyncio.run(_drive_load(N_SESSIONS))
+    outcomes = load["outcomes"]
+    stats = load["stats"]
+    counters = stats["counters"]
+
+    completed = [o for o in outcomes if o["outcome"] == "done"]
+    bounced = [o for o in outcomes if o["outcome"] in ("rejected", "throttled")]
+    assert len(completed) + len(bounced) == N_SESSIONS
+    # The queue is sized for the fleet: everything admitted, everything done.
+    assert len(completed) == N_SESSIONS, f"lost sessions: {len(completed)}"
+    assert counters["serve.sessions_completed"] == N_SESSIONS
+
+    # Accounting identities must hold under socket load exactly as they
+    # do in the scripted harness.
+    InvariantAuditor({"counters": counters, "gauges": stats["gauges"]}).verify()
+
+    lookups = counters.get("serve.cache.lookup_cells", 0.0)
+    hits = counters.get("serve.cache.hit_cells", 0.0)
+    hit_rate = hits / lookups if lookups else 0.0
+    assert hit_rate >= 0.5, f"cache hit rate {hit_rate:.1%} under load"
+
+    client_latencies = [o["latency"] for o in completed]
+    server_latencies = list(stats["latencies"].values())
+    assert len(server_latencies) == N_SESSIONS
+    payload = {
+        "sessions": N_SESSIONS,
+        "completed": len(completed),
+        "wall_s": load["wall_s"],
+        "throughput_sessions_per_s": len(completed) / load["wall_s"],
+        "latency_p50_s": _percentile(server_latencies, 0.50),
+        "latency_p95_s": _percentile(server_latencies, 0.95),
+        "client_latency_p95_s": _percentile(client_latencies, 0.95),
+        "cache_hit_rate": hit_rate,
+        "results_total": sum(o["results"] for o in completed),
+    }
+    emit_json("serve_load", payload)
+    print_table(
+        "serve load (100+ concurrent sessions)",
+        ["metric", "value"],
+        [
+            ["sessions", f"{payload['sessions']}"],
+            ["throughput", f"{payload['throughput_sessions_per_s']:.1f}/s"],
+            ["latency p50", f"{payload['latency_p50_s'] * 1e3:.1f} ms"],
+            ["latency p95", f"{payload['latency_p95_s'] * 1e3:.1f} ms"],
+            ["cache hit rate", f"{payload['cache_hit_rate']:.1%}"],
+        ],
+    )
+    _record("load", payload)

@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``)::
     python -m repro metrics --workload synth-high --json metrics.json
     python -m repro metrics --distributed 8 --chaos-seed 3
     python -m repro scrub --workload synth-high --chaos-seed 7
+    python -m repro serve --sessions 6 --policy wfq
+    python -m repro serve --listen 127.0.0.1:7654 --record run.journal
+    python -m repro serve --replay run.journal
     python -m repro info
 
 The CLI wires the bundled workload generators to the engine; it exists so
@@ -30,34 +33,17 @@ from .costs import DEFAULT_COST_MODEL
 from .dbms.baseline import run_sql_baseline
 from .sql import SqlError, execute_optimize, execute_sql
 from .storage.database import Database
-from .workloads import (
-    make_database,
-    sdss_dataset,
-    sdss_query,
-    stock_dataset,
-    stock_query,
-    synthetic_dataset,
-    synthetic_query,
-)
+from .errors import ConfigError
+from .workloads import WORKLOAD_NAMES, load_workload, make_database
 
 __all__ = ["main", "build_parser"]
 
-_WORKLOADS = ("synth-low", "synth-medium", "synth-high", "sdss", "stocks")
+_WORKLOADS = WORKLOAD_NAMES
 
 
 def _load_workload(name: str, scale: float, seed: int):
     """Dataset plus its canonical query for a workload name."""
-    if name.startswith("synth-"):
-        spread = name.split("-", 1)[1]
-        dataset = synthetic_dataset(spread, scale=scale, seed=seed)
-        return dataset, synthetic_query(dataset)
-    if name == "sdss":
-        dataset = sdss_dataset(scale=scale, seed=seed)
-        return dataset, sdss_query(dataset, "high")
-    if name == "stocks":
-        dataset = stock_dataset(seed=seed)
-        return dataset, stock_query(dataset)
-    raise ValueError(f"unknown workload {name!r}; choose from {_WORKLOADS}")
+    return load_workload(name, scale=scale, seed=seed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,13 +187,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run a scripted multi-session workload through the serving layer",
+        help=(
+            "run a scripted multi-session workload through the serving "
+            "layer, or a live socket service with --listen"
+        ),
     )
     common(serve)
     serve.add_argument("--alpha", type=float, default=1.0, help="prefetch aggressiveness")
     serve.add_argument("--sessions", type=int, default=4, help="sessions to submit")
     serve.add_argument(
-        "--policy", choices=("rr", "utility", "deadline"), default="rr"
+        "--policy", choices=("rr", "utility", "deadline", "wfq"), default="rr"
     )
     serve.add_argument("--slice-steps", type=int, default=16, help="steps per slice")
     serve.add_argument("--max-live", type=int, default=2, help="concurrent-session cap")
@@ -227,7 +216,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--step-budget", type=int, default=None, help="per-session step cap")
     serve.add_argument(
+        "--block-budget", type=int, default=None, help="per-session block-read cap"
+    )
+    serve.add_argument(
         "--json", metavar="PATH", default=None, help="write the serve report as JSON"
+    )
+    serve.add_argument(
+        "--listen",
+        nargs="?",
+        const="127.0.0.1:0",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve the newline-JSON protocol on a socket instead of the "
+            "scripted workload (port 0 picks an ephemeral port)"
+        ),
+    )
+    serve.add_argument(
+        "--record",
+        metavar="PATH",
+        default=None,
+        help="journal the --listen run for deterministic replay",
+    )
+    serve.add_argument(
+        "--replay",
+        metavar="PATH",
+        default=None,
+        help="replay a recorded journal in simulated time and verify byte-identity",
+    )
+    serve.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=None,
+        metavar="NAME=TIER[:SESSIONS[:STEPS]]",
+        help=(
+            "per-tenant quota spec (repeatable); tiers: free, standard, "
+            "premium — e.g. alice=premium, bob=free:2, carol=standard:4:5000"
+        ),
     )
 
     sub.add_parser("info", help="print version and cost-model constants")
@@ -251,6 +276,14 @@ def _dispatch(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         out(f"repro {__version__} — Semantic Windows reproduction")
         out(f"cost model: {DEFAULT_COST_MODEL}")
         return 0
+
+    if args.command == "serve":
+        # Fail fast on bad serve knobs before any dataset build.
+        _validate_serve_args(args)
+        if args.listen is not None or args.replay is not None:
+            # Network/replay modes resolve workloads per-submission; no
+            # upfront dataset build.
+            return _cmd_serve_network(args, out)
 
     dataset, query = _load_workload(args.workload, args.scale, args.seed)
     database = make_database(
@@ -551,14 +584,52 @@ def _cmd_scrub(args, database: Database, dataset, out) -> int:
     return 1
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    """``HOST:PORT`` (either part optional) → a bindable address."""
+    host, _, port_text = listen.partition(":")
+    try:
+        port = int(port_text) if port_text else 0
+    except ValueError:
+        raise ConfigError(f"bad --listen port {port_text!r}") from None
+    return host or "127.0.0.1", port
+
+
+def _validate_serve_args(args) -> None:
+    """Fail fast on out-of-range serve knobs (exit code 2 via main)."""
+    if args.sessions < 1:
+        raise ConfigError(f"--sessions must be >= 1, got {args.sessions}")
+    if args.max_live < 1:
+        raise ConfigError(f"--max-live must be >= 1, got {args.max_live}")
+    if args.queue_limit < 0:
+        raise ConfigError(f"--queue-limit must be >= 0, got {args.queue_limit}")
+    if args.slice_steps < 1:
+        raise ConfigError(f"--slice-steps must be >= 1, got {args.slice_steps}")
+    if args.cache_budget < 1:
+        raise ConfigError(f"--cache-budget must be >= 1, got {args.cache_budget}")
+    if args.step_budget is not None and args.step_budget < 1:
+        raise ConfigError(f"--step-budget must be >= 1, got {args.step_budget}")
+    if args.block_budget is not None and args.block_budget < 1:
+        raise ConfigError(f"--block-budget must be >= 1, got {args.block_budget}")
+    if args.record is not None and args.listen is None:
+        raise ConfigError("--record requires --listen")
+    if args.tenant_quota:
+        from .serve import parse_quota_specs
+
+        parse_quota_specs(args.tenant_quota)
+    if args.listen is not None:
+        _parse_listen(args.listen)
+
+
 def _cmd_serve(args, dataset, query: SWQuery, out) -> int:
     """Run N sessions of the canonical query through the serving layer."""
     import json
 
     from .core.trace import SearchTrace
     from .obs import InvariantAuditor, MetricsRegistry
-    from .serve import SemanticCache, SessionManager, serve_workload
+    from .serve import SemanticCache, SessionManager, parse_quota_specs, serve_workload
 
+    _validate_serve_args(args)
+    quotas = parse_quota_specs(args.tenant_quota or [])
     registry = MetricsRegistry()
     trace = SearchTrace()
     cache = None if args.no_cache else SemanticCache(budget_cells=args.cache_budget)
@@ -568,7 +639,9 @@ def _cmd_serve(args, dataset, query: SWQuery, out) -> int:
         cache=cache,
         metrics=registry,
         trace=trace,
+        quotas=quotas,
     )
+    tenants = sorted(quotas) or ["default"]
     for i in range(args.sessions):
         config = SearchConfig(alpha=args.alpha)
         if args.policy == "deadline":
@@ -585,6 +658,8 @@ def _cmd_serve(args, dataset, query: SWQuery, out) -> int:
             placement=args.placement,
             sample_fraction=args.sample_fraction,
             step_budget=args.step_budget,
+            block_budget=args.block_budget,
+            tenant=tenants[i % len(tenants)],
         )
     serve_workload(
         manager,
@@ -640,6 +715,69 @@ def _cmd_serve(args, dataset, query: SWQuery, out) -> int:
     for violation in outcome["violations"]:
         out(f"  {violation}")
     return 1
+
+
+def _cmd_serve_network(args, out) -> int:
+    """``--listen``: socket service; ``--replay``: verify a journal."""
+    import asyncio
+
+    from .serve import (
+        ExplorationServer,
+        RunRecorder,
+        ServeConfig,
+        parse_quota_specs,
+        replay_journal,
+    )
+
+    _validate_serve_args(args)
+    if args.replay is not None:
+        report = replay_journal(args.replay)
+        verdict = "byte-identical" if report.matches else "MISMATCH"
+        out(f"replayed {report.events} events in simulated time: {verdict}")
+        for mismatch in report.mismatches[:10]:
+            out(f"  {mismatch}")
+        return 0 if report.matches else 1
+
+    host, port = _parse_listen(args.listen)
+    config = ServeConfig(
+        host=host,
+        port=port,
+        max_live=args.max_live,
+        queue_limit=args.queue_limit,
+        slice_steps=args.slice_steps,
+        policy=args.policy,
+        seed=args.serve_seed,
+        park=args.park,
+        use_cache=not args.no_cache,
+        cache_budget=args.cache_budget,
+        quotas=parse_quota_specs(args.tenant_quota or []),
+    ).validate()
+    recorder = None if args.record is None else RunRecorder(config)
+
+    async def run() -> None:
+        server = ExplorationServer(config, recorder=recorder)
+        bound_host, bound_port = await server.start()
+        out(
+            f"serving on {bound_host}:{bound_port} "
+            f"(policy {config.policy}, max_live {config.max_live}; "
+            f"send a 'shutdown' op or ctrl-c to stop)"
+        )
+        # The banner is how drivers learn the bound port — make sure it
+        # leaves the process even when stdout is a pipe.
+        sys.stdout.flush()
+        try:
+            await server.serve_until_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        out("interrupted")
+    if recorder is not None:
+        recorder.save(args.record)
+        out(f"journal written to {args.record}")
+    return 0
 
 
 def _cmd_baseline(args, database: Database, dataset, query: SWQuery, out) -> int:

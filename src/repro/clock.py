@@ -14,7 +14,9 @@ experiments reproducible and fast.
 
 from __future__ import annotations
 
-__all__ = ["SimClock"]
+import time
+
+__all__ = ["SimClock", "WallClock"]
 
 
 class SimClock:
@@ -54,3 +56,62 @@ class SimClock:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimClock({self._now:.6f}s)"
+
+
+class WallClock:
+    """Real elapsed time behind the :class:`SimClock` interface.
+
+    The serving front door (``repro.serve.server``) runs on *wall-clock*
+    time: client arrivals, latency percentiles and idle waits are
+    measured against the machine's monotonic clock rather than simulated
+    charges.  ``WallClock`` exposes the same surface as :class:`SimClock`
+    (``now`` / ``advance`` / ``advance_to`` / ``reset``) so serving code
+    is written once against either timeline.
+
+    Semantics differ from the simulator in exactly one way: time passes
+    on its own.  ``now`` reads elapsed monotonic seconds since
+    construction; :meth:`advance` cannot make real time pass, so it
+    raises a *floor* instead — ``now`` never reports less than the sum
+    of explicit advances, keeping the clock monotone and the "charges
+    are lower bounds" contract intact for code that charges costs.
+
+    Engine databases stay on :class:`SimClock` even in wall-clock serving
+    mode — that is what makes a recorded wall-clock run replayable
+    byte-identically in simulated time (DESIGN.md §17).
+    """
+
+    __slots__ = ("_origin", "_floor")
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self._floor = 0.0
+
+    @property
+    def now(self) -> float:
+        """Elapsed wall seconds since construction (never below the floor)."""
+        return max(self._floor, time.monotonic() - self._origin)
+
+    def advance(self, seconds: float) -> float:
+        """Raise the floor by ``seconds``; returns the new ``now``.
+
+        Real time cannot be pushed forward, so an advance only guarantees
+        the clock will never read less than ``now + seconds``.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative {seconds}s")
+        self._floor = self.now + seconds
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Raise the floor to ``timestamp`` if it is in the future."""
+        if timestamp > self.now:
+            self._floor = timestamp
+        return self.now
+
+    def reset(self) -> None:
+        """Restart the elapsed measurement from zero."""
+        self._origin = time.monotonic()
+        self._floor = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WallClock({self.now:.6f}s)"

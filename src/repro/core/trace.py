@@ -53,6 +53,10 @@ class EventKind(Enum):
     SESSION = "session"
     PREEMPT = "preempt"
     CACHE_SHARE = "cache_share"
+    # Multi-tenant front-door events: every per-tenant admission decision
+    # that throttles a submission is a QUOTA (detail carries the tenant
+    # and the machine-checkable reason).
+    QUOTA = "quota"
     # Storage-backend resilience events: a faulted backend call being
     # re-attempted after backoff is a BACKEND_RETRY; every circuit
     # breaker state transition (trip / probe / close) is a BREAKER; an
@@ -153,6 +157,7 @@ class SearchTrace:
             "sessions": len(self.events(EventKind.SESSION)),
             "preempts": len(self.events(EventKind.PREEMPT)),
             "cache_shares": len(self.events(EventKind.CACHE_SHARE)),
+            "quota_throttles": len(self.events(EventKind.QUOTA)),
             "backend_retries": len(self.events(EventKind.BACKEND_RETRY)),
             "breaker_events": len(self.events(EventKind.BREAKER)),
             "fallbacks": len(self.events(EventKind.FALLBACK)),

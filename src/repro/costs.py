@@ -33,6 +33,10 @@ the system.  Defaults are chosen to mirror the hardware the paper used
   before retrying, and a tripped circuit breaker stays open for the
   breaker window before probing.  All three are charged to *simulated*
   time by :mod:`repro.storage.resilience`.
+* ``serve_slice_overhead_ms``: simulated scheduler-bookkeeping charge per
+  serving slice (policy pick + park accounting), advanced on the *served
+  session's* clock by the session manager.  ``0`` (the default) keeps
+  serving timelines byte-identical to earlier revisions.
 * ``heartbeat_timeout_ms``: how long the coordinator waits after a
   worker's last sign of life before declaring it failed and reassigning
   its anchors.
@@ -71,6 +75,7 @@ class CostModel:
     backend_retry_ms: float = 2.0
     backend_retry_cap_ms: float = 64.0
     backend_breaker_open_ms: float = 50.0
+    serve_slice_overhead_ms: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -88,6 +93,7 @@ class CostModel:
             "backend_retry_ms",
             "backend_retry_cap_ms",
             "backend_breaker_open_ms",
+            "serve_slice_overhead_ms",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"cost model field {name} must be non-negative")
@@ -117,6 +123,15 @@ class CostModel:
     def network_s(self, cells: int = 0) -> float:
         """One network message carrying ``cells`` cell summaries."""
         return self.network_latency_ms / 1e3 + cells * self.network_per_cell_us / 1e6
+
+    def serve_slice_s(self) -> float:
+        """Scheduler bookkeeping charged per serving slice, in seconds.
+
+        Zero by default: the serving layer's measured overhead is <2%
+        and charging it would perturb existing byte-pinned timelines.
+        Experiments modeling a loaded front door set it explicitly.
+        """
+        return self.serve_slice_overhead_ms / 1e3
 
     def retry_timeout_s(self, attempt: int = 0) -> float:
         """Retransmission timeout for the ``attempt``-th retry (capped)."""

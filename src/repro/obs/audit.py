@@ -330,14 +330,17 @@ class InvariantAuditor:
             )
 
         if self._has("serve.sessions_submitted"):
-            # Serving-layer lifecycle: every submission is admitted or
-            # rejected; nothing completes without having been admitted;
-            # the scheduler hands out at least one slice per completion;
+            # Serving-layer lifecycle: every submission is admitted,
+            # rejected (fleet capacity) or throttled (tenant quota);
+            # nothing completes without having been admitted; the
+            # scheduler hands out at least one slice per completion;
             # parked sessions can only be resumed after a park.
             self._equal(
-                "serve: submitted == admitted + rejected",
+                "serve: submitted == admitted + rejected + throttled",
                 c("serve.sessions_submitted"),
-                c("serve.sessions_admitted") + c("serve.sessions_rejected"),
+                c("serve.sessions_admitted")
+                + c("serve.sessions_rejected")
+                + c("serve.sessions_throttled"),
                 out,
             )
             self._at_least(
@@ -356,6 +359,21 @@ class InvariantAuditor:
                 "serve: parks >= resumes",
                 c("serve.parks"),
                 c("serve.resumes"),
+                out,
+            )
+        if self._has("serve.quota.checks"):
+            # Tenant quota gate: every check is granted or denied, and
+            # every denial surfaced as a THROTTLED session.
+            self._equal(
+                "serve quota: checks == granted + denied",
+                c("serve.quota.checks"),
+                c("serve.quota.granted") + c("serve.quota.denied"),
+                out,
+            )
+            self._equal(
+                "serve quota: denied == sessions throttled",
+                c("serve.quota.denied"),
+                c("serve.sessions_throttled"),
                 out,
             )
         if self._has("serve.cache.lookup_cells"):

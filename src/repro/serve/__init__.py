@@ -7,13 +7,22 @@ Turns the single-query engine into a deterministic serving substrate:
   wait queue, per-session step/block budgets);
 * :class:`QueryScheduler` — cooperative time-slicing via the search step
   loop, with pluggable policies (:class:`RoundRobinPolicy`,
-  :class:`UtilityPolicy`, :class:`DeadlinePolicy`) and checkpoint-path
-  parking;
+  :class:`UtilityPolicy`, :class:`DeadlinePolicy`,
+  :class:`WeightedFairPolicy`) and checkpoint-path parking;
 * :class:`SemanticCache` — exact per-cell summaries and stratified
   samples shared across sessions, keyed by table/grid signatures, with
-  a memory budget, pin-aware LRU eviction and rebind invalidation.
+  a memory budget, pin-aware LRU eviction and rebind invalidation;
+* :class:`TenantQuota` / :class:`QuotaLedger` — per-tenant session,
+  step and block bounds with deterministic ``THROTTLED`` denials;
+* :class:`ServeCore` / :class:`ExplorationServer` — the asyncio socket
+  front door (newline-delimited JSON protocol) with wall-clock
+  execution, plus :class:`ServeClient` / :class:`AsyncServeClient`;
+* :class:`RunRecorder` / :func:`replay_journal` — record a wall-clock
+  run's mutation interleaving and replay it byte-identically in
+  simulated time.
 
-See DESIGN.md §12 for the determinism contract.
+See DESIGN.md §12 for the session determinism contract and §17 for the
+service protocol, wall-clock/replay contract and quota model.
 """
 
 from .cache import (
@@ -22,15 +31,33 @@ from .cache import (
     physical_signature,
     table_signature,
 )
+from .client import AsyncServeClient, ServeClient
 from .manager import SessionManager, serve_workload
+from .quota import (
+    THROTTLE_REASONS,
+    TIER_WEIGHTS,
+    QuotaLedger,
+    TenantQuota,
+    parse_quota_specs,
+)
+from .replay import (
+    JOURNAL_VERSION,
+    ReplayReport,
+    RunRecorder,
+    fingerprint_bytes,
+    load_journal,
+    replay_journal,
+)
 from .scheduler import (
     DeadlinePolicy,
     QueryScheduler,
     RoundRobinPolicy,
     SchedulingPolicy,
     UtilityPolicy,
+    WeightedFairPolicy,
     make_policy,
 )
+from .server import ExplorationServer, ServeConfig, ServeCore
 from .session import ExplorationSession, SessionState
 
 __all__ = [
@@ -45,7 +72,24 @@ __all__ = [
     "RoundRobinPolicy",
     "UtilityPolicy",
     "DeadlinePolicy",
+    "WeightedFairPolicy",
     "make_policy",
     "ExplorationSession",
     "SessionState",
+    "TenantQuota",
+    "QuotaLedger",
+    "TIER_WEIGHTS",
+    "THROTTLE_REASONS",
+    "parse_quota_specs",
+    "ServeConfig",
+    "ServeCore",
+    "ExplorationServer",
+    "ServeClient",
+    "AsyncServeClient",
+    "RunRecorder",
+    "ReplayReport",
+    "JOURNAL_VERSION",
+    "fingerprint_bytes",
+    "load_journal",
+    "replay_journal",
 ]

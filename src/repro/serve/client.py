@@ -1,0 +1,191 @@
+"""Clients for the serving front door.
+
+Two flavours over the same line protocol (:mod:`repro.serve.protocol`):
+
+* :class:`ServeClient` — a blocking socket client for scripts, tests and
+  the CLI's ``repro serve --connect`` style usage.  One call, one line,
+  one response.
+* :class:`AsyncServeClient` — the asyncio twin the load-generator
+  benchmark uses to drive hundreds of concurrent sessions from one
+  process.
+
+Both raise :class:`~repro.errors.ProtocolError` with ``(code, message)``
+arguments when the server answers ``ok: false`` — the same shape the
+server raises internally, so callers assert on machine-checkable codes,
+never on prose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+from ..errors import ProtocolError
+from .protocol import decode, encode, request
+
+__all__ = ["ServeClient", "AsyncServeClient"]
+
+#: Session states a waiting client treats as terminal.
+_TERMINAL_STATES = ("done", "rejected", "throttled")
+
+
+def _raise_on_error(response: dict) -> dict:
+    if not response.get("ok"):
+        error = response.get("error") or {}
+        raise ProtocolError(
+            error.get("code", "server_error"),
+            error.get("message", "unknown server error"),
+        )
+    return response
+
+
+class ServeClient:
+    """Blocking line-protocol client (context manager)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def call(self, op: str, **payload) -> dict:
+        """One request/response round trip; raises on error responses."""
+        self._next_id += 1
+        self._file.write(encode(request(op, self._next_id, **payload)))
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ProtocolError("server_error", "connection closed by server")
+        response = decode(raw)
+        return _raise_on_error(response)
+
+    # -- op conveniences ---------------------------------------------------------
+
+    def hello(self) -> dict:
+        return self.call("hello")
+
+    def submit(self, session: str, workload: str, **spec) -> dict:
+        return self.call("submit", session=session, workload=workload, **spec)
+
+    def status(self, session: str) -> dict:
+        return self.call("status", session=session)
+
+    def results(self, session: str, since: int = 0) -> dict:
+        return self.call("results", session=session, since=since)
+
+    def cancel(self, session: str) -> dict:
+        return self.call("cancel", session=session)
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    def shutdown(self) -> dict:
+        return self.call("shutdown")
+
+    def close_session(self) -> dict:
+        """The protocol's ``close`` op (server ends this connection)."""
+        return self.call("close")
+
+    def wait(self, session: str, poll_s: float = 0.01, timeout_s: float = 60.0) -> dict:
+        """Poll ``status`` until the session reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(session)
+            if status["state"] in _TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"session {session!r} still {status['state']!r} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+
+class AsyncServeClient:
+    """Asyncio line-protocol client; ``await AsyncServeClient.open(...)``."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def open(cls, host: str = "127.0.0.1", port: int = 0) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except ConnectionError:
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def call(self, op: str, **payload) -> dict:
+        self._next_id += 1
+        self._writer.write(encode(request(op, self._next_id, **payload)))
+        await self._writer.drain()
+        raw = await self._reader.readline()
+        if not raw:
+            raise ProtocolError("server_error", "connection closed by server")
+        return _raise_on_error(decode(raw))
+
+    # -- op conveniences ---------------------------------------------------------
+
+    async def hello(self) -> dict:
+        return await self.call("hello")
+
+    async def submit(self, session: str, workload: str, **spec) -> dict:
+        return await self.call("submit", session=session, workload=workload, **spec)
+
+    async def status(self, session: str) -> dict:
+        return await self.call("status", session=session)
+
+    async def results(self, session: str, since: int = 0) -> dict:
+        return await self.call("results", session=session, since=since)
+
+    async def cancel(self, session: str) -> dict:
+        return await self.call("cancel", session=session)
+
+    async def stats(self) -> dict:
+        return await self.call("stats")
+
+    async def shutdown(self) -> dict:
+        return await self.call("shutdown")
+
+    async def close_session(self) -> dict:
+        """The protocol's ``close`` op (server ends this connection)."""
+        return await self.call("close")
+
+    async def wait(
+        self, session: str, poll_s: float = 0.01, timeout_s: float = 60.0
+    ) -> dict:
+        """Poll ``status`` until the session reaches a terminal state."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        while True:
+            status = await self.status(session)
+            if status["state"] in _TERMINAL_STATES:
+                return status
+            if loop.time() >= deadline:
+                raise TimeoutError(
+                    f"session {session!r} still {status['state']!r} after {timeout_s}s"
+                )
+            await asyncio.sleep(poll_s)

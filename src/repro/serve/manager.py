@@ -28,6 +28,7 @@ from ..core.window import Window
 from ..storage.buffer import PoolGroup
 from ..workloads.base import make_database
 from .cache import SemanticCache, grid_signature, table_signature
+from .quota import QuotaLedger, TenantQuota
 from .scheduler import QueryScheduler, SchedulingPolicy, make_policy
 from .session import ExplorationSession, SessionState
 
@@ -51,6 +52,11 @@ class SessionManager:
         SESSION / PREEMPT / CACHE_SHARE timeline.  Per-session metrics
         live on each session's own registry, namespaced by construction
         rather than by key prefix.
+    quotas / default_quota:
+        Per-tenant :class:`~repro.serve.quota.TenantQuota` bounds; a
+        submission over its tenant's quota bounces ``THROTTLED`` with a
+        machine-checkable reason (``REJECTED`` stays the fleet-capacity
+        outcome).  ``None`` serves every tenant unlimited.
     """
 
     def __init__(
@@ -60,6 +66,8 @@ class SessionManager:
         cache: SemanticCache | None = None,
         metrics=None,
         trace=None,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
     ) -> None:
         if max_live < 1:
             raise ValueError(f"max_live must be >= 1, got {max_live}")
@@ -73,6 +81,7 @@ class SessionManager:
         if cache is not None:
             cache.attach_observability(metrics=metrics, trace=trace)
         self.pool_group = PoolGroup()
+        self.ledger = QuotaLedger(quotas, default_quota)
         self.sessions: dict[str, ExplorationSession] = {}
         self._live: list[ExplorationSession] = []
         self._waiting: list[ExplorationSession] = []
@@ -106,28 +115,45 @@ class SessionManager:
         sample_seed: int = 17,
         step_budget: int | None = None,
         block_budget: int | None = None,
+        tenant: str = "default",
     ) -> ExplorationSession:
         """Build and admit a session; returns its handle.
 
         The session gets a fresh private database over ``dataset`` (its
         clock starts at zero regardless of admission order) and a
         prepared search wired to the shared cache.  The returned handle's
-        ``state`` says what admission decided: ``LIVE``, ``WAITING`` or
-        ``REJECTED``.
+        ``state`` says what admission decided: ``LIVE``, ``WAITING``,
+        ``THROTTLED`` (tenant over quota — ``throttle_reason`` names the
+        exhausted resource) or ``REJECTED`` (fleet capacity).
         """
         if name in self.sessions:
             raise ValueError(f"session {name!r} already exists")
         self._inc("serve.sessions_submitted")
+        self._inc("serve.quota.checks")
+        denial = self.ledger.check_submit(tenant)
+        if denial is not None:
+            # Tenant over quota: bounce deterministically, with a reason
+            # the client (and the replay harness) can assert on.
+            self._inc("serve.quota.denied")
+            self._inc("serve.sessions_throttled")
+            self._event(
+                EventKind.QUOTA, tenant=tenant, session=name, decision="throttled",
+                reason=denial,
+            )
+            self._event(
+                EventKind.SESSION, session=name, event="throttled", reason=denial
+            )
+            return self._stub(name, tenant, SessionState.THROTTLED, denial)
+        self._inc("serve.quota.granted")
         if len(self._live) >= self.max_live and len(self._waiting) >= self.queue_limit:
             # Backpressure: bounce without building the execution state.
             self._inc("serve.sessions_rejected")
             self._event(EventKind.SESSION, session=name, event="rejected")
-            session = ExplorationSession.__new__(ExplorationSession)
-            session.name = name
-            session.state = SessionState.REJECTED
-            session.run = None
-            return session
+            return self._stub(name, tenant, SessionState.REJECTED, None)
 
+        step_budget, block_budget = self.ledger.clamp_budgets(
+            tenant, step_budget, block_budget
+        )
         database = make_database(dataset, placement)
         engine = SWEngine(
             database,
@@ -152,6 +178,7 @@ class SessionManager:
             registry=registry,
             step_budget=step_budget,
             block_budget=block_budget,
+            tenant=tenant,
         )
         table = database.table(dataset.name)
         if self.cache is not None:
@@ -160,6 +187,7 @@ class SessionManager:
             session.binding = (table_signature(table), grid_signature(query.grid))
         self.sessions[name] = session
         self.pool_group.register(name, database.buffer(dataset.name))
+        self.ledger.note_admitted(tenant)
         self._inc("serve.sessions_admitted")
         if len(self._live) < self.max_live:
             self._make_live(session)
@@ -168,6 +196,19 @@ class SessionManager:
             self._waiting.append(session)
             self._event(EventKind.SESSION, session=name, event="waiting")
         self._gauges()
+        return session
+
+    @staticmethod
+    def _stub(
+        name: str, tenant: str, state: SessionState, reason: str | None
+    ) -> ExplorationSession:
+        """A terminal handle for a bounced submission (no execution state)."""
+        session = ExplorationSession.__new__(ExplorationSession)
+        session.name = name
+        session.tenant = tenant
+        session.state = state
+        session.run = None
+        session.throttle_reason = reason
         return session
 
     def _make_live(self, session: ExplorationSession) -> None:
@@ -197,9 +238,20 @@ class SessionManager:
         return list(self._waiting)
 
     def note_slice(self, session: ExplorationSession, outcome: str) -> None:
-        """Account one scheduler slice given to ``session``."""
+        """Account one scheduler slice given to ``session``.
+
+        Charges the slice's consumed steps/blocks to the owning tenant's
+        ledger and, when the session's cost model prices scheduler
+        bookkeeping (``serve_slice_overhead_ms`` > 0), advances the
+        session's own simulated clock by that overhead.
+        """
         self._ticks += 1
         self._inc("serve.slices")
+        steps, blocks = session.drain_usage()
+        self.ledger.charge(session.tenant, steps, blocks)
+        overhead = session.database.cost_model.serve_slice_s()
+        if overhead > 0.0:
+            session.database.clock.advance(overhead)
 
     def park(self, session: ExplorationSession, mode: str) -> None:
         """Preempt an unfinished session between slices.
@@ -259,6 +311,9 @@ class SessionManager:
         if self.cache is not None:
             self.cache.unpin(*session.binding)
         self.pool_group.unregister(session.name)
+        steps, blocks = session.drain_usage()
+        self.ledger.charge(session.tenant, steps, blocks)
+        self.ledger.note_finished(session.tenant)
         session.state = SessionState.DONE
         self._inc("serve.sessions_completed")
         self._event(
@@ -307,6 +362,7 @@ class SessionManager:
             "sessions": {
                 name: {
                     "state": session.state.value,
+                    "tenant": getattr(session, "tenant", "default"),
                     "results": 0 if session.run is None else len(session.results),
                     "steps": getattr(session, "steps_taken", 0),
                     "interrupted": bool(session.run.interrupted)
@@ -315,6 +371,7 @@ class SessionManager:
                 }
                 for name, session in sorted(self.sessions.items())
             },
+            "tenants": self.ledger.report(),
             "pool_totals": self.pool_group.totals(),
             "cache": self.cache.stats() if self.cache is not None else None,
         }
@@ -329,7 +386,8 @@ def serve_workload(
 ) -> QueryScheduler:
     """Build a scheduler over already-submitted sessions and run it."""
     if isinstance(policy, str):
-        policy = make_policy(policy, seed)
+        weights = {t: manager.ledger.weight(t) for t in manager.ledger.tenants()}
+        policy = make_policy(policy, seed, weights=weights)
     for session in manager.live_sessions():
         policy.on_admit(session)
     scheduler = QueryScheduler(manager, policy, slice_steps=slice_steps, park=park)

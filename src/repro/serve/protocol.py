@@ -1,0 +1,177 @@
+"""The front door's wire protocol: newline-delimited JSON over a socket.
+
+One request, one response, one line each — no HTTP, no framing library,
+nothing a ``telnet``/``nc`` user could not type by hand.  Every message
+is a JSON object serialized canonically (sorted keys, no extra
+whitespace) and terminated by ``\\n``; requests carry an ``op`` from
+:data:`OPS` and a client-chosen ``id`` the response echoes, so a client
+may pipeline.
+
+Ops
+---
+
+* ``hello`` — server identity, protocol version, execution mode;
+* ``submit`` — open an exploration session: a workload spec (bundled
+  dataset name + scale + seed — datasets are *derived*, never shipped,
+  which is what keeps journals replayable), search knobs and budgets,
+  and the submitting ``tenant``.  The response's ``outcome`` is one of
+  ``live | waiting | rejected | throttled`` with a machine-checkable
+  ``reason`` on throttles;
+* ``status`` — one session's lifecycle state and progress counters;
+* ``results`` — incremental result consumption: the client sends its
+  cursor (``since``), the server returns qualifying windows found at or
+  after it plus the new cursor — "first results fast" while the engine
+  keeps searching;
+* ``cancel`` — cooperative cancellation (takes effect at the session's
+  next slice);
+* ``stats`` — fleet summary, ``serve.*`` counters, cache and tenant
+  usage;
+* ``close`` — end this connection; ``shutdown`` — stop the server.
+
+Errors are responses too (``ok: false`` with a code from
+:data:`ERROR_CODES`), never dropped connections — except for a line
+exceeding :data:`MAX_LINE_BYTES`, which is unrecoverable mid-stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_CODES",
+    "encode",
+    "decode",
+    "request",
+    "ok_response",
+    "error_response",
+    "validate_request",
+]
+
+#: Bumped on any wire-visible change; ``hello`` reports it.
+PROTOCOL_VERSION = 1
+
+#: Hard per-line bound (requests are tiny; this is a hostile-input valve).
+MAX_LINE_BYTES = 1 << 20
+
+#: The closed set of request operations.
+OPS = ("hello", "submit", "status", "results", "cancel", "stats", "close", "shutdown")
+
+#: The closed set of machine-checkable error codes.
+ERROR_CODES = (
+    "bad_request",
+    "unknown_op",
+    "unknown_session",
+    "duplicate_session",
+    "bad_workload",
+    "bad_config",
+    "server_error",
+)
+
+#: submit() payload keys the server understands (anything else is a
+#: ``bad_request`` — catching client typos beats silently ignoring them).
+SUBMIT_KEYS = frozenset(
+    {
+        "op",
+        "id",
+        "session",
+        "tenant",
+        "workload",
+        "scale",
+        "seed",
+        "placement",
+        "alpha",
+        "sample_fraction",
+        "step_budget",
+        "block_budget",
+        "deadline_s",
+    }
+)
+
+
+def encode(message: Mapping) -> bytes:
+    """Canonical wire form: sorted-key JSON + newline, UTF-8."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`~repro.errors.ProtocolError` on oversized, non-JSON
+    or non-object lines — the caller converts that into a ``bad_request``
+    response rather than closing the connection.
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"not a JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+def request(op: str, request_id: int, **payload) -> dict:
+    """Build a client request message."""
+    message = {"op": op, "id": request_id}
+    message.update({k: v for k, v in payload.items() if v is not None})
+    return message
+
+
+def ok_response(request_id, **payload) -> dict:
+    """Build a success response echoing the request id."""
+    message = {"ok": True, "id": request_id}
+    message.update(payload)
+    return message
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """Build an error response with a machine-checkable code."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {"ok": False, "id": request_id, "error": {"code": code, "message": message}}
+
+
+def validate_request(message: Mapping) -> tuple[str, object]:
+    """Check a decoded request's shape; returns ``(op, id)``.
+
+    Raises :class:`~repro.errors.ProtocolError` whose first argument is
+    the error *code* and second the human message, so the server can
+    translate directly into :func:`error_response`.
+    """
+    op = message.get("op")
+    request_id = message.get("id")
+    if not isinstance(op, str):
+        raise ProtocolError("bad_request", "missing or non-string 'op'")
+    if op not in OPS:
+        raise ProtocolError("unknown_op", f"unknown op {op!r}; choose from {OPS}")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError("bad_request", "'id' must be an int or string")
+    if op in ("status", "results", "cancel"):
+        if not isinstance(message.get("session"), str):
+            raise ProtocolError("bad_request", f"{op} requires a string 'session'")
+    if op == "results":
+        since = message.get("since", 0)
+        if not isinstance(since, int) or since < 0:
+            raise ProtocolError("bad_request", "'since' must be a non-negative int")
+    if op == "submit":
+        if not isinstance(message.get("session"), str):
+            raise ProtocolError("bad_request", "submit requires a string 'session'")
+        if not isinstance(message.get("workload"), str):
+            raise ProtocolError("bad_request", "submit requires a string 'workload'")
+        extra = set(message) - SUBMIT_KEYS
+        if extra:
+            raise ProtocolError(
+                "bad_request", f"unknown submit fields {sorted(extra)}"
+            )
+    return op, request_id

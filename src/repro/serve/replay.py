@@ -1,0 +1,246 @@
+"""Record/replay determinism for the serving front door (DESIGN.md §17).
+
+A wall-clock serving run is nondeterministic in exactly one way: the
+*interleaving* of mutations (submissions, scheduler slices,
+cancellations) chosen by real clients on real sockets.  Everything the
+mutations themselves compute is deterministic — sessions run on private
+simulated clocks, the serving trace stamps events with the manager's
+tick counter, and the scheduler's policies are seeded pure functions.
+
+So the journal records just that interleaving: a header carrying the
+full :class:`~repro.serve.server.ServeConfig`, one event per applied
+mutation (with normalized, self-contained payloads), and a final
+fingerprint — the canonical JSON bytes of every session's result-window
+keys, the ``serve.*`` counters and the serving trace sequence.
+:func:`replay_journal` rebuilds a fresh deterministic core from the
+header, re-applies the events in order *in simulated time* (no sockets,
+no wall clock), cross-checks each recorded scheduling decision, and
+byte-compares the fingerprints.  A recorded wall-clock run therefore
+replays byte-identically, which is the contract the committed journal
+fixture in ``tests/data/`` pins forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from .protocol import PROTOCOL_VERSION
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "RunRecorder",
+    "ReplayReport",
+    "fingerprint_bytes",
+    "load_journal",
+    "replay_journal",
+]
+
+#: Bumped when the journal schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+def fingerprint_bytes(payload: dict) -> bytes:
+    """The canonical byte form a fingerprint comparison uses."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class RunRecorder:
+    """Journals one serving run as JSON lines.
+
+    Wire it to a :class:`~repro.serve.server.ServeCore` as its
+    ``on_event`` hook (the :class:`~repro.serve.server.ExplorationServer`
+    does this when given a recorder): every applied mutation lands here
+    in application order, stamped with a sequence number and — purely as
+    documentation, replay never reads it — the wall-clock arrival time.
+    """
+
+    def __init__(self, config=None, clock=None) -> None:
+        self._clock = clock
+        self._seq = 0
+        self._records: list[dict] = []
+        self._finished = False
+        if config is not None:
+            self.begin(config)
+
+    def attach_clock(self, clock) -> None:
+        """Late-bind the wall clock stamping ``t_wall`` (server start)."""
+        self._clock = clock
+
+    @property
+    def has_header(self) -> bool:
+        """Whether :meth:`begin` has written the header record."""
+        return bool(self._records)
+
+    def begin(self, config) -> None:
+        """Write the header; ``config`` must round-trip via ``to_json``."""
+        if self._records:
+            raise RuntimeError("journal already has a header")
+        self._records.append(
+            {
+                "record": "header",
+                "journal_version": JOURNAL_VERSION,
+                "protocol_version": PROTOCOL_VERSION,
+                "config": config.to_json(),
+            }
+        )
+
+    def record(self, kind: str, fields: dict) -> None:
+        """Append one mutation event (the core's ``on_event`` hook)."""
+        if not self._records:
+            raise RuntimeError("journal has no header; call begin() first")
+        if self._finished:
+            raise RuntimeError("journal already finished")
+        self._seq += 1
+        entry = {
+            "record": "event",
+            "seq": self._seq,
+            "kind": kind,
+            "t_wall": 0.0 if self._clock is None else self._clock.now,
+        }
+        entry.update(fields)
+        self._records.append(entry)
+
+    def finish(self, fingerprint_payload: dict) -> None:
+        """Seal the journal with the run's fingerprint."""
+        if self._finished:
+            return
+        self._finished = True
+        blob = fingerprint_bytes(fingerprint_payload)
+        self._records.append(
+            {
+                "record": "fingerprint",
+                "events": self._seq,
+                "sha256": hashlib.sha256(blob).hexdigest(),
+                "payload": fingerprint_payload,
+            }
+        )
+
+    def lines(self) -> list[str]:
+        """The journal as canonical JSON lines (no trailing newlines)."""
+        return [
+            json.dumps(r, sort_keys=True, separators=(",", ":"))
+            for r in self._records
+        ]
+
+    def dump(self) -> str:
+        """The whole journal as one newline-terminated text blob."""
+        return "\n".join(self.lines()) + "\n"
+
+    def save(self, path) -> None:
+        """Write the journal to ``path``."""
+        Path(path).write_text(self.dump(), encoding="utf-8")
+
+
+def load_journal(source) -> list[dict]:
+    """Parse a journal from a path, a text blob, or an iterable of lines."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        if isinstance(source, Path) or "\n" not in source:
+            text = path.read_text(encoding="utf-8")
+        else:
+            text = source
+        lines: Iterable[str] = text.splitlines()
+    else:
+        lines = source
+    records = [json.loads(line) for line in lines if line.strip()]
+    if not records or records[0].get("record") != "header":
+        raise ValueError("journal must start with a header record")
+    version = records[0].get("journal_version")
+    if version != JOURNAL_VERSION:
+        raise ValueError(
+            f"journal version {version!r} unsupported (expected {JOURNAL_VERSION})"
+        )
+    return records
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of replaying a journal against a fresh core.
+
+    ``matches`` is the headline verdict: every recorded scheduling
+    decision reproduced *and* the replayed fingerprint bytes equal the
+    recorded ones.  ``mismatches`` lists any divergence in application
+    order — machine-checkable evidence, not just a boolean.
+    """
+
+    matches: bool
+    events: int
+    fingerprint: bytes
+    recorded_fingerprint: bytes | None
+    mismatches: list[str] = field(default_factory=list)
+    core: object = field(default=None, repr=False)
+
+
+def replay_journal(journal) -> ReplayReport:
+    """Re-apply a recorded run in simulated time and compare fingerprints.
+
+    ``journal`` is anything :func:`load_journal` accepts (or an
+    already-parsed record list).  The replay builds a fresh
+    :class:`~repro.serve.server.ServeCore` from the journal header's
+    config and drives it through the same three mutation entry points the
+    live server used, in the recorded order.
+    """
+    from .server import ServeConfig, ServeCore
+
+    if isinstance(journal, list) and journal and isinstance(journal[0], dict):
+        records = journal
+    else:
+        records = load_journal(journal)
+    config = ServeConfig.from_json(records[0]["config"])
+    core = ServeCore(config)
+    mismatches: list[str] = []
+    recorded_fp: bytes | None = None
+    events = 0
+    for record in records[1:]:
+        kind = record.get("record")
+        if kind == "fingerprint":
+            recorded_fp = fingerprint_bytes(record["payload"])
+            continue
+        if kind != "event":
+            mismatches.append(f"unknown record type {kind!r}")
+            continue
+        events += 1
+        seq = record.get("seq")
+        op = record.get("kind")
+        if op == "submit":
+            response = core.submit(record["payload"])
+            if response["outcome"] != record.get("outcome"):
+                mismatches.append(
+                    f"seq {seq}: submit {record['payload']['session']!r} "
+                    f"replayed {response['outcome']!r}, "
+                    f"recorded {record.get('outcome')!r}"
+                )
+        elif op == "tick":
+            decision = core.tick()
+            expected = (record["session"], record["outcome"])
+            if decision != expected:
+                mismatches.append(
+                    f"seq {seq}: tick replayed {decision!r}, recorded {expected!r}"
+                )
+        elif op == "cancel":
+            response = core.cancel(record["session"])
+            if not response["cancelled"]:
+                mismatches.append(
+                    f"seq {seq}: cancel of {record['session']!r} did not apply"
+                )
+        else:
+            mismatches.append(f"seq {seq}: unknown event kind {op!r}")
+    replayed_fp = fingerprint_bytes(core.fingerprint_payload())
+    if recorded_fp is not None and replayed_fp != recorded_fp:
+        mismatches.append(
+            "fingerprint: replayed run diverges from the recorded one "
+            f"({len(replayed_fp)} vs {len(recorded_fp)} bytes)"
+        )
+    matches = not mismatches
+    return ReplayReport(
+        matches=matches,
+        events=events,
+        fingerprint=replayed_fp,
+        recorded_fingerprint=recorded_fp,
+        mismatches=mismatches,
+        core=core,
+    )

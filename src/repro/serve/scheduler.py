@@ -18,12 +18,18 @@ Policies (pluggable via :class:`SchedulingPolicy`):
   ``SearchConfig.deadline_s``, with capacity preemption: an urgent
   waiting session may evict (checkpoint-park) the live session holding
   the latest deadline.
+* :class:`WeightedFairPolicy` — stride-scheduled weighted fair queueing
+  *between tenants*: each slice charges the served tenant's virtual
+  time at rate ``1/weight``, so a premium tenant's sessions receive
+  slices proportionally to its tier weight while a free tenant is never
+  starved outright.
 """
 
 from __future__ import annotations
 
 import random
 
+from .quota import TIER_WEIGHTS
 from .session import ExplorationSession
 
 __all__ = [
@@ -31,6 +37,7 @@ __all__ = [
     "RoundRobinPolicy",
     "UtilityPolicy",
     "DeadlinePolicy",
+    "WeightedFairPolicy",
     "QueryScheduler",
     "make_policy",
 ]
@@ -162,14 +169,73 @@ class DeadlinePolicy(SchedulingPolicy):
         return None
 
 
-def make_policy(name: str, seed: int = 0) -> SchedulingPolicy:
-    """Policy factory for the CLI and benchmarks."""
+class WeightedFairPolicy(SchedulingPolicy):
+    """Weighted fair queueing between tenants (stride scheduling).
+
+    Every live session belongs to a tenant carrying a fair-share weight
+    (tier-derived, see :data:`~repro.serve.quota.TIER_WEIGHTS`).  Picking
+    a tenant's session advances that tenant's *virtual time* by
+    ``1/weight``; the runnable tenant with the lowest virtual time runs
+    next.  Over any interval where two tenants stay runnable, their
+    slice counts converge to the ratio of their weights — the classic
+    stride-scheduling guarantee — and no runnable tenant is starved.
+
+    Everything is deterministic: virtual times are exact arithmetic on
+    submission-independent weights, ties break on tenant then session
+    name, and a tenant joining late starts at the minimum virtual time
+    among currently-runnable tenants (fair from now on, no back credit).
+
+    Within one tenant, sessions round-robin by slices already taken
+    (then name) so a tenant's own sessions share its allocation evenly.
+    """
+
+    name = "wfq"
+
+    def __init__(self, weights: dict[str, float] | None = None) -> None:
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"tenant {tenant!r} weight must be positive, got {weight}"
+                )
+        self.weights = dict(weights or {})
+        self._vtime: dict[str, float] = {}
+
+    def weight_of(self, tenant: str) -> float:
+        """The tenant's configured weight (default: standard tier)."""
+        return self.weights.get(tenant, TIER_WEIGHTS["standard"])
+
+    def on_admit(self, session: ExplorationSession) -> None:
+        tenant = session.tenant
+        if tenant not in self._vtime:
+            self._vtime[tenant] = min(self._vtime.values(), default=0.0)
+
+    def pick(self, live: list[ExplorationSession]) -> ExplorationSession:
+        tenants: dict[str, list[ExplorationSession]] = {}
+        for session in live:
+            tenants.setdefault(session.tenant, []).append(session)
+        chosen_tenant = min(
+            tenants, key=lambda t: (self._vtime.get(t, 0.0), t)
+        )
+        self._vtime[chosen_tenant] = self._vtime.get(chosen_tenant, 0.0) + (
+            1.0 / self.weight_of(chosen_tenant)
+        )
+        return min(
+            tenants[chosen_tenant], key=lambda s: (s.slices_taken, s.name)
+        )
+
+
+def make_policy(
+    name: str, seed: int = 0, weights: dict[str, float] | None = None
+) -> SchedulingPolicy:
+    """Policy factory for the CLI, server and benchmarks."""
     if name == "rr":
         return RoundRobinPolicy(seed)
     if name == "utility":
         return UtilityPolicy()
     if name == "deadline":
         return DeadlinePolicy()
+    if name == "wfq":
+        return WeightedFairPolicy(weights)
     raise ValueError(f"unknown scheduling policy {name!r}")
 
 
@@ -198,6 +264,9 @@ class QueryScheduler:
         self.policy = policy if policy is not None else RoundRobinPolicy(0)
         self.slice_steps = slice_steps
         self.park = park
+        # (session name, outcome) of the most recent tick — the front
+        # door journals this so a replay can cross-check its decisions.
+        self.last_slice: tuple[str, str] | None = None
 
     def tick(self) -> bool:
         """Run one slice; returns ``False`` when no session remains."""
@@ -205,6 +274,7 @@ class QueryScheduler:
         manager.admit_from_queue(self.policy)
         live = manager.live_sessions()
         if not live:
+            self.last_slice = None
             return False
         swap = self.policy.preempt_victim(live, manager.waiting_sessions())
         if swap is not None:
@@ -213,6 +283,7 @@ class QueryScheduler:
             live = manager.live_sessions()
         session = self.policy.pick(live)
         outcome = session.slice(self.slice_steps)
+        self.last_slice = (session.name, outcome)
         manager.note_slice(session, outcome)
         if outcome == "yield":
             manager.park(session, self.park)

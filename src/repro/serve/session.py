@@ -28,12 +28,18 @@ __all__ = ["SessionState", "ExplorationSession"]
 
 
 class SessionState(Enum):
-    """Lifecycle of a session inside the manager."""
+    """Lifecycle of a session inside the manager.
+
+    ``REJECTED`` is the fleet-capacity bounce (live slots and wait queue
+    both full); ``THROTTLED`` is the per-tenant quota bounce.  Both are
+    terminal stub states — the session never acquired execution state.
+    """
 
     WAITING = "waiting"
     LIVE = "live"
     DONE = "done"
     REJECTED = "rejected"
+    THROTTLED = "throttled"
 
 
 class ExplorationSession:
@@ -54,6 +60,9 @@ class ExplorationSession:
     block_budget:
         Max disk blocks read; checked after each step (the final read may
         overshoot), interrupting with reason ``"block_budget"``.
+    tenant:
+        The owning tenant (quota accounting and fair-share scheduling
+        key); sessions without multi-tenancy share ``"default"``.
     """
 
     def __init__(
@@ -66,6 +75,7 @@ class ExplorationSession:
         registry=None,
         step_budget: int | None = None,
         block_budget: int | None = None,
+        tenant: str = "default",
     ) -> None:
         if step_budget is not None and step_budget < 1:
             raise ValueError(f"step_budget must be >= 1, got {step_budget}")
@@ -79,6 +89,9 @@ class ExplorationSession:
         self.registry = registry
         self.step_budget = step_budget
         self.block_budget = block_budget
+        self.tenant = tenant
+        # Set on THROTTLED stubs; None for admitted sessions.
+        self.throttle_reason: str | None = None
 
         self.search = engine.prepare(query, config, trace=trace, metrics=registry)
         self.run = self.search.new_run()
@@ -89,6 +102,9 @@ class ExplorationSession:
         self.slices_taken = 0
         self.parks = 0
         self._begun = False
+        # Usage already charged to the tenant ledger (see drain_usage).
+        self._charged_steps = 0
+        self._charged_blocks = 0
 
     # -- identity ---------------------------------------------------------------
 
@@ -105,7 +121,33 @@ class ExplorationSession:
     @property
     def finished(self) -> bool:
         """Whether the search ended (exhausted, interrupted, or budgeted)."""
-        return self.state in (SessionState.DONE, SessionState.REJECTED)
+        return self.state in (
+            SessionState.DONE,
+            SessionState.REJECTED,
+            SessionState.THROTTLED,
+        )
+
+    def results_since(self, index: int) -> list[ResultWindow]:
+        """Results discovered at or after ``index`` (incremental consumption).
+
+        The protocol's ``results`` op streams a session's qualifying
+        windows to the client in pages; ``index`` is the client's cursor
+        into the monotonically growing result list.
+        """
+        if index < 0:
+            raise ValueError(f"results index must be >= 0, got {index}")
+        return self.results[index:]
+
+    def drain_usage(self) -> tuple[int, int]:
+        """Steps/blocks consumed since the last drain (tenant accounting)."""
+        if self.run is None:
+            return 0, 0
+        steps = self.steps_taken - self._charged_steps
+        blocks_total = self.search.data.blocks_read_cumulative
+        blocks = blocks_total - self._charged_blocks
+        self._charged_steps = self.steps_taken
+        self._charged_blocks = blocks_total
+        return steps, blocks
 
     @property
     def deadline(self) -> float | None:
@@ -173,7 +215,13 @@ class ExplorationSession:
         self.state = SessionState.DONE
 
     def cancel(self) -> None:
-        """Cooperatively cancel; the next slice interrupts the run."""
+        """Cooperatively cancel; the next slice interrupts the run.
+
+        A no-op on finished sessions and on rejected/throttled stubs,
+        which never started a search.
+        """
+        if self.run is None or self.finished:
+            return
         self.search.cancel()
 
     # -- parking -----------------------------------------------------------------

@@ -5,8 +5,35 @@ from .sdss import (SDSS_QUERIES, SDSS_SPREADS, SdssQuerySpec, example1_query, sd
 from .synthetic import SPREADS, synthetic_dataset, synthetic_query
 from .timeseries import DAYS_PER_YEAR, stock_dataset, stock_query
 
+#: Workload names the CLI and the serving front door both resolve.
+WORKLOAD_NAMES = ("synth-low", "synth-medium", "synth-high", "sdss", "stocks")
+
+
+def load_workload(name: str, scale: float = 0.3, seed: int = 101):
+    """A bundled dataset plus its canonical query, by workload name.
+
+    This is the single resolution point shared by the CLI and the
+    serving protocol's ``submit`` op: datasets are *derived* from
+    ``(name, scale, seed)``, never shipped over the wire, which is what
+    keeps serve journals small and replayable.
+    """
+    if name.startswith("synth-"):
+        spread = name.split("-", 1)[1]
+        dataset = synthetic_dataset(spread, scale=scale, seed=seed)
+        return dataset, synthetic_query(dataset)
+    if name == "sdss":
+        dataset = sdss_dataset(scale=scale, seed=seed)
+        return dataset, sdss_query(dataset, "high")
+    if name == "stocks":
+        dataset = stock_dataset(seed=seed)
+        return dataset, stock_query(dataset)
+    raise ValueError(f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+
+
 __all__ = [
     "Dataset",
+    "WORKLOAD_NAMES",
+    "load_workload",
     "make_database",
     "make_table",
     "SDSS_QUERIES",

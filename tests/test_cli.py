@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -225,6 +227,66 @@ class TestMetricsCommand:
         assert args.policy == "rr"
         assert args.park == "live"
         assert not args.no_cache
+        assert args.listen is None
+        assert args.record is None and args.replay is None
+        assert args.tenant_quota is None
+
+    @pytest.mark.parametrize(
+        "argv, needle",
+        [
+            (["serve", "--max-live", "0"], "--max-live"),
+            (["serve", "--sessions", "0"], "--sessions"),
+            (["serve", "--queue-limit", "-1"], "--queue-limit"),
+            (["serve", "--slice-steps", "0"], "--slice-steps"),
+            (["serve", "--cache-budget", "0"], "--cache-budget"),
+            (["serve", "--step-budget", "0"], "--step-budget"),
+            (["serve", "--block-budget", "0"], "--block-budget"),
+            (["serve", "--record", "x.journal"], "--record"),
+            (["serve", "--listen", "localhost:notaport"], "port"),
+            (["serve", "--tenant-quota", "broken"], "tenant spec"),
+        ],
+    )
+    def test_serve_validation_exits_2_with_config_error(self, argv, needle):
+        code, lines = run_cli(*argv)
+        assert code == 2
+        text = "\n".join(lines)
+        assert text.startswith("error:") and needle in text
+
+    def test_serve_with_tenant_quotas_throttles(self):
+        code, lines = run_cli(
+            "serve", "--workload", "synth-medium", "--scale", "0.15",
+            "--sessions", "3", "--max-live", "2", "--policy", "wfq",
+            "--step-budget", "30", "--tenant-quota", "solo=free:1",
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "throttled" in text
+        assert any("identities checked, all hold" in line for line in lines)
+
+    def test_serve_replay_of_committed_fixture(self):
+        fixture = Path(__file__).resolve().parent / "data" / "serve_reference.journal"
+        code, lines = run_cli("serve", "--replay", str(fixture))
+        assert code == 0
+        text = "\n".join(lines)
+        assert "byte-identical" in text
+        assert "16 events" in text
+
+    def test_serve_replay_flags_tampered_journal(self, tmp_path):
+        fixture = Path(__file__).resolve().parent / "data" / "serve_reference.journal"
+        lines_in = fixture.read_text().splitlines()
+        import json as _json
+
+        tampered = []
+        for line in lines_in:
+            record = _json.loads(line)
+            if record.get("kind") == "tick" and record["seq"] == 5:
+                record["outcome"] = "completed" if record["outcome"] != "completed" else "ran"
+            tampered.append(_json.dumps(record, sort_keys=True, separators=(",", ":")))
+        bad = tmp_path / "tampered.journal"
+        bad.write_text("\n".join(tampered) + "\n")
+        code, lines = run_cli("serve", "--replay", str(bad))
+        assert code == 1
+        assert any("MISMATCH" in line for line in lines)
 
 
 class TestBackendChaosCLI:

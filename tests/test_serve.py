@@ -131,6 +131,56 @@ class TestAdmission:
         with pytest.raises(ValueError, match="max_live"):
             SessionManager(max_live=0)
 
+    def test_serve_drains_queued_sessions_as_slots_free(self, workload):
+        """Waiting sessions are admitted when live ones finish; nothing
+        submitted within queue capacity is ever lost."""
+        dataset, query = workload
+        registry = MetricsRegistry()
+        manager = SessionManager(max_live=1, queue_limit=3, metrics=registry)
+        handles = [
+            manager.submit(f"s{i}", dataset, query, step_budget=10)
+            for i in range(4)
+        ]
+        assert [h.state for h in handles] == [
+            SessionState.LIVE, SessionState.WAITING,
+            SessionState.WAITING, SessionState.WAITING,
+        ]
+        serve_workload(manager)
+        assert all(h.state is SessionState.DONE for h in handles)
+        assert all(h.run is not None and h.steps_taken == 10 for h in handles)
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.sessions_admitted"] == 4
+        assert counters["serve.sessions_completed"] == 4
+        assert counters.get("serve.sessions_rejected", 0) == 0
+        InvariantAuditor(registry).verify()
+
+    def test_serve_with_only_rejected_sessions_returns_immediately(self, workload):
+        dataset, query = workload
+        registry = MetricsRegistry()
+        manager = SessionManager(max_live=1, queue_limit=0, metrics=registry)
+        live = manager.submit("keeper", dataset, query, step_budget=5)
+        rejects = [manager.submit(f"r{i}", dataset, query) for i in range(3)]
+        serve_workload(manager)
+        assert live.state is SessionState.DONE
+        assert all(r.state is SessionState.REJECTED for r in rejects)
+        # A second serve pass over a drained fleet is a clean no-op.
+        serve_workload(manager)
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.sessions_completed"] == 1
+        assert counters["serve.sessions_rejected"] == 3
+        InvariantAuditor(registry).verify()
+
+    def test_rejected_stub_is_inert_but_queryable(self, workload):
+        dataset, query = workload
+        manager = SessionManager(max_live=1, queue_limit=0)
+        manager.submit("a", dataset, query, step_budget=5)
+        stub = manager.submit("b", dataset, query)
+        assert stub.state is SessionState.REJECTED
+        assert stub.finished and stub.results == []
+        # Cancelling a stub must not blow up or resurrect it.
+        stub.cancel()
+        assert stub.state is SessionState.REJECTED
+
 
 class TestDeterminism:
     def test_interleaved_run_byte_reproducible(self, workload):

@@ -115,6 +115,52 @@ class TestEviction:
         cache.unpin("t:x", "g:y")
         assert len(cache) == 2
 
+    def test_multiple_pinned_bindings_under_pressure(self):
+        """Several live sessions pin at once; only unpinned cells pay."""
+        cache = SemanticCache(budget_cells=4)
+        cache.pin("t:a", "g:1")
+        cache.pin("t:b", "g:1")
+        cache.publish("t:a", "g:1", [(i, {"k": i}) for i in range(3)])
+        cache.publish("t:b", "g:1", [(i, {"k": i}) for i in range(3)])
+        cache.publish("t:c", "g:1", [(i, {"k": i}) for i in range(2)])
+        # Both pinned bindings survive intact; the unpinned one is the
+        # only eviction candidate and the pins already exceed the budget.
+        assert set(cache.consult("t:a", "g:1", [0, 1, 2])) == {0, 1, 2}
+        assert set(cache.consult("t:b", "g:1", [0, 1, 2])) == {0, 1, 2}
+        assert cache.consult("t:c", "g:1", [0, 1]) == {}
+
+    def test_partial_unpin_evicts_only_released_binding(self):
+        cache = SemanticCache(budget_cells=3)
+        cache.pin("t:a", "g:1")
+        cache.pin("t:b", "g:1")
+        cache.publish("t:a", "g:1", [(i, {"k": i}) for i in range(3)])
+        cache.publish("t:b", "g:1", [(i, {"k": i}) for i in range(3)])
+        assert len(cache) == 6
+        cache.unpin("t:a", "g:1")
+        # Back to budget by shedding t:a cells only; t:b stays pinned.
+        assert len(cache) == 3
+        assert set(cache.consult("t:b", "g:1", [0, 1, 2])) == {0, 1, 2}
+        cache.unpin("t:b", "g:1")
+        assert len(cache) == 3  # already within budget: unpin is a no-op
+
+    def test_evicted_cells_counter_on_publish_and_unpin(self):
+        registry = MetricsRegistry()
+        cache = SemanticCache(budget_cells=2, metrics=registry)
+        cache.publish("t:x", "g:y", [(i, {"k": i}) for i in range(5)])
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.cache.evicted_cells"] == 3
+        cache.pin("t:x", "g:z")
+        cache.publish("t:x", "g:z", [(i, {"k": i}) for i in range(4)])
+        # The publish sheds the two unpinned g:y survivors; the four
+        # pinned g:z cells ride over budget until the unpin releases them.
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.cache.evicted_cells"] == 3 + 2
+        cache.unpin("t:x", "g:z")
+        counters = registry.snapshot()["counters"]
+        assert counters["serve.cache.evicted_cells"] == 3 + 2 + 2
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["serve.cache.resident_cells"] == float(len(cache)) == 2.0
+
     def test_budget_validation(self):
         with pytest.raises(ValueError, match="budget_cells"):
             SemanticCache(budget_cells=0)

@@ -1,0 +1,206 @@
+"""End-to-end service tests: real asyncio server, real socket clients.
+
+Everything here talks to an :class:`ExplorationServer` bound to an
+ephemeral port on 127.0.0.1 — the same path ``repro serve --listen``
+uses — and exercises the full session lifecycle, wire-level error
+codes, concurrent clients and clean shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import (
+    AsyncServeClient,
+    ExplorationServer,
+    ServeClient,
+    ServeConfig,
+)
+from repro.serve.protocol import PROTOCOL_VERSION
+
+pytestmark = pytest.mark.serve
+
+
+def _config(**overrides) -> ServeConfig:
+    defaults = dict(max_live=2, queue_limit=4, slice_steps=8)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(config, body):
+    server = ExplorationServer(config)
+    host, port = await server.start()
+    try:
+        return await body(server, host, port)
+    finally:
+        await server.stop()
+
+
+class TestLifecycle:
+    def test_submit_poll_results_close(self):
+        async def body(server, host, port):
+            async with await AsyncServeClient.open(host, port) as client:
+                hello = await client.hello()
+                assert hello["server"] == "repro-serve"
+                assert hello["version"] == PROTOCOL_VERSION
+                assert hello["mode"] == "wall"
+                assert hello["recording"] is False
+                response = await client.submit(
+                    "s1", "synth-low", scale=0.1, step_budget=16
+                )
+                assert response["outcome"] == "live"
+                status = await client.wait("s1", poll_s=0.01, timeout_s=60.0)
+                assert status["state"] == "done"
+                page = await client.results("s1")
+                assert page["total"] == len(page["results"]) > 0
+                assert all("key" in row and "bounds" in row
+                           for row in page["results"])
+                incremental = await client.results("s1", since=1)
+                assert incremental["results"] == page["results"][1:]
+
+        _run(_with_server(_config(), body))
+
+    def test_cancel_over_the_wire(self):
+        async def body(server, host, port):
+            async with await AsyncServeClient.open(host, port) as client:
+                await client.submit("s1", "synth-low", scale=0.1)
+                response = await client.cancel("s1")
+                assert response["cancelled"] is True
+                status = await client.wait("s1", poll_s=0.01, timeout_s=60.0)
+                assert status["state"] == "done"
+                assert status["interrupted"] is True
+
+        _run(_with_server(_config(), body))
+
+    def test_concurrent_clients_share_one_fleet(self):
+        async def body(server, host, port):
+            async def one(i):
+                async with await AsyncServeClient.open(host, port) as client:
+                    await client.submit(
+                        f"c{i}", "synth-low", scale=0.1, step_budget=8
+                    )
+                    return await client.wait(f"c{i}", poll_s=0.01, timeout_s=60.0)
+
+            statuses = await asyncio.gather(*(one(i) for i in range(6)))
+            assert all(s["state"] == "done" for s in statuses)
+            async with await AsyncServeClient.open(host, port) as client:
+                stats = await client.stats()
+            assert stats["counters"]["serve.sessions_completed"] == 6
+            assert len(stats["latencies"]) == 6
+
+        _run(_with_server(_config(max_live=3, queue_limit=6), body))
+
+    def test_sync_client_against_live_server(self):
+        async def body(server, host, port):
+            def drive():
+                with ServeClient(host, port) as client:
+                    client.submit("sync1", "synth-low", scale=0.1, step_budget=8)
+                    status = client.wait("sync1", poll_s=0.01, timeout_s=60.0)
+                    page = client.results("sync1")
+                    return status, page
+
+            status, page = await asyncio.to_thread(drive)
+            assert status["state"] == "done"
+            assert page["total"] > 0
+
+        _run(_with_server(_config(), body))
+
+
+class TestWireErrors:
+    def test_error_codes_reach_the_client(self):
+        async def body(server, host, port):
+            async with await AsyncServeClient.open(host, port) as client:
+                with pytest.raises(ProtocolError) as excinfo:
+                    await client.status("ghost")
+                assert excinfo.value.args[0] == "unknown_session"
+                with pytest.raises(ProtocolError) as excinfo:
+                    await client.submit("s1", "not-a-workload")
+                assert excinfo.value.args[0] == "bad_workload"
+                with pytest.raises(ProtocolError) as excinfo:
+                    await client.submit("s1", "synth-low", scale=9.0)
+                assert excinfo.value.args[0] == "bad_config"
+                await client.submit("s1", "synth-low", scale=0.1, step_budget=8)
+                with pytest.raises(ProtocolError) as excinfo:
+                    await client.submit("s1", "synth-low", scale=0.1)
+                assert excinfo.value.args[0] == "duplicate_session"
+                # The connection survives every rejected request.
+                assert (await client.hello())["server"] == "repro-serve"
+
+        _run(_with_server(_config(), body))
+
+    def test_raw_garbage_gets_a_structured_error(self):
+        async def body(server, host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            writer.write(b'{"op": "frobnicate", "id": 3}\n')
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["error"]["code"] == "unknown_op"
+            assert response["id"] == 3
+            writer.close()
+            await writer.wait_closed()
+
+        _run(_with_server(_config(), body))
+
+    def test_fleet_rejection_is_reported_not_errored(self):
+        async def body(server, host, port):
+            async with await AsyncServeClient.open(host, port) as client:
+                assert (await client.submit(
+                    "s1", "synth-low", scale=0.1))["outcome"] == "live"
+                bounced = await client.submit("s2", "synth-low", scale=0.1)
+                assert bounced["outcome"] == "rejected"
+                assert bounced["reason"] == "fleet_capacity"
+
+        _run(_with_server(_config(max_live=1, queue_limit=0), body))
+
+
+class TestShutdown:
+    def test_close_ends_connection_only(self):
+        async def body(server, host, port):
+            client = await AsyncServeClient.open(host, port)
+            await client.submit("s1", "synth-low", scale=0.1, step_budget=8)
+            response = await client.close_session()
+            assert response["bye"] is True
+            # Server still running: a fresh connection sees the session.
+            async with await AsyncServeClient.open(host, port) as fresh:
+                status = await fresh.wait("s1", poll_s=0.01, timeout_s=60.0)
+                assert status["state"] == "done"
+
+        _run(_with_server(_config(), body))
+
+    def test_shutdown_op_stops_the_server_cleanly(self):
+        async def body():
+            server = ExplorationServer(_config())
+            host, port = await server.start()
+            async with await AsyncServeClient.open(host, port) as client:
+                await client.submit("s1", "synth-low", scale=0.1, step_budget=8)
+                await client.wait("s1", poll_s=0.01, timeout_s=60.0)
+                response = await client.shutdown()
+                assert response["stopping"] is True
+            await asyncio.wait_for(server.wait_stopped(), timeout=10.0)
+            with pytest.raises(ConnectionError):
+                await AsyncServeClient.open(host, port)
+
+        _run(body())
+
+    def test_stop_is_idempotent(self):
+        async def body():
+            server = ExplorationServer(_config())
+            await server.start()
+            await server.stop()
+            await server.stop()
+            await asyncio.wait_for(server.wait_stopped(), timeout=5.0)
+
+        _run(body())

@@ -1,0 +1,97 @@
+"""Cross-process service smoke: the CLI server as a real subprocess.
+
+The one test here is the deployment-shaped check: boot
+``python -m repro serve --listen --record`` as an actual OS process,
+talk to it over TCP with the blocking client, stop it with the
+protocol's ``shutdown`` op, assert a clean exit — then prove the
+recorded journal replays byte-identically both in-process and through
+``repro serve --replay``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeClient, replay_journal
+
+pytestmark = [pytest.mark.serve, pytest.mark.serve_smoke]
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _server_env() -> dict:
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    current = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{current}" if current else src
+    return env
+
+
+def test_subprocess_server_smoke(tmp_path):
+    journal = tmp_path / "smoke.journal"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--listen", "127.0.0.1:0",
+            "--record", str(journal),
+            "--policy", "wfq",
+            "--max-live", "2", "--queue-limit", "4", "--slice-steps", "8",
+            "--tenant-quota", "smoke=standard:4",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=_server_env(),
+        cwd=_REPO_ROOT,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"serving on 127\.0\.0\.1:(\d+)", banner)
+        assert match, f"no banner in {banner!r}"
+        port = int(match.group(1))
+
+        with ServeClient("127.0.0.1", port) as client:
+            assert client.hello()["recording"] is True
+            for i in range(3):
+                response = client.submit(
+                    f"smoke-{i}", "synth-low", scale=0.1,
+                    step_budget=12, tenant="smoke",
+                )
+                assert response["outcome"] in ("live", "waiting")
+            for i in range(3):
+                status = client.wait(f"smoke-{i}", poll_s=0.02, timeout_s=120.0)
+                assert status["state"] == "done"
+            assert client.results("smoke-0")["total"] > 0
+            assert client.shutdown()["stopping"] is True
+
+        stdout, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 0, stderr
+        assert "journal:" in stdout or journal.exists()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # The wall-clock run replays byte-identically in simulated time...
+    report = replay_journal(journal)
+    assert report.matches, report.mismatches
+    assert report.fingerprint == report.recorded_fingerprint
+    assert report.events >= 3  # three submits plus their ticks
+
+    # ...and the CLI verifier agrees, from its own fresh process.
+    verify = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--replay", str(journal)],
+        capture_output=True,
+        text=True,
+        env=_server_env(),
+        cwd=_REPO_ROOT,
+        timeout=120,
+    )
+    assert verify.returncode == 0, verify.stdout + verify.stderr
+    assert "byte-identical" in verify.stdout
